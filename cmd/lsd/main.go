@@ -1,0 +1,156 @@
+// Command lsd trains an LSD system on labelled sources and matches a
+// target source's schema against the mediated schema, printing the
+// proposed 1-1 mappings. Sources use the on-disk layout cmd/lsdgen
+// writes: <name>.dtd, <name>.xml (a stream of listings), and, for
+// training sources, <name>.mapping (tag<TAB>label lines).
+//
+// Usage:
+//
+//	lsd -mediated mediated.dtd -train src1,src2,src3 -match src4 \
+//	    [-feedback "tag=LABEL,tag2!=LABEL2"] [-no-constraints] [-no-xml]
+//
+// The -feedback flag supplies §4.3 user-feedback constraints: "tag=L"
+// pins tag to label L, "tag!=L" forbids it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/lsd"
+)
+
+func main() {
+	mediatedPath := flag.String("mediated", "", "mediated DTD file")
+	trainList := flag.String("train", "", "comma-separated training source basenames")
+	matchName := flag.String("match", "", "target source basename")
+	feedback := flag.String("feedback", "", "user feedback: tag=LABEL or tag!=LABEL, comma-separated")
+	noConstraints := flag.Bool("no-constraints", false, "disable the constraint handler")
+	noXML := flag.Bool("no-xml", false, "disable the XML learner")
+	evaluate := flag.Bool("eval", false, "if the target has a .mapping file, report accuracy")
+	flag.Parse()
+
+	if *mediatedPath == "" || *trainList == "" || *matchName == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	mediatedText, err := os.ReadFile(*mediatedPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	schema, err := lsd.ParseDTD(string(mediatedText))
+	if err != nil {
+		log.Fatalf("mediated DTD: %v", err)
+	}
+	mediated := &lsd.Mediated{Schema: schema}
+	// Frequency and arity constraints are always safe to derive from
+	// the mediated schema itself: each concept matches at most one tag,
+	// leaves stay atomic, internal tags stay compound.
+	for _, tag := range schema.Tags() {
+		mediated.Constraints = append(mediated.Constraints, lsd.AtMostOne(tag))
+		if schema.IsLeaf(tag) {
+			mediated.Constraints = append(mediated.Constraints, lsd.LeafLabel(tag))
+		} else {
+			mediated.Constraints = append(mediated.Constraints, lsd.NonLeafLabel(tag))
+		}
+	}
+
+	var training []*lsd.Source
+	for _, name := range strings.Split(*trainList, ",") {
+		src, err := loadSource(strings.TrimSpace(name), true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		training = append(training, src)
+	}
+	target, err := loadSource(*matchName, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := lsd.DefaultConfig()
+	cfg.UseConstraintHandler = !*noConstraints
+	cfg.UseXMLLearner = !*noXML
+
+	sys, err := lsd.Train(mediated, training, cfg)
+	if err != nil {
+		log.Fatalf("train: %v", err)
+	}
+
+	constraints, err := parseFeedback(*feedback)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.Match(target, constraints...)
+	if err != nil {
+		log.Fatalf("match: %v", err)
+	}
+	fmt.Print(lsd.Describe(target, res))
+	if *evaluate && target.Mapping != nil {
+		fmt.Printf("matching accuracy: %.1f%%\n", 100*lsd.Accuracy(target, res.Mapping))
+	}
+}
+
+// loadSource reads <base>.dtd, <base>.xml and (optionally) <base>.mapping.
+func loadSource(base string, needMapping bool) (*lsd.Source, error) {
+	dtdText, err := os.ReadFile(base + ".dtd")
+	if err != nil {
+		return nil, err
+	}
+	schema, err := lsd.ParseDTD(string(dtdText))
+	if err != nil {
+		return nil, fmt.Errorf("%s.dtd: %w", base, err)
+	}
+	f, err := os.Open(base + ".xml")
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	listings, err := lsd.ParseListings(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s.xml: %w", base, err)
+	}
+	src := &lsd.Source{Name: base, Schema: schema, Listings: listings}
+	mapping, err := os.ReadFile(base + ".mapping")
+	if err == nil {
+		src.Mapping = parseMapping(string(mapping))
+	} else if needMapping {
+		return nil, fmt.Errorf("training source %s needs %s.mapping: %w", base, base, err)
+	}
+	return src, nil
+}
+
+func parseMapping(text string) map[string]string {
+	m := make(map[string]string)
+	for _, line := range strings.Split(text, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 {
+			m[fields[0]] = fields[1]
+		}
+	}
+	return m
+}
+
+func parseFeedback(s string) ([]lsd.Constraint, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []lsd.Constraint
+	for _, item := range strings.Split(s, ",") {
+		item = strings.TrimSpace(item)
+		if tag, label, ok := strings.Cut(item, "!="); ok {
+			out = append(out, lsd.MustNotMatch(strings.TrimSpace(tag), strings.TrimSpace(label)))
+			continue
+		}
+		tag, label, ok := strings.Cut(item, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad feedback %q: want tag=LABEL or tag!=LABEL", item)
+		}
+		out = append(out, lsd.MustMatch(strings.TrimSpace(tag), strings.TrimSpace(label)))
+	}
+	return out, nil
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/lsd"
+)
+
+func TestParseFeedback(t *testing.T) {
+	cs, err := parseFeedback("area=ADDRESS, ad-id!=HOUSE-ID")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 2 {
+		t.Fatalf("constraints = %d", len(cs))
+	}
+	if got := cs[0].Name(); got != "feedback: area matches ADDRESS" {
+		t.Errorf("cs[0] = %q", got)
+	}
+	if got := cs[1].Name(); got != "feedback: ad-id does not match HOUSE-ID" {
+		t.Errorf("cs[1] = %q", got)
+	}
+	if _, err := parseFeedback("garbage"); err == nil {
+		t.Error("bad feedback accepted")
+	}
+	if cs, err := parseFeedback(""); err != nil || cs != nil {
+		t.Errorf("empty feedback: %v, %v", cs, err)
+	}
+}
+
+func TestParseMapping(t *testing.T) {
+	m := parseMapping("a\tX\nb\tY\n\nmalformed line with extra fields here\n")
+	if m["a"] != "X" || m["b"] != "Y" {
+		t.Errorf("parseMapping = %v", m)
+	}
+	if len(m) != 2 {
+		t.Errorf("parseMapping kept %d entries", len(m))
+	}
+}
+
+// TestLoadSourceRoundTrip writes a source in the on-disk layout and
+// loads it back.
+func TestLoadSourceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "src1")
+	if err := os.WriteFile(base+".dtd", []byte(`
+<!ELEMENT listing (price)>
+<!ELEMENT price (#PCDATA)>
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(base+".xml", []byte(
+		`<listing><price>70000</price></listing><listing><price>80000</price></listing>`,
+	), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(base+".mapping", []byte("listing\tLISTING\nprice\tPRICE\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, err := loadSource(base, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(src.Listings) != 2 {
+		t.Errorf("listings = %d", len(src.Listings))
+	}
+	if src.Mapping["price"] != "PRICE" {
+		t.Errorf("mapping = %v", src.Mapping)
+	}
+	if src.Schema.Root() != "listing" {
+		t.Errorf("schema root = %q", src.Schema.Root())
+	}
+	// Validate the loaded listings against the loaded schema.
+	for _, l := range src.Listings {
+		if err := src.Schema.Validate(l); err != nil {
+			t.Errorf("loaded listing invalid: %v", err)
+		}
+	}
+}
+
+func TestLoadSourceMissingMapping(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "src2")
+	os.WriteFile(base+".dtd", []byte("<!ELEMENT a (#PCDATA)>"), 0o644)
+	os.WriteFile(base+".xml", []byte("<a>1</a>"), 0o644)
+	if _, err := loadSource(base, true); err == nil {
+		t.Error("training source without mapping accepted")
+	}
+	src, err := loadSource(base, false)
+	if err != nil || src.Mapping != nil {
+		t.Errorf("target source: %v, mapping %v", err, src.Mapping)
+	}
+}
+
+var _ = lsd.Other // keep the lsd import for the Source type used above

@@ -1,0 +1,138 @@
+// Command lsdbench regenerates the tables and figures of the paper's
+// evaluation (§6) on the synthetic domains:
+//
+//	lsdbench -exp table3              # Table 3: domains and sources
+//	lsdbench -exp fig8a               # Figure 8.a: configuration ladder
+//	lsdbench -exp fig8b               # Figure 8.b: sensitivity, Real Estate I
+//	lsdbench -exp fig8c               # Figure 8.c: sensitivity, Time Schedule
+//	lsdbench -exp fig9a               # Figure 9.a: lesion studies
+//	lsdbench -exp fig9b               # Figure 9.b: schema vs. data info
+//	lsdbench -exp feedback            # §6.3: corrections to perfect matching
+//	lsdbench -exp all                 # everything
+//
+// -listings, -samples, and -splits trade fidelity for runtime; the
+// paper's own protocol is -listings 300 -samples 3 -splits 10.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/eval"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table3, fig8a, fig8b, fig8c, fig9a, fig9b, feedback, all")
+	listings := flag.Int("listings", 100, "listings per source")
+	samples := flag.Int("samples", 1, "data samples per experiment")
+	maxSplits := flag.Int("splits", 10, "train/test splits per sample (max 10)")
+	seed := flag.Int64("seed", 7, "experiment seed")
+	flag.Parse()
+
+	p := eval.Protocol{Listings: *listings, Samples: *samples, Seed: *seed, MaxSplits: *maxSplits}
+	run := func(name string, fn func()) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		start := time.Now()
+		fn()
+		fmt.Printf("[%s took %s]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("table3", func() { table3() })
+	run("fig8a", func() { fig8a(p) })
+	run("fig8b", func() { sensitivity(datagen.RealEstateI(), "Figure 8.b", p) })
+	run("fig8c", func() { sensitivity(datagen.TimeSchedule(), "Figure 8.c", p) })
+	run("fig9a", func() { fig9a(p) })
+	run("fig9b", func() { fig9b(p) })
+	run("feedback", func() { feedback(p) })
+}
+
+func table3() {
+	rows := make([]eval.Table3Row, 0, 4)
+	for _, d := range datagen.Domains() {
+		rows = append(rows, eval.Table3(d))
+	}
+	fmt.Print(eval.FormatTable3(rows))
+}
+
+func fig8a(p eval.Protocol) {
+	fmt.Println("Figure 8.a: average matching accuracy (%) per configuration")
+	fmt.Printf("%-17s %9s %6s %12s %6s\n", "domain", "best-base", "+meta", "+constraints", "+xml")
+	for _, d := range datagen.Domains() {
+		ladder, err := eval.RunLadder(d, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-17s %6.1f(%s) %6.1f %12.1f %6.1f\n",
+			d.Name, ladder.BestBase, initials(ladder.BestBaseName),
+			ladder.Meta, ladder.Constraints, ladder.Full)
+	}
+}
+
+func initials(name string) string {
+	out := ""
+	for _, r := range name {
+		if r >= 'A' && r <= 'Z' {
+			out += string(r)
+		}
+	}
+	return out
+}
+
+func sensitivity(d *datagen.Domain, title string, p eval.Protocol) {
+	fmt.Printf("%s: accuracy vs. listings per source (%s)\n", title, d.Name)
+	counts := []int{5, 10, 20, 50, 100, 200, 300}
+	pts, err := eval.RunSensitivity(d, counts, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%9s %9s %6s %12s %6s\n", "listings", "best-base", "+meta", "+constraints", "+xml")
+	for _, pt := range pts {
+		fmt.Printf("%9d %9.1f %6.1f %12.1f %6.1f\n",
+			pt.Listings, pt.Base, pt.Meta, pt.Constraints, pt.Full)
+	}
+}
+
+func fig9a(p eval.Protocol) {
+	fmt.Println("Figure 9.a: lesion studies — accuracy (%) with one component removed")
+	fmt.Printf("%-17s %8s %8s %8s %9s %9s\n",
+		"domain", "-name", "-nbayes", "-content", "-handler", "complete")
+	for _, d := range datagen.Domains() {
+		l, err := eval.RunLesion(d, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-17s %8.1f %8.1f %8.1f %9.1f %9.1f\n",
+			d.Name, l.WithoutName, l.WithoutNaiveBayes, l.WithoutContent,
+			l.WithoutHandler, l.Complete)
+	}
+}
+
+func fig9b(p eval.Protocol) {
+	fmt.Println("Figure 9.b: schema information vs. data instances")
+	fmt.Printf("%-17s %12s %10s %6s\n", "domain", "schema-only", "data-only", "both")
+	for _, d := range datagen.Domains() {
+		r, err := eval.RunSchemaVsData(d, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-17s %12.1f %10.1f %6.1f\n", d.Name, r.SchemaOnly, r.DataOnly, r.Both)
+	}
+}
+
+func feedback(p eval.Protocol) {
+	fmt.Println("§6.3: user feedback — corrections needed for perfect matching")
+	fmt.Printf("%-17s %12s %9s\n", "domain", "corrections", "avg tags")
+	for _, name := range []string{"Time Schedule", "Real Estate II"} {
+		d := datagen.ByName(name)
+		r, err := eval.RunFeedback(d, 3, p.Listings, p.Seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-17s %12.1f %9.1f\n", d.Name, r.AvgCorrections, r.AvgTags)
+	}
+}

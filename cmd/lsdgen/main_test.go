@@ -1,0 +1,31 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSlug(t *testing.T) {
+	cases := map[string]string{
+		"Real Estate I":    "real-estate-i",
+		"Time Schedule":    "time-schedule",
+		"Faculty Listings": "faculty-listings",
+	}
+	for in, want := range cases {
+		if got := slug(in); got != want {
+			t.Errorf("slug(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestMappingText(t *testing.T) {
+	out := mappingText(map[string]string{"b": "Y", "a": "X"})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %v", lines)
+	}
+	// Sorted by tag for deterministic files.
+	if lines[0] != "a\tX" || lines[1] != "b\tY" {
+		t.Errorf("mappingText = %q", out)
+	}
+}

@@ -1,0 +1,9 @@
+// Package repro is a from-scratch Go reproduction of the LSD
+// schema-matching system from "Reconciling Schemas of Disparate Data
+// Sources: A Machine-Learning Approach" (Doan, Domingos, Halevy,
+// SIGMOD 2001).
+//
+// Import the public API from repro/lsd. The benchmarks in this
+// directory (bench_test.go) regenerate every table and figure of the
+// paper's evaluation; see EXPERIMENTS.md for the recorded results.
+package repro

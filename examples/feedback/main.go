@@ -1,0 +1,62 @@
+// Command feedback replays the §4.3/§6.3 interaction loop: LSD proposes
+// mappings for a source, the user corrects the first wrong label, the
+// constraint handler re-runs with the correction as an additional
+// constraint, and so on until the mapping is perfect. The "user" here
+// is the known ground truth, so the example prints exactly how many
+// corrections LSD needed.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/datagen"
+	"repro/lsd"
+)
+
+func main() {
+	domain := datagen.RealEstateII()
+	mediated := domain.Mediated()
+	specs := domain.Sources()
+
+	const listings = 60
+	var training []*lsd.Source
+	for _, spec := range specs[:3] {
+		training = append(training, spec.Generate(listings, 1))
+	}
+	test := specs[3].Generate(listings, 1)
+
+	sys, err := lsd.Train(mediated, training, lsd.DefaultConfig())
+	if err != nil {
+		log.Fatalf("train: %v", err)
+	}
+
+	var feedback []lsd.Constraint
+	for round := 0; ; round++ {
+		res, err := sys.Match(test, feedback...)
+		if err != nil {
+			log.Fatalf("match: %v", err)
+		}
+		acc := lsd.Accuracy(test, res.Mapping)
+		fmt.Printf("round %d: accuracy %.1f%% with %d corrections\n",
+			round, 100*acc, len(feedback))
+
+		// The simulated user scans the proposed mappings and corrects
+		// the first wrong one.
+		wrong := ""
+		for _, tag := range test.Schema.Tags() {
+			if res.Mapping[tag] != test.LabelOf(tag) {
+				wrong = tag
+				break
+			}
+		}
+		if wrong == "" {
+			fmt.Printf("\nperfect matching after %d corrections on %d tags\n",
+				len(feedback), test.Schema.NumTags())
+			return
+		}
+		correct := test.LabelOf(wrong)
+		fmt.Printf("  user: %q should be %s (was %s)\n", wrong, correct, res.Mapping[wrong])
+		feedback = append(feedback, lsd.MustMatch(wrong, correct))
+	}
+}

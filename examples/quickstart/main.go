@@ -1,0 +1,110 @@
+// Command quickstart reproduces the paper's running example (Figures 2,
+// 5, 6): train LSD on realestate.com and homeseekers.com, whose
+// mappings the user has specified by hand, then let it propose the
+// semantic mappings for greathomes.com.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/lsd"
+)
+
+const mediatedDTD = `
+<!ELEMENT LISTING (ADDRESS, DESCRIPTION, AGENT-PHONE)>
+<!ELEMENT ADDRESS (#PCDATA)>
+<!ELEMENT DESCRIPTION (#PCDATA)>
+<!ELEMENT AGENT-PHONE (#PCDATA)>
+`
+
+const realestateDTD = `
+<!ELEMENT re-listing (location, comments, contact)>
+<!ELEMENT location (#PCDATA)>
+<!ELEMENT comments (#PCDATA)>
+<!ELEMENT contact (#PCDATA)>
+`
+
+const realestateData = `
+<re-listing><location>Miami, FL</location><comments>Nice area with great views</comments><contact>(305) 729 0831</contact></re-listing>
+<re-listing><location>Boston, MA</location><comments>Close to the river, fantastic yard</comments><contact>(617) 253 1429</contact></re-listing>
+<re-listing><location>Seattle, WA</location><comments>Great location, beautiful kitchen</comments><contact>(206) 523 4719</contact></re-listing>
+<re-listing><location>Denver, CO</location><comments>Fantastic house near a great park</comments><contact>(303) 555 0101</contact></re-listing>
+`
+
+const homeseekersDTD = `
+<!ELEMENT hs-entry (house-addr, detailed-desc, phone)>
+<!ELEMENT house-addr (#PCDATA)>
+<!ELEMENT detailed-desc (#PCDATA)>
+<!ELEMENT phone (#PCDATA)>
+`
+
+const homeseekersData = `
+<hs-entry><house-addr>Seattle, WA</house-addr><detailed-desc>Fantastic backyard and a great deck</detailed-desc><phone>(206) 753 2605</phone></hs-entry>
+<hs-entry><house-addr>Portland, OR</house-addr><detailed-desc>Great yard, wonderful neighborhood</detailed-desc><phone>(515) 273 4312</phone></hs-entry>
+<hs-entry><house-addr>Austin, TX</house-addr><detailed-desc>Beautiful house with a fantastic view</detailed-desc><phone>(512) 555 0110</phone></hs-entry>
+<hs-entry><house-addr>Tacoma, WA</house-addr><detailed-desc>Charming garden, great schools</detailed-desc><phone>(253) 555 0188</phone></hs-entry>
+`
+
+const greathomesDTD = `
+<!ELEMENT gh-item (area, extra-info, work-phone)>
+<!ELEMENT area (#PCDATA)>
+<!ELEMENT extra-info (#PCDATA)>
+<!ELEMENT work-phone (#PCDATA)>
+`
+
+const greathomesData = `
+<gh-item><area>Orlando, FL</area><extra-info>Spacious house, great beach nearby</extra-info><work-phone>(315) 237 4379</work-phone></gh-item>
+<gh-item><area>Kent, WA</area><extra-info>Close to highway, fantastic price</extra-info><work-phone>(415) 273 1234</work-phone></gh-item>
+<gh-item><area>Portland, OR</area><extra-info>Great location, beautiful street</extra-info><work-phone>(515) 237 4244</work-phone></gh-item>
+`
+
+func source(name, dtdText, data string, mapping map[string]string) *lsd.Source {
+	listings, err := lsd.ParseListings(strings.NewReader(data))
+	if err != nil {
+		log.Fatalf("parse %s: %v", name, err)
+	}
+	return &lsd.Source{
+		Name:     name,
+		Schema:   lsd.MustParseDTD(dtdText),
+		Listings: listings,
+		Mapping:  mapping,
+	}
+}
+
+func main() {
+	mediated := &lsd.Mediated{
+		Schema: lsd.MustParseDTD(mediatedDTD),
+		Constraints: []lsd.Constraint{
+			lsd.AtMostOne("ADDRESS"),
+			lsd.AtMostOne("DESCRIPTION"),
+			lsd.AtMostOne("AGENT-PHONE"),
+		},
+	}
+
+	// Training phase: the user specifies the 1-1 mappings for two
+	// sources (§3.1 step 1); LSD learns from their schemas and data.
+	training := []*lsd.Source{
+		source("realestate.com", realestateDTD, realestateData, map[string]string{
+			"re-listing": "LISTING", "location": "ADDRESS",
+			"comments": "DESCRIPTION", "contact": "AGENT-PHONE",
+		}),
+		source("homeseekers.com", homeseekersDTD, homeseekersData, map[string]string{
+			"hs-entry": "LISTING", "house-addr": "ADDRESS",
+			"detailed-desc": "DESCRIPTION", "phone": "AGENT-PHONE",
+		}),
+	}
+	sys, err := lsd.Train(mediated, training, lsd.DefaultConfig())
+	if err != nil {
+		log.Fatalf("train: %v", err)
+	}
+
+	// Matching phase: propose mappings for the unseen source.
+	greathomes := source("greathomes.com", greathomesDTD, greathomesData, nil)
+	res, err := sys.Match(greathomes)
+	if err != nil {
+		log.Fatalf("match: %v", err)
+	}
+	fmt.Print(lsd.Describe(greathomes, res))
+}

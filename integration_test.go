@@ -1,0 +1,147 @@
+package repro_test
+
+// End-to-end integration tests across the public API: train, match,
+// feedback, partial mappings, and translation in one flow. These
+// complement the per-package unit tests with whole-pipeline checks.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/lsd"
+)
+
+// TestEndToEndRealEstate drives the full product path on synthetic Real
+// Estate I data: train on three sources, match a fourth, apply one
+// piece of feedback, and translate a listing into the mediated schema.
+func TestEndToEndRealEstate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end test is slow")
+	}
+	domain := datagen.RealEstateI()
+	mediated := domain.Mediated()
+	specs := domain.Sources()
+
+	var training []*lsd.Source
+	for _, spec := range specs[:3] {
+		training = append(training, spec.Generate(30, 1))
+	}
+	sys, err := lsd.Train(mediated, training, lsd.DefaultConfig())
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+
+	test := specs[3].Generate(30, 1)
+	res, err := sys.Match(test)
+	if err != nil {
+		t.Fatalf("Match: %v", err)
+	}
+	acc := lsd.Accuracy(test, res.Mapping)
+	if acc < 0.5 {
+		t.Fatalf("end-to-end accuracy %.2f implausibly low", acc)
+	}
+
+	// Feedback must strictly fix a wrong tag and never lower accuracy
+	// on this source.
+	var wrongTag string
+	for _, tag := range test.Schema.Tags() {
+		if res.Mapping[tag] != test.LabelOf(tag) {
+			wrongTag = tag
+			break
+		}
+	}
+	if wrongTag != "" {
+		res2, err := sys.Match(test, lsd.MustMatch(wrongTag, test.LabelOf(wrongTag)))
+		if err != nil {
+			t.Fatalf("Match with feedback: %v", err)
+		}
+		if res2.Mapping[wrongTag] != test.LabelOf(wrongTag) {
+			t.Errorf("feedback ignored for %s", wrongTag)
+		}
+		if acc2 := lsd.Accuracy(test, res2.Mapping); acc2 < acc {
+			t.Errorf("feedback lowered accuracy: %.2f -> %.2f", acc, acc2)
+		}
+	}
+
+	// Translation: the mapped listing must validate against the
+	// mediated schema when translation uses the TRUE mapping.
+	truth := lsd.Assignment{}
+	for _, tag := range test.Schema.Tags() {
+		truth[tag] = test.LabelOf(tag)
+	}
+	tr, err := lsd.NewTranslator(mediated.Schema, truth)
+	if err != nil {
+		t.Fatalf("NewTranslator: %v", err)
+	}
+	out := tr.Translate(test.Listings[0])
+	if out.Tag != mediated.Schema.Root() {
+		t.Errorf("translated root = %q", out.Tag)
+	}
+	if out.Size() < 3 {
+		t.Errorf("translated doc suspiciously small:\n%s", out)
+	}
+}
+
+// TestEndToEndHierarchyPartialMappings checks the §7 partial-mapping
+// path on the Time Schedule domain with a CREDIT hierarchy.
+func TestEndToEndHierarchyPartialMappings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end test is slow")
+	}
+	domain := datagen.TimeSchedule()
+	mediated := domain.Mediated()
+	mediated.Hierarchy = lsd.NewLabelHierarchy(map[string]string{
+		"COURSE-CREDIT":  "CREDIT",
+		"SECTION-CREDIT": "CREDIT",
+	})
+	specs := domain.Sources()
+	var training []*lsd.Source
+	for _, spec := range specs[:3] {
+		training = append(training, spec.Generate(20, 1))
+	}
+	sys, err := lsd.Train(mediated, training, lsd.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Match(specs[3].Generate(20, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partial == nil {
+		t.Fatal("Partial nil despite hierarchy")
+	}
+	for tag, anc := range res.Partial {
+		if anc != "CREDIT" {
+			t.Errorf("Partial[%s] = %q, want only hierarchy ancestors", tag, anc)
+		}
+	}
+}
+
+// TestDescribeListsEveryTag guards the report format.
+func TestDescribeListsEveryTag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	domain := datagen.FacultyListings()
+	specs := domain.Sources()
+	var training []*lsd.Source
+	for _, spec := range specs[:3] {
+		training = append(training, spec.Generate(10, 1))
+	}
+	sys, err := lsd.Train(domain.Mediated(), training, lsd.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := specs[4].Generate(10, 1)
+	res, err := sys.Match(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := lsd.Describe(test, res)
+	for _, tag := range test.Schema.Tags() {
+		if !strings.Contains(report, tag) {
+			t.Errorf("Describe missing tag %q", tag)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+// Package constraint implements LSD's domain constraints and the
+// constraint handler (§4). Constraints impose semantic regularities on
+// the schemas and data of a domain's sources; they are specified once,
+// when the mediated schema is created, and reused for every source. The
+// handler searches the space of candidate mappings with A* for the
+// mapping minimizing
+//
+//	cost(m) = Σᵢ λᵢ·cost(m, Tᵢ) − α·log prob(m)
+//
+// where prob(m) = Πⱼ s(c_ij | e_j, PC) comes from the prediction
+// converter, hard-constraint violations have infinite cost, and soft
+// violations contribute their weighted degree. User feedback (§4.3) is
+// expressed as additional constraints scoped to the current source.
+package constraint
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dtd"
+	"repro/internal/learn"
+)
+
+// Source bundles everything a constraint can inspect about the target
+// source: its schema and the data extracted from it.
+type Source struct {
+	// Schema is the source DTD.
+	Schema *dtd.Schema
+	// Tags are the source-schema tags being mapped, in schema order.
+	Tags []string
+	// Columns maps each source tag to the data values extracted for it.
+	Columns map[string][]string
+	// Rows are the extracted listings as tag → value tuples, used by
+	// functional-dependency constraints.
+	Rows []map[string]string
+}
+
+// Assignment is a candidate mapping: source tag → label.
+type Assignment map[string]string
+
+// Clone copies the assignment.
+func (m Assignment) Clone() Assignment {
+	out := make(Assignment, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// TagsFor returns the source tags mapped to label, in src.Tags order.
+func (m Assignment) TagsFor(src *Source, label string) []string {
+	var out []string
+	for _, tag := range src.Tags {
+		if m[tag] == label {
+			out = append(out, tag)
+		}
+	}
+	return out
+}
+
+// Constraint is one domain constraint. Implementations must be
+// monotone for partial assignments: with complete == false,
+// Violations may only report violations that cannot disappear when the
+// assignment is extended. Completion-dependent checks (e.g. "exactly
+// one tag matches PRICE" when none does yet) must wait for complete ==
+// true.
+type Constraint interface {
+	// Name describes the constraint for reports and feedback messages.
+	Name() string
+	// Hard reports whether any violation makes the mapping infeasible.
+	Hard() bool
+	// Weight is the scaling coefficient λ for soft constraints; it is
+	// ignored for hard constraints.
+	Weight() float64
+	// Violations returns the degree to which m violates the constraint
+	// (0 = satisfied). For hard constraints any positive value rejects m.
+	Violations(src *Source, m Assignment, complete bool) float64
+	// Labels returns the mediated labels whose assignment can change the
+	// constraint's violation degree, or nil when any assignment can
+	// (e.g. equality feedback). The A* handler uses this to re-evaluate
+	// only the constraints affected by each new assignment.
+	Labels() []string
+}
+
+// Cost evaluates Σ λᵢ·cost(m, Tᵢ) over the constraints; math.Inf(1) if
+// a hard constraint is violated.
+func Cost(constraints []Constraint, src *Source, m Assignment, complete bool) float64 {
+	total := 0.0
+	for _, c := range constraints {
+		v := c.Violations(src, m, complete)
+		if v <= 0 {
+			continue
+		}
+		if c.Hard() {
+			return math.Inf(1)
+		}
+		total += c.Weight() * v
+	}
+	return total
+}
+
+// ProbCost returns −log prob(m) for the assigned tags, where prob is
+// the product of the converter scores of the assigned labels.
+// Scores are floored at a small ε so a zero score penalizes heavily but
+// remains finite, keeping A* able to compare mappings.
+func ProbCost(preds map[string]learn.Prediction, m Assignment) float64 {
+	const eps = 1e-6
+	cost := 0.0
+	for tag, label := range m {
+		s := preds[tag][label]
+		if s < eps {
+			s = eps
+		}
+		cost -= math.Log(s)
+	}
+	return cost
+}
+
+// Violation describes one violated constraint for reporting.
+type Violation struct {
+	Constraint Constraint
+	Degree     float64
+}
+
+// Explain lists the constraints m violates, for user-facing reports.
+func Explain(constraints []Constraint, src *Source, m Assignment) []Violation {
+	var out []Violation
+	for _, c := range constraints {
+		if v := c.Violations(src, m, true); v > 0 {
+			out = append(out, Violation{c, v})
+		}
+	}
+	return out
+}
+
+func (v Violation) String() string {
+	kind := "soft"
+	if v.Constraint.Hard() {
+		kind = "hard"
+	}
+	return fmt.Sprintf("%s (%s, degree %.2f)", v.Constraint.Name(), kind, v.Degree)
+}

@@ -1,0 +1,506 @@
+// Package core implements the LSD pipeline of §3: the training phase
+// (manually specified mappings → data extraction → per-learner training
+// sets → base-learner training → meta-learner training) and the
+// matching phase (extract & collect data → match each source-DTD tag →
+// apply the constraint handler).
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/constraint"
+	"repro/internal/dtd"
+	"repro/internal/learn"
+	"repro/internal/learners/contentmatcher"
+	"repro/internal/learners/naivebayes"
+	"repro/internal/learners/namematcher"
+	"repro/internal/learners/xmllearner"
+	"repro/internal/meta"
+	"repro/internal/xmltree"
+)
+
+// Mediated describes a domain's mediated schema: the DTD users query,
+// the domain constraints specified alongside it, and optional synonym
+// lists for source-tag expansion.
+type Mediated struct {
+	// Schema is the mediated DTD.
+	Schema *dtd.Schema
+	// Constraints are the domain constraints of §4.1, specified once
+	// when the mediated schema is created.
+	Constraints []constraint.Constraint
+	// Synonyms maps a word to alternative words, used by the name
+	// matcher's tag-name expansion.
+	Synonyms map[string][]string
+	// Hierarchy optionally arranges the labels in a taxonomy; ambiguous
+	// tags are then also reported with their most specific unambiguous
+	// ancestor label (the §7 partial-mapping extension).
+	Hierarchy *LabelHierarchy
+}
+
+// Labels returns the classification label set: every mediated-schema
+// tag plus the reserved OTHER label (§2.2).
+func (m *Mediated) Labels() []string {
+	tags := m.Schema.Tags()
+	out := make([]string, 0, len(tags)+1)
+	out = append(out, tags...)
+	out = append(out, learn.Other)
+	return out
+}
+
+// Source is one data source: its schema, its extracted listings, and —
+// for training sources and evaluation — the true 1-1 mapping from
+// source tags to mediated labels (unmatchable tags map to OTHER, and
+// tags absent from the map are treated as OTHER).
+type Source struct {
+	Name     string
+	Schema   *dtd.Schema
+	Listings []*xmltree.Node
+	Mapping  map[string]string
+}
+
+// LabelOf returns the true label of a source tag.
+func (s *Source) LabelOf(tag string) string {
+	if l, ok := s.Mapping[tag]; ok {
+		return l
+	}
+	return learn.Other
+}
+
+// MatchableTags returns the source tags whose true label is not OTHER.
+func (s *Source) MatchableTags() []string {
+	var out []string
+	for _, t := range s.Schema.Tags() {
+		if s.LabelOf(t) != learn.Other {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// LearnerSpec names a base learner and supplies its factory.
+type LearnerSpec struct {
+	Name    string
+	Factory learn.Factory
+}
+
+// Config selects the learners and components of an LSD instance. The
+// zero value is not usable; start from DefaultConfig.
+type Config struct {
+	// BaseLearners are the non-structural base learners.
+	BaseLearners []LearnerSpec
+	// UseXMLLearner enables the XML learner of §5.
+	UseXMLLearner bool
+	// UseConstraintHandler enables the A* constraint handler; when
+	// false, tags greedily take their best converter label (§3.2).
+	UseConstraintHandler bool
+	// Meta configures stacking.
+	Meta meta.Config
+	// Converter selects the prediction-converter mode.
+	Converter meta.ConverterMode
+	// MaxListings caps the listings used per source (0 = all); the
+	// sensitivity experiments sweep this.
+	MaxListings int
+	// Handler tunes the A* search; nil uses defaults.
+	Handler *constraint.Handler
+	// Seed drives the cross-validation shuffles.
+	Seed int64
+}
+
+// DefaultConfig returns the complete LSD system of the experiments:
+// name matcher, content matcher, Naive Bayes, the XML learner, stacking
+// with 5-fold CV, averaging converter, and the constraint handler.
+func DefaultConfig() Config {
+	return Config{
+		BaseLearners: []LearnerSpec{
+			{"NameMatcher", namematcher.Factory},
+			{"ContentMatcher", contentmatcher.Factory},
+			{"NaiveBayes", naivebayes.Factory},
+		},
+		UseXMLLearner:        true,
+		UseConstraintHandler: true,
+		Meta:                 meta.DefaultConfig(),
+		Converter:            meta.Average,
+		Seed:                 1,
+	}
+}
+
+// System is a trained LSD instance.
+type System struct {
+	cfg      Config
+	mediated *Mediated
+	labels   []string
+	names    []string
+	learners []learn.Learner // trained, aligned with names
+	stacker  *meta.Stacker
+}
+
+// Train runs the training phase of §3.1 on the given training sources
+// and returns a system ready to match new sources.
+func Train(med *Mediated, sources []*Source, cfg Config) (*System, error) {
+	if med == nil || med.Schema == nil {
+		return nil, fmt.Errorf("core: nil mediated schema")
+	}
+	if len(cfg.BaseLearners) == 0 && !cfg.UseXMLLearner {
+		return nil, fmt.Errorf("core: no learners configured")
+	}
+	labels := med.Labels()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Steps 2-3: extract data and create training examples. All
+	// learners share the instance set; each extracts its own features.
+	examples := ExtractExamples(med, sources, cfg.MaxListings)
+
+	sys := &System{cfg: cfg, mediated: med, labels: labels}
+
+	// Step 4: train the base learners.
+	factories := make([]learn.Factory, 0, len(cfg.BaseLearners)+1)
+	for _, spec := range cfg.BaseLearners {
+		sys.names = append(sys.names, spec.Name)
+		factories = append(factories, spec.Factory)
+	}
+
+	if cfg.UseXMLLearner {
+		// The XML learner labels sub-elements with the true mappings at
+		// training time and with the rest of LSD at matching time
+		// (Table 2). Build the interim ensemble first: the non-XML
+		// learners stacked on their own.
+		trainLab := trainLabeler(sources)
+		var interim *ensembleLabeler
+		if len(cfg.BaseLearners) > 0 {
+			interimStack, err := meta.Train(labels, sys.names, factories, examples, cfg.Meta, rng)
+			if err != nil {
+				return nil, fmt.Errorf("core: interim meta-learner: %w", err)
+			}
+			interimLearners, err := trainAll(cfg.BaseLearners, labels, examples)
+			if err != nil {
+				return nil, err
+			}
+			interim = &ensembleLabeler{
+				mediated: med, learners: interimLearners, stacker: interimStack,
+			}
+		}
+		xmlFactory := func() learn.Learner {
+			l := xmllearner.New(trainLab, nil)
+			if interim != nil {
+				l.SetMatchLabeler(interim)
+			}
+			return l
+		}
+		sys.names = append(sys.names, "XMLLearner")
+		factories = append(factories, xmlFactory)
+	}
+
+	// Train the final copies of every learner on the full training set.
+	trained := make([]learn.Learner, len(factories))
+	for i, f := range factories {
+		l := f()
+		if err := l.Train(labels, examples); err != nil {
+			return nil, fmt.Errorf("core: training %s: %w", sys.names[i], err)
+		}
+		trained[i] = l
+	}
+	sys.learners = trained
+
+	// Step 5: train the meta-learner by stacking over all learners.
+	stacker, err := meta.Train(labels, sys.names, factories, examples, cfg.Meta, rng)
+	if err != nil {
+		return nil, fmt.Errorf("core: meta-learner: %w", err)
+	}
+	sys.stacker = stacker
+	return sys, nil
+}
+
+func trainAll(specs []LearnerSpec, labels []string, examples []learn.Example) ([]learn.Learner, error) {
+	out := make([]learn.Learner, len(specs))
+	for i, spec := range specs {
+		l := spec.Factory()
+		if err := l.Train(labels, examples); err != nil {
+			return nil, fmt.Errorf("core: training %s: %w", spec.Name, err)
+		}
+		out[i] = l
+	}
+	return out, nil
+}
+
+// trainLabeler builds the training-phase node labeler for the XML
+// learner from the union of the training sources' true mappings.
+func trainLabeler(sources []*Source) xmllearner.NodeLabeler {
+	table := make(map[string]string)
+	for _, s := range sources {
+		for tag, label := range s.Mapping {
+			if _, ok := table[tag]; !ok {
+				table[tag] = label
+			}
+		}
+	}
+	return xmllearner.NodeLabelerFunc(func(n *xmltree.Node, _ []string) string {
+		if l, ok := table[n.Tag]; ok {
+			return l
+		}
+		return learn.Other
+	})
+}
+
+// ensembleLabeler labels a node with the best combined prediction of a
+// set of trained learners — the "LSD with other base learners" oracle
+// the XML learner consults for sub-element labels.
+type ensembleLabeler struct {
+	mediated *Mediated
+	learners []learn.Learner
+	stacker  *meta.Stacker
+	// nodeCache memoizes labels per element node: the labeler is fixed
+	// once trained, so each node needs labelling only once even though
+	// cross-validation folds and the final XML learner all consult it.
+	nodeCache map[*xmltree.Node]string
+}
+
+// LabelNode implements xmllearner.NodeLabeler.
+func (e *ensembleLabeler) LabelNode(n *xmltree.Node, path []string) string {
+	if label, ok := e.nodeCache[n]; ok {
+		return label
+	}
+	in := NewInstance(e.mediated, n, path)
+	preds := make([]learn.Prediction, len(e.learners))
+	for i, l := range e.learners {
+		preds[i] = l.Predict(in)
+	}
+	best, _ := e.stacker.Combine(preds).Best()
+	if best == "" {
+		best = learn.Other
+	}
+	if e.nodeCache == nil {
+		e.nodeCache = make(map[*xmltree.Node]string)
+	}
+	e.nodeCache[n] = best
+	return best
+}
+
+// NewInstance builds the learner-facing instance for an element node.
+func NewInstance(med *Mediated, n *xmltree.Node, path []string) learn.Instance {
+	var syns []string
+	if med != nil {
+		for _, w := range splitTag(n.Tag) {
+			syns = append(syns, med.Synonyms[w]...)
+		}
+	}
+	return learn.Instance{
+		TagName:  n.Tag,
+		Path:     append([]string(nil), path...),
+		Synonyms: syns,
+		Content:  n.Content(),
+		Node:     n,
+	}
+}
+
+func splitTag(tag string) []string {
+	var out []string
+	cur := ""
+	for _, r := range tag {
+		if r == '-' || r == '_' || r == ' ' {
+			if cur != "" {
+				out = append(out, cur)
+				cur = ""
+			}
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// ExtractExamples creates the shared training-example set from the
+// sources (§3.1 steps 2-3): every element occurrence in every listing
+// becomes one example labelled through the source's 1-1 mapping.
+func ExtractExamples(med *Mediated, sources []*Source, maxListings int) []learn.Example {
+	var out []learn.Example
+	for _, s := range sources {
+		listings := s.Listings
+		if maxListings > 0 && len(listings) > maxListings {
+			listings = listings[:maxListings]
+		}
+		for _, listing := range listings {
+			listing.Walk(func(n *xmltree.Node, path []string) {
+				out = append(out, learn.Example{
+					Instance: NewInstance(med, n, path),
+					Label:    s.LabelOf(n.Tag),
+					Group:    s.Name,
+				})
+			})
+		}
+	}
+	return out
+}
+
+// Labels returns the system's label set.
+func (s *System) Labels() []string { return s.labels }
+
+// LearnerNames returns the trained learners' names.
+func (s *System) LearnerNames() []string { return append([]string(nil), s.names...) }
+
+// Stacker exposes the fitted meta-learner weights (for reports).
+func (s *System) Stacker() *meta.Stacker { return s.stacker }
+
+// MatchResult is the outcome of matching one source.
+type MatchResult struct {
+	// Mapping is the 1-1 mapping the constraint handler (or greedy
+	// assignment) produced: source tag → label.
+	Mapping constraint.Assignment
+	// TagPredictions are the prediction-converter outputs per tag.
+	TagPredictions map[string]learn.Prediction
+	// Handler is the A* result; nil when the handler is disabled.
+	Handler *constraint.Result
+	// Partial holds the §7 partial mappings: for tags whose prediction
+	// is ambiguous between sibling labels, the most specific
+	// unambiguous ancestor in the mediated label hierarchy. Populated
+	// only when the mediated schema defines a hierarchy.
+	Partial map[string]string
+}
+
+// Match runs the matching phase of §3.2 on a target source. feedback
+// constraints (§4.3) apply to this source only.
+func (s *System) Match(src *Source, feedback ...constraint.Constraint) (*MatchResult, error) {
+	if src == nil || src.Schema == nil {
+		return nil, fmt.Errorf("core: nil source")
+	}
+	// Step 1: extract & collect data into per-tag columns.
+	cols := CollectColumns(s.mediated, src, s.cfg.MaxListings)
+
+	// Step 2: match each source tag: apply base learners per instance,
+	// combine with the meta-learner, convert per column.
+	tags := src.Schema.Tags()
+	tagPreds := make(map[string]learn.Prediction, len(tags))
+	for _, tag := range tags {
+		instances := cols[tag]
+		instPreds := make([]learn.Prediction, 0, len(instances))
+		for _, in := range instances {
+			base := make([]learn.Prediction, len(s.learners))
+			for i, l := range s.learners {
+				base[i] = l.Predict(in)
+			}
+			instPreds = append(instPreds, s.stacker.Combine(base))
+		}
+		if len(instPreds) == 0 {
+			// A tag with no data instances is matched on its name alone.
+			in := learn.Instance{TagName: tag, Path: src.Schema.PathFromRoot(tag)}
+			base := make([]learn.Prediction, len(s.learners))
+			for i, l := range s.learners {
+				base[i] = l.Predict(in)
+			}
+			instPreds = append(instPreds, s.stacker.Combine(base))
+		}
+		tagPreds[tag] = meta.Convert(s.cfg.Converter, s.labels, instPreds)
+	}
+
+	// Step 3: apply the constraint handler.
+	res := &MatchResult{TagPredictions: tagPreds}
+	if s.mediated.Hierarchy != nil {
+		res.Partial = make(map[string]string)
+		for tag, p := range tagPreds {
+			if anc, ok := s.mediated.Hierarchy.Suggest(p, AmbiguityRatio); ok {
+				res.Partial[tag] = anc
+			}
+		}
+	}
+	csrc := BuildConstraintSource(src, cols, s.cfg.MaxListings)
+	if !s.cfg.UseConstraintHandler {
+		res.Mapping = constraint.GreedyRun(csrc, tagPreds)
+		return res, nil
+	}
+	handler := s.cfg.Handler
+	if handler == nil {
+		handler = constraint.NewHandler()
+	}
+	cs := append(append([]constraint.Constraint{}, s.mediated.Constraints...), feedback...)
+	h := *handler
+	h.Constraints = cs
+	hres, err := h.Run(csrc, tagPreds)
+	if err != nil {
+		return nil, fmt.Errorf("core: constraint handler: %w", err)
+	}
+	res.Mapping = hres.Mapping
+	res.Handler = hres
+	return res, nil
+}
+
+// CollectColumns extracts, for each source tag, the column of element
+// instances with that tag across the source's listings (§3.2 step 1).
+func CollectColumns(med *Mediated, src *Source, maxListings int) map[string][]learn.Instance {
+	cols := make(map[string][]learn.Instance)
+	listings := src.Listings
+	if maxListings > 0 && len(listings) > maxListings {
+		listings = listings[:maxListings]
+	}
+	for _, listing := range listings {
+		listing.Walk(func(n *xmltree.Node, path []string) {
+			cols[n.Tag] = append(cols[n.Tag], NewInstance(med, n, path))
+		})
+	}
+	return cols
+}
+
+// BuildConstraintSource assembles the constraint handler's view of a
+// source: its schema, tags, extracted columns, and row tuples.
+func BuildConstraintSource(src *Source, cols map[string][]learn.Instance, maxListings int) *constraint.Source {
+	columns := make(map[string][]string, len(cols))
+	for tag, instances := range cols {
+		vals := make([]string, len(instances))
+		for i, in := range instances {
+			vals[i] = in.Content
+		}
+		columns[tag] = vals
+	}
+	listings := src.Listings
+	if maxListings > 0 && len(listings) > maxListings {
+		listings = listings[:maxListings]
+	}
+	rows := make([]map[string]string, 0, len(listings))
+	for _, listing := range listings {
+		row := make(map[string]string)
+		listing.Walk(func(n *xmltree.Node, _ []string) {
+			if _, ok := row[n.Tag]; !ok {
+				row[n.Tag] = n.Content()
+			}
+		})
+		rows = append(rows, row)
+	}
+	return &constraint.Source{
+		Schema:  src.Schema,
+		Tags:    src.Schema.Tags(),
+		Columns: columns,
+		Rows:    rows,
+	}
+}
+
+// Accuracy computes the matching accuracy of a mapping against the
+// source's true mapping: the percentage of matchable source tags
+// matched correctly (§6, "Experimental Methodology").
+func Accuracy(src *Source, mapping constraint.Assignment) float64 {
+	matchable := src.MatchableTags()
+	if len(matchable) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, tag := range matchable {
+		if mapping[tag] == src.LabelOf(tag) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(matchable))
+}
+
+// WrongTags returns the matchable tags the mapping got wrong, sorted.
+func WrongTags(src *Source, mapping constraint.Assignment) []string {
+	var out []string
+	for _, tag := range src.MatchableTags() {
+		if mapping[tag] != src.LabelOf(tag) {
+			out = append(out, tag)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,380 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/dtd"
+	"repro/internal/learn"
+	"repro/internal/xmltree"
+)
+
+// Concept is one node of a domain's mediated concept tree. It carries
+// the knobs that make a synthesized source easy or hard for each
+// learner: the per-source tag-name pool (descriptive, partial, or
+// vacuous names), the value generator, and structural variation rates.
+type Concept struct {
+	// Label is the mediated-schema tag for the concept.
+	Label string
+	// Names is the pool of source tag names; source i uses
+	// Names[i mod len(Names)]. Pools whose entries share tokens give
+	// the name matcher purchase; disjoint or vacuous pools starve it.
+	Names []string
+	// Gen generates leaf values; nil marks an internal concept.
+	Gen ValueGen
+	// Optional is the per-listing probability the element is absent.
+	Optional float64
+	// DropRate is the probability a source omits the concept (and its
+	// subtree) from its schema entirely. Core concepts use 0.
+	DropRate float64
+	// Flatten is the probability a source inlines this internal
+	// concept: its children attach to its parent and the tag vanishes.
+	Flatten float64
+	// SkipIfPresent omits the concept from a source that already kept a
+	// concept with the given label; it encodes exclusivity regularities
+	// (a source lists course-level or section-level credits, never
+	// both).
+	SkipIfPresent string
+	// Children are the sub-concepts, in mediated sibling order.
+	Children []*Concept
+}
+
+// IsLeaf reports whether the concept has no sub-concepts.
+func (c *Concept) IsLeaf() bool { return len(c.Children) == 0 }
+
+// walk visits the concept tree pre-order.
+func (c *Concept) walk(fn func(*Concept)) {
+	fn(c)
+	for _, ch := range c.Children {
+		ch.walk(fn)
+	}
+}
+
+// ExtraTag describes an unmatchable source tag (true label OTHER).
+type ExtraTag struct {
+	Names []string
+	Gen   ValueGen
+}
+
+// Domain is a complete synthetic evaluation domain.
+type Domain struct {
+	// Name is the Table-3 domain name.
+	Name string
+	// Root is the mediated concept tree.
+	Root *Concept
+	// Extras are candidate unmatchable tags appended to sources.
+	Extras []ExtraTag
+	// ExtrasPerSource gives how many extras each of the five sources
+	// receives; this controls the matchable-% column of Table 3.
+	ExtrasPerSource [NumSources]int
+	// ListingsRange is the nominal downloaded-listings range of
+	// Table 3; each source's nominal count is drawn from it.
+	ListingsRange [2]int
+	// BoilerplateRate is the per-value probability that a leaf value is
+	// wrapped in source-specific furniture text (the field caption, as
+	// scraped web listings often embed: "Price: $250,000"). Furniture
+	// tokens are source-specific, so they dilute the cross-source
+	// transfer of the content learners the way real WWW data does.
+	BoilerplateRate float64
+	// Constraints builds the domain's integrity constraints (§4.1).
+	Constraints func() []constraint.Constraint
+	// Synonyms feed the name matcher's expansion.
+	Synonyms map[string][]string
+	// Seed makes source synthesis deterministic per domain.
+	Seed int64
+}
+
+// NumSources is the number of sources per domain (the paper uses 5).
+const NumSources = 5
+
+// Mediated builds the domain's mediated schema for the LSD pipeline.
+// The domain's explicit constraints are extended with the structural
+// arity constraints implied by the concept tree: leaf concepts must map
+// to atomic source elements and internal concepts to compound ones.
+func (d *Domain) Mediated() *core.Mediated {
+	var cs []constraint.Constraint
+	if d.Constraints != nil {
+		cs = d.Constraints()
+	}
+	cs = append(cs, d.ArityConstraints()...)
+	return &core.Mediated{
+		Schema:      d.MediatedSchema(),
+		Constraints: cs,
+		Synonyms:    d.Synonyms,
+	}
+}
+
+// ArityConstraints derives LeafLabel/NonLeafLabel constraints from the
+// concept tree.
+func (d *Domain) ArityConstraints() []constraint.Constraint {
+	var cs []constraint.Constraint
+	d.Root.walk(func(c *Concept) {
+		if c.IsLeaf() {
+			cs = append(cs, constraint.LeafLabel(c.Label))
+		} else {
+			cs = append(cs, constraint.NonLeafLabel(c.Label))
+		}
+	})
+	return cs
+}
+
+// MediatedSchema builds the mediated DTD from the concept tree.
+func (d *Domain) MediatedSchema() *dtd.Schema {
+	var b strings.Builder
+	var emit func(c *Concept)
+	emit = func(c *Concept) {
+		if c.IsLeaf() {
+			fmt.Fprintf(&b, "<!ELEMENT %s (#PCDATA)>\n", c.Label)
+			return
+		}
+		parts := make([]string, len(c.Children))
+		for i, ch := range c.Children {
+			parts[i] = ch.Label
+			if ch.Optional > 0 || ch.DropRate > 0 {
+				parts[i] += "?"
+			}
+		}
+		fmt.Fprintf(&b, "<!ELEMENT %s (%s)>\n", c.Label, strings.Join(parts, ", "))
+		for _, ch := range c.Children {
+			emit(ch)
+		}
+	}
+	emit(d.Root)
+	return dtd.MustParse(b.String())
+}
+
+// Labels returns the mediated labels (concept labels plus OTHER).
+func (d *Domain) Labels() []string {
+	var out []string
+	d.Root.walk(func(c *Concept) { out = append(out, c.Label) })
+	return append(out, learn.Other)
+}
+
+// SourceSpec is one synthesized source: its schema, ground-truth
+// mapping, style, and nominal data volume.
+type SourceSpec struct {
+	// Name identifies the source (e.g. "realestate1-src3").
+	Name string
+	// Index is the source's position 0..NumSources-1.
+	Index int
+	// Schema is the source DTD.
+	Schema *dtd.Schema
+	// Mapping is the ground truth: source tag → mediated label
+	// (OTHER entries are stored explicitly for extras).
+	Mapping map[string]string
+	// NominalListings is the Table-3 "downloaded listings" figure.
+	NominalListings int
+
+	root        *srcNode
+	boilerplate float64
+}
+
+// srcNode is a node of the per-source schema tree.
+type srcNode struct {
+	tag      string
+	label    string
+	gen      ValueGen
+	optional float64
+	children []*srcNode
+}
+
+// Sources synthesizes the domain's five sources deterministically.
+func (d *Domain) Sources() []*SourceSpec {
+	out := make([]*SourceSpec, NumSources)
+	for i := 0; i < NumSources; i++ {
+		out[i] = d.synthesize(i)
+	}
+	return out
+}
+
+// synthesize builds source i: names drawn from the pools, optional
+// concepts dropped, internal concepts flattened, extras appended.
+func (d *Domain) synthesize(i int) *SourceSpec {
+	rng := rand.New(rand.NewSource(d.Seed*101 + int64(i)))
+	spec := &SourceSpec{
+		Name:    fmt.Sprintf("%s-src%d", slug(d.Name), i+1),
+		Index:   i,
+		Mapping: make(map[string]string),
+	}
+	used := make(map[string]bool)
+
+	var build func(c *Concept) *srcNode
+	build = func(c *Concept) *srcNode {
+		tag := c.Names[i%len(c.Names)]
+		if used[tag] {
+			tag = fmt.Sprintf("%s-%d", tag, i+2)
+		}
+		used[tag] = true
+		n := &srcNode{tag: tag, label: c.Label, gen: c.Gen, optional: c.Optional}
+		spec.Mapping[tag] = c.Label
+		for _, ch := range c.Children {
+			if ch.SkipIfPresent != "" && labelKept(spec.Mapping, ch.SkipIfPresent) {
+				continue
+			}
+			if ch.DropRate > 0 && rng.Float64() < ch.DropRate {
+				continue
+			}
+			if !ch.IsLeaf() && ch.Flatten > 0 && rng.Float64() < ch.Flatten {
+				// Inline the child's children; grandchildren keep their
+				// own drop decisions.
+				ghost := build(ch)
+				if ghost == nil {
+					continue
+				}
+				// The flattened tag is not part of this source.
+				delete(spec.Mapping, ghost.tag)
+				used[ghost.tag] = false
+				n.children = append(n.children, ghost.children...)
+				continue
+			}
+			if built := build(ch); built != nil {
+				n.children = append(n.children, built)
+			}
+		}
+		// An internal concept whose children were all dropped would
+		// degrade to a bogus leaf; prune it instead.
+		if c.IsLeaf() || len(n.children) > 0 {
+			return n
+		}
+		delete(spec.Mapping, tag)
+		used[tag] = false
+		return nil
+	}
+	spec.root = build(d.Root)
+
+	count := d.ExtrasPerSource[i]
+	for k := 0; k < count && k < len(d.Extras); k++ {
+		e := d.Extras[(i+k)%len(d.Extras)]
+		tag := e.Names[i%len(e.Names)]
+		if used[tag] {
+			tag = fmt.Sprintf("%s-x%d", tag, k)
+		}
+		used[tag] = true
+		spec.Mapping[tag] = learn.Other
+		spec.root.children = append(spec.root.children, &srcNode{
+			tag: tag, label: learn.Other, gen: e.Gen, optional: 0.3,
+		})
+	}
+
+	spec.Schema = buildSchema(spec.root)
+	spec.boilerplate = d.BoilerplateRate
+	lo, hi := d.ListingsRange[0], d.ListingsRange[1]
+	spec.NominalListings = lo + rng.Intn(hi-lo+1)
+	return spec
+}
+
+// furniturePools are the per-source page-furniture vocabularies: the
+// captions, separators, and template words a scraped site wraps every
+// field value in. They are source-specific and label-independent, so
+// they dilute content-learner signal without leaking the mapping.
+var furniturePools = [][]string{
+	{"Details", "Listing Detail", "Value"},
+	{"Item", "Entry", "Shown As"},
+	{"Data", "Record", "As Posted"},
+	{"Field", "Info", "Displayed"},
+	{"Note", "Spec", "Per Site"},
+}
+
+func furniture(style int, rng *rand.Rand) string {
+	pool := furniturePools[style%len(furniturePools)]
+	return pool[rng.Intn(len(pool))]
+}
+
+func labelKept(mapping map[string]string, label string) bool {
+	for _, l := range mapping {
+		if l == label {
+			return true
+		}
+	}
+	return false
+}
+
+func slug(s string) string {
+	return strings.ToLower(strings.NewReplacer(" ", "", "-", "").Replace(s))
+}
+
+// buildSchema renders a source tree as DTD text and parses it.
+func buildSchema(root *srcNode) *dtd.Schema {
+	var b strings.Builder
+	var emit func(n *srcNode)
+	emit = func(n *srcNode) {
+		if len(n.children) == 0 {
+			fmt.Fprintf(&b, "<!ELEMENT %s (#PCDATA)>\n", n.tag)
+			return
+		}
+		parts := make([]string, len(n.children))
+		for i, c := range n.children {
+			parts[i] = c.tag
+			if c.optional > 0 {
+				parts[i] += "?"
+			}
+		}
+		fmt.Fprintf(&b, "<!ELEMENT %s (%s)>\n", n.tag, strings.Join(parts, ", "))
+		for _, c := range n.children {
+			emit(c)
+		}
+	}
+	emit(root)
+	return dtd.MustParse(b.String())
+}
+
+// Generate materializes n listings from the source using the given
+// sample seed ("each time taking a new sample of data from each
+// source", §6) and returns the complete core.Source.
+func (s *SourceSpec) Generate(n int, sampleSeed int64) *core.Source {
+	rng := rand.New(rand.NewSource(sampleSeed*1009 + int64(s.Index)))
+	listings := make([]*xmltree.Node, n)
+	for seq := 0; seq < n; seq++ {
+		listings[seq] = s.listing(rng, seq)
+	}
+	return &core.Source{
+		Name:     s.Name,
+		Schema:   s.Schema,
+		Listings: listings,
+		Mapping:  s.Mapping,
+	}
+}
+
+func (s *SourceSpec) listing(rng *rand.Rand, seq int) *xmltree.Node {
+	ctx := &Ctx{Rng: rng, Style: s.Index, Seq: seq}
+	var fill func(n *srcNode) *xmltree.Node
+	fill = func(n *srcNode) *xmltree.Node {
+		node := &xmltree.Node{Tag: n.tag}
+		if len(n.children) == 0 {
+			if n.gen != nil {
+				node.Text = n.gen(ctx)
+				if s.boilerplate > 0 && rng.Float64() < s.boilerplate {
+					node.Text = furniture(s.Index, rng) + ": " + node.Text
+				}
+			}
+			return node
+		}
+		for _, c := range n.children {
+			if c.optional > 0 && rng.Float64() < c.optional {
+				continue
+			}
+			node.AddChild(fill(c))
+		}
+		return node
+	}
+	return fill(s.root)
+}
+
+// MatchablePercent returns the share of source tags with a non-OTHER
+// mapping, the rightmost column of Table 3.
+func (s *SourceSpec) MatchablePercent() float64 {
+	tags := s.Schema.Tags()
+	if len(tags) == 0 {
+		return 0
+	}
+	matchable := 0
+	for _, t := range tags {
+		if l, ok := s.Mapping[t]; ok && l != learn.Other {
+			matchable++
+		}
+	}
+	return 100 * float64(matchable) / float64(len(tags))
+}

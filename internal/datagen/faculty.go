@@ -1,0 +1,101 @@
+package datagen
+
+import "repro/internal/constraint"
+
+// FacultyListings builds the Faculty Listings domain of Table 3:
+// faculty profiles across CS departments. Mediated schema of 14 tags (4
+// non-leaf, depth 3); five sources of only 32-73 listings with 13-14
+// tags, 100% matchable. The small data volumes stress the learners'
+// sample efficiency.
+func FacultyListings() *Domain {
+	root := &Concept{
+		Label: "FACULTY",
+		Names: []string{"faculty-member", "professor", "person", "faculty", "profile"},
+		Children: []*Concept{
+			{
+				Label:   "NAME",
+				Names:   []string{"name", "full-name", "person-name", "faculty-name", "who"},
+				Flatten: 0.4,
+				Children: []*Concept{
+					{Label: "FIRST-NAME", Gen: GenFirstName,
+						Names: []string{"first-name", "first", "fname", "given-name", "forename"}},
+					{Label: "LAST-NAME", Gen: GenLastName,
+						Names: []string{"last-name", "last", "lname", "surname", "family-name"}},
+				},
+			},
+			{Label: "TITLE", Gen: GenRank,
+				Names: []string{"title", "rank", "position", "appointment", "role"}},
+			{
+				Label:    "DEGREE-INFO",
+				Names:    []string{"degree", "education", "phd-info", "doctorate", "background"},
+				Flatten:  0.4,
+				DropRate: 0.1,
+				Children: []*Concept{
+					{Label: "PHD-FROM", Gen: GenUniversity,
+						Names: []string{"phd-from", "alma-mater", "phd-university", "degree-from", "school"}},
+					{Label: "PHD-YEAR", Gen: GenYear, Optional: 0.2,
+						Names: []string{"phd-year", "year", "graduated", "degree-year", "class-of"}},
+				},
+			},
+			{
+				Label:   "CONTACT",
+				Names:   []string{"contact", "contact-info", "reach", "coordinates", "how-to-reach"},
+				Flatten: 0.4,
+				Children: []*Concept{
+					{Label: "EMAIL", Gen: GenEmail,
+						Names: []string{"email", "e-mail", "mail", "email-address", "electronic-mail"}},
+					{Label: "OFFICE", Gen: GenOfficeRoom,
+						Names: []string{"office", "room", "office-location", "office-room", "located-at"}},
+					{Label: "FACULTY-PHONE", Gen: GenPhone, Optional: 0.2,
+						Names: []string{"phone", "telephone", "office-phone", "extension", "tel"}},
+				},
+			},
+			{Label: "RESEARCH-INTERESTS", Gen: GenResearch,
+				Names: []string{"research", "interests", "research-areas", "works-on", "specialties"}},
+			{Label: "HOMEPAGE", Gen: GenURL, Optional: 0.2,
+				Names: []string{"homepage", "url", "web", "website", "home-page"}},
+		},
+	}
+
+	return &Domain{
+		Name:            "Faculty Listings",
+		Root:            root,
+		Extras:          nil, // 100% matchable
+		ExtrasPerSource: [NumSources]int{},
+		ListingsRange:   [2]int{32, 73},
+		BoilerplateRate: 0.6,
+		Constraints:     facultyConstraints,
+		Synonyms: map[string][]string{
+			"fname": {"first", "name"},
+			"lname": {"last", "name"},
+			"tel":   {"telephone", "phone"},
+			"url":   {"homepage", "web"},
+			"phd":   {"doctorate", "degree"},
+		},
+		Seed: 43,
+	}
+}
+
+func facultyConstraints() []constraint.Constraint {
+	labels := []string{
+		"NAME", "FIRST-NAME", "LAST-NAME", "TITLE", "DEGREE-INFO",
+		"PHD-FROM", "PHD-YEAR", "CONTACT", "EMAIL", "OFFICE",
+		"FACULTY-PHONE", "RESEARCH-INTERESTS", "HOMEPAGE",
+	}
+	var cs []constraint.Constraint
+	for _, l := range labels {
+		cs = append(cs, constraint.AtMostOne(l))
+	}
+	cs = append(cs,
+		constraint.NestedIn("NAME", "FIRST-NAME"),
+		constraint.NestedIn("NAME", "LAST-NAME"),
+		constraint.NestedIn("CONTACT", "EMAIL"),
+		constraint.NestedIn("DEGREE-INFO", "PHD-FROM"),
+		constraint.NotNestedIn("CONTACT", "RESEARCH-INTERESTS"),
+		constraint.NotNestedIn("NAME", "EMAIL"),
+		constraint.Contiguous("FIRST-NAME", "LAST-NAME"),
+		constraint.Near("FIRST-NAME", "LAST-NAME", 0.5),
+		constraint.Near("PHD-FROM", "PHD-YEAR", 0.5),
+	)
+	return cs
+}

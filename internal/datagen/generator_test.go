@@ -1,0 +1,215 @@
+package datagen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/learn"
+)
+
+func ctx(seed int64, style int) *Ctx {
+	return &Ctx{Rng: rand.New(rand.NewSource(seed)), Style: style}
+}
+
+func TestGenPriceStyles(t *testing.T) {
+	withDollar := GenPrice(ctx(1, 0))
+	if !strings.HasPrefix(withDollar, "$") {
+		t.Errorf("style 0 price = %q, want $ prefix", withDollar)
+	}
+	plain := GenPrice(ctx(1, 2))
+	if strings.ContainsAny(plain, "$,") {
+		t.Errorf("style 2 price = %q, want plain digits", plain)
+	}
+}
+
+func TestGenPhoneStyles(t *testing.T) {
+	paren := GenPhone(ctx(1, 0))
+	if !strings.HasPrefix(paren, "(") {
+		t.Errorf("style 0 phone = %q", paren)
+	}
+	dashed := GenPhone(ctx(1, 1))
+	if strings.Count(dashed, "-") != 2 {
+		t.Errorf("style 1 phone = %q", dashed)
+	}
+}
+
+func TestGenMLSIsSequential(t *testing.T) {
+	c := ctx(1, 0)
+	c.Seq = 5
+	a := GenMLS(c)
+	c.Seq = 6
+	b := GenMLS(c)
+	if a == b {
+		t.Errorf("GenMLS not unique per Seq: %q vs %q", a, b)
+	}
+}
+
+func TestGenDescriptionHasIndicativeWords(t *testing.T) {
+	// Over many samples, the paper's indicative adjectives must appear.
+	c := ctx(2, 0)
+	found := false
+	for i := 0; i < 50 && !found; i++ {
+		d := strings.ToLower(GenDescription(c))
+		if strings.Contains(d, "fantastic") || strings.Contains(d, "great") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("descriptions never mention fantastic/great")
+	}
+}
+
+func TestFurnitureIsSourceSpecific(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := furniture(0, rng)
+	if a == "" {
+		t.Fatal("empty furniture")
+	}
+	// The pools of different styles are disjoint.
+	pool0 := map[string]bool{}
+	for _, w := range furniturePools[0] {
+		pool0[w] = true
+	}
+	for _, w := range furniturePools[1] {
+		if pool0[w] {
+			t.Errorf("furniture pools 0 and 1 share %q", w)
+		}
+	}
+}
+
+func TestBoilerplateApplied(t *testing.T) {
+	d := RealEstateI()
+	spec := d.Sources()[0]
+	src := spec.Generate(80, 9)
+	// Find at least one leaf value carrying the furniture separator.
+	hits := 0
+	for _, l := range src.Listings {
+		for _, c := range l.Children {
+			if c.IsLeaf() && strings.Contains(c.Text, ": ") {
+				hits++
+			}
+		}
+	}
+	if hits == 0 {
+		t.Error("boilerplate never applied at rate 0.5 over 80 listings")
+	}
+}
+
+func TestArityConstraintsDerived(t *testing.T) {
+	d := RealEstateI()
+	cs := d.ArityConstraints()
+	if len(cs) != 20 {
+		t.Fatalf("arity constraints = %d, want 20 (one per concept)", len(cs))
+	}
+	leafCount, nonLeafCount := 0, 0
+	for _, c := range cs {
+		if strings.Contains(c.Name(), "atomic") {
+			leafCount++
+		} else {
+			nonLeafCount++
+		}
+	}
+	if nonLeafCount != 4 || leafCount != 16 {
+		t.Errorf("leaf/non-leaf = %d/%d, want 16/4", leafCount, nonLeafCount)
+	}
+}
+
+func TestMediatedIncludesArity(t *testing.T) {
+	d := FacultyListings()
+	med := d.Mediated()
+	explicit := len(facultyConstraints())
+	if len(med.Constraints) != explicit+14 {
+		t.Errorf("mediated constraints = %d, want %d explicit + 14 arity",
+			len(med.Constraints), explicit)
+	}
+}
+
+// TestExclusivityHoldsInTimeSchedule: no generated Time Schedule source
+// carries both course- and section-level credits (the SkipIfPresent
+// machinery backing the Table-1 exclusivity constraint).
+func TestExclusivityHoldsInTimeSchedule(t *testing.T) {
+	for _, spec := range TimeSchedule().Sources() {
+		hasCourse, hasSection := false, false
+		for _, label := range spec.Mapping {
+			if label == "COURSE-CREDIT" {
+				hasCourse = true
+			}
+			if label == "SECTION-CREDIT" {
+				hasSection = true
+			}
+		}
+		if hasCourse && hasSection {
+			t.Errorf("%s has both credit levels", spec.Name)
+		}
+	}
+}
+
+// TestCountySourcesRecognizable: COUNTY values come from the embedded
+// county database, so the recognizer can verify them.
+func TestCountyValuesFromDatabase(t *testing.T) {
+	spec := RealEstateI().Sources()[0]
+	var countyTag string
+	for tag, label := range spec.Mapping {
+		if label == "COUNTY" {
+			countyTag = tag
+		}
+	}
+	if countyTag == "" {
+		t.Skip("source 0 dropped COUNTY")
+	}
+	src := spec.Generate(30, 2)
+	seen := 0
+	for _, l := range src.Listings {
+		for _, n := range l.FindAll(countyTag) {
+			if n.Text != "" && !strings.Contains(n.Text, ": ") {
+				seen++
+			}
+		}
+	}
+	if seen == 0 {
+		t.Skip("all county values optional-dropped or boilerplated")
+	}
+}
+
+// TestNoEmptyInternalNodes: the pruning of childless internal concepts
+// holds for every domain and source.
+func TestNoEmptyInternalNodes(t *testing.T) {
+	for _, d := range Domains() {
+		labelsByConcept := map[string]bool{}
+		d.Root.walk(func(c *Concept) {
+			if !c.IsLeaf() {
+				labelsByConcept[c.Label] = true
+			}
+		})
+		for _, spec := range d.Sources() {
+			for tag, label := range spec.Mapping {
+				if label == learn.Other || !labelsByConcept[label] {
+					continue
+				}
+				if spec.Schema.IsLeaf(tag) {
+					t.Errorf("%s: compound concept %s mapped to leaf tag %q",
+						spec.Name, label, tag)
+				}
+			}
+		}
+	}
+}
+
+// TestConstraintObjectsWellFormed: every domain constraint can evaluate
+// an empty assignment without panicking and reports a name.
+func TestConstraintObjectsWellFormed(t *testing.T) {
+	for _, d := range Domains() {
+		med := d.Mediated()
+		csrc := &constraint.Source{Schema: d.Sources()[0].Schema, Tags: d.Sources()[0].Schema.Tags()}
+		for _, c := range med.Constraints {
+			if c.Name() == "" {
+				t.Errorf("%s: unnamed constraint", d.Name)
+			}
+			if v := c.Violations(csrc, constraint.Assignment{}, false); v != 0 {
+				t.Errorf("%s: %s violated by empty assignment: %g", d.Name, c.Name(), v)
+			}
+		}
+	}
+}

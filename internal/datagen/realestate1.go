@@ -1,0 +1,153 @@
+package datagen
+
+import (
+	"repro/internal/constraint"
+	"repro/internal/learners/recognizer"
+)
+
+// RealEstateI builds the Real Estate I domain of Table 3: a mediated
+// schema of 20 tags (4 non-leaf, depth 3) over house-for-sale listings,
+// five sources of 502-3002 listings with 19-21 tags each, 84-100%
+// matchable.
+func RealEstateI() *Domain {
+	root := &Concept{
+		Label: "HOUSE",
+		Names: []string{"house-listing", "listing", "home", "house", "property"},
+		Children: []*Concept{
+			{
+				Label:   "LOCATION",
+				Names:   []string{"geo", "where", "place-details", "loc", "position"},
+				Flatten: 0.4,
+				Children: []*Concept{
+					// Descriptive pool: name matcher does well here.
+					{Label: "ADDRESS", Gen: GenCityState,
+						Names: []string{"location", "house-addr", "area", "address", "city-state"}},
+					// The county recognizer's target.
+					{Label: "COUNTY", Gen: GenCounty(recognizer.USCounties()),
+						Names:    []string{"county", "county-name", "cnty", "region", "district"},
+						Optional: 0.2, DropRate: 0.2},
+					{Label: "ZIP", Gen: GenZip,
+						Names: []string{"zip", "zipcode", "postal-code", "zip-code", "postal"}},
+				},
+			},
+			// Strong shared-token name pool.
+			{Label: "PRICE", Gen: GenPrice,
+				Names: []string{"listed-price", "price", "asking-price", "cost", "list-price"}},
+			// Numeric twins: content learners confuse BEDS and BATHS; the
+			// contiguity and frequency constraints and names resolve them.
+			{Label: "BEDS", Gen: GenSmallInt(1, 6),
+				Names: []string{"num-bedrooms", "beds", "bedrooms", "br", "bed-count"}},
+			{Label: "BATHS", Gen: GenHalfSteps(1, 4),
+				Names: []string{"num-bathrooms", "baths", "bathrooms", "ba", "bath-count"}},
+			{Label: "SQFT", Gen: GenSqft,
+				Names: []string{"square-feet", "sqft", "size", "living-area", "floor-space"}},
+			// Vacuous/disjoint names: only content identifies these.
+			{Label: "DESCRIPTION", Gen: GenDescription,
+				Names: []string{"comments", "extra-info", "remarks", "notes", "detailed-desc"}},
+			// Unique per listing: the Key(MLS-ID) column constraint bites.
+			{Label: "MLS-ID", Gen: GenMLS,
+				Names: []string{"mls", "listing-id", "mls-number", "id", "ref-no"}},
+			{Label: "YEAR-BUILT", Gen: GenYear,
+				Names:    []string{"year-built", "built", "yr", "construction-year", "year"},
+				Optional: 0.1},
+			{Label: "HOUSE-STYLE", Gen: GenHouseStyle,
+				Names:    []string{"style", "house-style", "type", "home-type", "category"},
+				Optional: 0.1},
+			{Label: "LOT-SIZE", Gen: GenLotSize,
+				Names:    []string{"lot-size", "lot", "land", "acreage", "parcel-size"},
+				Optional: 0.2, DropRate: 0.2},
+			{
+				Label:   "AGENT-INFO",
+				Names:   []string{"contact", "agent", "contact-info", "listed-by", "realtor"},
+				Flatten: 0.3,
+				Children: []*Concept{
+					{Label: "AGENT-NAME", Gen: GenPersonName,
+						Names: []string{"name", "agent-name", "contact-name", "person", "rep-name"}},
+					// Same generator as OFFICE-PHONE: structure and
+					// proximity must disambiguate.
+					{Label: "AGENT-PHONE", Gen: GenPhone,
+						Names: []string{"phone", "contact-phone", "agent-phone", "work-phone", "tel"}},
+				},
+			},
+			{
+				Label:    "OFFICE-INFO",
+				Names:    []string{"office", "broker", "firm-info", "brokerage", "company"},
+				Flatten:  0.3,
+				DropRate: 0.2,
+				Children: []*Concept{
+					{Label: "OFFICE-NAME", Gen: GenFirm,
+						Names: []string{"firm", "office-name", "broker-name", "company-name", "agency"}},
+					{Label: "OFFICE-PHONE", Gen: GenPhone,
+						Names: []string{"office-phone", "main-phone", "broker-phone", "office-tel", "firm-phone"}},
+				},
+			},
+		},
+	}
+
+	return &Domain{
+		Name: "Real Estate I",
+		Root: root,
+		Extras: []ExtraTag{
+			{Names: []string{"ad-id", "posting-id", "entry", "record-no", "seq"},
+				Gen: GenSmallInt(1, 99999)},
+			{Names: []string{"date-posted", "posted", "updated", "as-of", "refresh-date"},
+				Gen: GenDate},
+			{Names: []string{"photo-count", "images", "pics", "num-photos", "media"},
+				Gen: GenSmallInt(0, 30)},
+			{Names: []string{"virtual-tour", "tour-link", "video", "walkthrough", "tour"},
+				Gen: GenURL},
+		},
+		// 84-100% matchable: up to 3 unmatchable extras on ~19 tags.
+		ExtrasPerSource: [NumSources]int{3, 0, 2, 1, 0},
+		ListingsRange:   [2]int{502, 3002},
+		BoilerplateRate: 0.5,
+		Constraints:     realEstateIConstraints,
+		Synonyms: map[string][]string{
+			"addr":  {"address"},
+			"loc":   {"location"},
+			"tel":   {"telephone", "phone"},
+			"desc":  {"description"},
+			"br":    {"bedrooms"},
+			"ba":    {"bathrooms"},
+			"yr":    {"year"},
+			"cnty":  {"county"},
+			"sqft":  {"square", "feet"},
+			"firm":  {"office", "company"},
+			"phone": {"telephone"},
+		},
+		Seed: 41,
+	}
+}
+
+func realEstateIConstraints() []constraint.Constraint {
+	labels := []string{
+		"LOCATION", "ADDRESS", "COUNTY", "ZIP", "PRICE", "BEDS", "BATHS",
+		"SQFT", "DESCRIPTION", "MLS-ID", "YEAR-BUILT", "HOUSE-STYLE",
+		"LOT-SIZE", "AGENT-INFO", "AGENT-NAME", "AGENT-PHONE",
+		"OFFICE-INFO", "OFFICE-NAME", "OFFICE-PHONE",
+	}
+	var cs []constraint.Constraint
+	// Frequency: every mediated concept occurs at most once per source.
+	for _, l := range labels {
+		cs = append(cs, constraint.AtMostOne(l))
+	}
+	cs = append(cs,
+		// Column constraints.
+		constraint.Key("MLS-ID"),
+		// Nesting.
+		constraint.NestedIn("AGENT-INFO", "AGENT-NAME"),
+		constraint.NestedIn("AGENT-INFO", "AGENT-PHONE"),
+		constraint.NestedIn("OFFICE-INFO", "OFFICE-NAME"),
+		constraint.NestedIn("OFFICE-INFO", "OFFICE-PHONE"),
+		constraint.NotNestedIn("AGENT-INFO", "PRICE"),
+		constraint.NotNestedIn("AGENT-INFO", "DESCRIPTION"),
+		constraint.NotNestedIn("OFFICE-INFO", "PRICE"),
+		constraint.NestedIn("LOCATION", "ZIP"),
+		// Contiguity: beds and baths are adjacent siblings everywhere.
+		constraint.Contiguous("BEDS", "BATHS"),
+		// Soft proximity preferences.
+		constraint.Near("AGENT-NAME", "AGENT-PHONE", 0.5),
+		constraint.Near("OFFICE-NAME", "OFFICE-PHONE", 0.5),
+	)
+	return cs
+}

@@ -1,0 +1,300 @@
+package datagen
+
+import (
+	"repro/internal/constraint"
+	"repro/internal/learners/recognizer"
+)
+
+// RealEstateII builds the Real Estate II domain of Table 3: the same
+// houses-for-sale service as Real Estate I but with a much larger
+// mediated schema — 66 tags, 13 non-leaf, depth 4 — and sources of
+// 33-48 tags (11-13 non-leaf), 100% matchable. The many structured
+// groups sharing vocabulary (agent vs. office contact blocks, room
+// dimension blocks) give the XML learner the most room of any domain,
+// matching the paper's observation that its gains are largest here.
+func RealEstateII() *Domain {
+	root := &Concept{
+		Label: "HOUSE",
+		Names: []string{"house-listing", "listing", "property", "home-for-sale", "re-entry"},
+		Children: []*Concept{
+			{
+				Label:   "LOCATION",
+				Names:   []string{"location", "where", "situated", "loc-info", "place"},
+				Flatten: 0.3,
+				Children: []*Concept{
+					{Label: "STREET-ADDRESS", Gen: GenStreetAddress,
+						Names: []string{"street", "address", "street-address", "addr", "house-addr"}},
+					{Label: "CITY", Gen: GenChoice(cities...),
+						Names: []string{"city", "town", "municipality", "city-name", "locale"}},
+					{Label: "STATE", Gen: GenChoice(states...),
+						Names: []string{"state", "st", "province", "state-code", "us-state"}},
+					{Label: "ZIP", Gen: GenZip,
+						Names: []string{"zip", "zipcode", "postal-code", "zip-code", "postal"}},
+					{Label: "COUNTY", Gen: GenCounty(recognizer.USCounties()), Optional: 0.1,
+						Names: []string{"county", "county-name", "cnty", "region", "parish"}},
+					{Label: "NEIGHBORHOOD", Gen: GenChoice(cities...), DropRate: 0.5,
+						Names: []string{"neighborhood", "subdivision", "community", "development", "district"}},
+				},
+			},
+			{
+				Label:    "SCHOOL-INFO",
+				Names:    []string{"schools", "school-info", "education", "school-data", "nearby-schools"},
+				Flatten:  0.3,
+				DropRate: 0.5,
+				Children: []*Concept{
+					{Label: "ELEMENTARY-SCHOOL", Gen: GenSchoolDistrict,
+						Names: []string{"elementary", "elem-school", "primary-school", "elementary-school", "grade-school"}},
+					{Label: "MIDDLE-SCHOOL", Gen: GenSchoolDistrict, Optional: 0.2, DropRate: 0.4,
+						Names: []string{"middle", "middle-school", "junior-high", "intermediate-school", "jr-high"}},
+					{Label: "HIGH-SCHOOL", Gen: GenSchoolDistrict, Optional: 0.2, DropRate: 0.3,
+						Names: []string{"high", "high-school", "secondary-school", "hs", "senior-high"}},
+					{Label: "SCHOOL-DISTRICT", Gen: GenSchoolDistrict, Optional: 0.2, DropRate: 0.3,
+						Names: []string{"school-district", "district-name", "sd", "schools-district", "school-system"}},
+				},
+			},
+			{
+				Label:   "FINANCIAL",
+				Names:   []string{"financial", "money", "pricing", "costs", "financial-info"},
+				Flatten: 0.4,
+				Children: []*Concept{
+					{Label: "PRICE", Gen: GenPrice,
+						Names: []string{"listed-price", "price", "asking-price", "cost", "list-price"}},
+					{Label: "TAX", Gen: GenTax, Optional: 0.2, DropRate: 0.3,
+						Names: []string{"taxes", "annual-tax", "property-tax", "tax", "yearly-taxes"}},
+					{Label: "HOA-FEE", Gen: GenHOA, DropRate: 0.5, Optional: 0.3,
+						Names: []string{"hoa", "hoa-dues", "association-fee", "monthly-dues", "hoa-fee"}},
+					{Label: "DATE-LISTED", Gen: GenDate, Optional: 0.1, DropRate: 0.4,
+						Names: []string{"date-listed", "on-market-since", "listed-on", "list-date", "since"}},
+					{Label: "FINANCING", Gen: GenChoice("conventional", "FHA", "VA", "cash", "owner"), DropRate: 0.6,
+						Names: []string{"financing", "terms", "loan-terms", "financing-options", "payment-terms"}},
+				},
+			},
+			{
+				Label:   "INTERIOR",
+				Names:   []string{"interior", "inside", "interior-features", "indoors", "interior-info"},
+				Flatten: 0.3,
+				Children: []*Concept{
+					{Label: "BEDS", Gen: GenSmallInt(1, 6),
+						Names: []string{"num-bedrooms", "beds", "bedrooms", "br", "bed-count"}},
+					{Label: "BATHS", Gen: GenHalfSteps(1, 4),
+						Names: []string{"num-bathrooms", "baths", "bathrooms", "ba", "bath-count"}},
+					{Label: "HALF-BATHS", Gen: GenSmallInt(0, 2), Optional: 0.3, DropRate: 0.5,
+						Names: []string{"half-baths", "powder-rooms", "half-bathrooms", "guest-baths", "extra-baths"}},
+					{Label: "SQFT", Gen: GenSqft,
+						Names: []string{"square-feet", "sqft", "size", "living-area", "floor-space"}},
+					{Label: "FLOORS", Gen: GenSmallInt(1, 3), Optional: 0.2, DropRate: 0.4,
+						Names: []string{"stories", "floors", "levels", "num-floors", "storeys"}},
+					{Label: "FIREPLACE", Gen: GenYesNo, Optional: 0.2, DropRate: 0.3,
+						Names: []string{"fireplace", "has-fireplace", "fireplaces", "fp", "hearth"}},
+					{Label: "BASEMENT", Gen: GenYesNo, Optional: 0.2, DropRate: 0.4,
+						Names: []string{"basement", "has-basement", "cellar", "lower-level", "bsmt"}},
+					{Label: "HEATING", Gen: GenChoice("gas", "electric", "oil", "heat pump", "radiant"), Optional: 0.2, DropRate: 0.3,
+						Names: []string{"heating", "heat", "heating-type", "heat-source", "furnace"}},
+					{Label: "COOLING", Gen: GenChoice("central", "none", "window units", "heat pump"), Optional: 0.2, DropRate: 0.4,
+						Names: []string{"cooling", "air-conditioning", "ac", "cooling-type", "aircon"}},
+					{Label: "FLOORING", Gen: GenChoice("hardwood", "carpet", "tile", "laminate", "vinyl"), Optional: 0.2, DropRate: 0.4,
+						Names: []string{"flooring", "floors-type", "floor-covering", "floor-material", "surfaces"}},
+				},
+			},
+			{
+				Label:   "EXTERIOR",
+				Names:   []string{"exterior", "outside", "exterior-features", "outdoors", "exterior-info"},
+				Flatten: 0.3,
+				Children: []*Concept{
+					{Label: "LOT-SIZE", Gen: GenLotSize,
+						Names: []string{"lot-size", "lot", "land", "acreage", "parcel-size"}},
+					{Label: "GARAGE", Gen: GenGarage, Optional: 0.2, DropRate: 0.3,
+						Names: []string{"garage", "parking", "garage-size", "car-spaces", "carport"}},
+					{Label: "ROOF", Gen: GenChoice("composition", "tile", "metal", "shake", "flat"), Optional: 0.2, DropRate: 0.4,
+						Names: []string{"roof", "roof-type", "roofing", "roof-material", "rooftype"}},
+					{Label: "SIDING", Gen: GenChoice("wood", "brick", "vinyl", "stucco", "cement"), Optional: 0.2, DropRate: 0.5,
+						Names: []string{"siding", "exterior-material", "cladding", "facade", "walls"}},
+					{Label: "POOL", Gen: GenYesNo, Optional: 0.2, DropRate: 0.5,
+						Names: []string{"pool", "has-pool", "swimming-pool", "pool-spa", "spa"}},
+					{Label: "WATERFRONT", Gen: GenYesNo, Optional: 0.2, DropRate: 0.4,
+						Names: []string{"waterfront", "water-front", "on-water", "waterfront-property", "water-access"}},
+					{Label: "VIEW", Gen: GenChoice("mountain", "water", "city", "territorial", "none"), Optional: 0.2, DropRate: 0.3,
+						Names: []string{"view", "view-type", "vista", "outlook", "scenery"}},
+					{Label: "FENCE", Gen: GenYesNo, Optional: 0.3, DropRate: 0.6,
+						Names: []string{"fence", "fenced", "fenced-yard", "fencing", "enclosure"}},
+				},
+			},
+			{
+				Label:   "LISTING-INFO",
+				Names:   []string{"listing-info", "record", "meta", "listing-details", "entry-info"},
+				Flatten: 0.4,
+				Children: []*Concept{
+					{Label: "MLS-ID", Gen: GenMLS,
+						Names: []string{"mls", "listing-id", "mls-number", "id", "ref-no"}},
+					{Label: "YEAR-BUILT", Gen: GenYear,
+						Names: []string{"year-built", "built", "yr", "construction-year", "year"}},
+					{Label: "HOUSE-STYLE", Gen: GenHouseStyle,
+						Names: []string{"style", "house-style", "type", "home-type", "category"}},
+					{Label: "STATUS", Gen: GenChoice("active", "pending", "contingent", "new", "reduced"), Optional: 0.1, DropRate: 0.3,
+						Names: []string{"status", "listing-status", "state-of-listing", "availability", "market-status"}},
+					{Label: "DESCRIPTION", Gen: GenDescription,
+						Names: []string{"comments", "extra-info", "remarks", "notes", "detailed-desc"}},
+				},
+			},
+			{
+				Label: "CONTACT-INFO",
+				Names: []string{"contact", "contacts", "contact-information", "who-to-call", "inquiries"},
+				Children: []*Concept{
+					{
+						Label:   "AGENT-INFO",
+						Names:   []string{"agent", "realtor", "listed-by", "agent-details", "salesperson"},
+						Flatten: 0.2,
+						Children: []*Concept{
+							{Label: "AGENT-NAME", Gen: GenPersonName,
+								Names: []string{"name", "agent-name", "contact-name", "realtor-name", "rep"}},
+							{Label: "AGENT-PHONE", Gen: GenPhone,
+								Names: []string{"phone", "contact-phone", "agent-phone", "work-phone", "tel"}},
+							{Label: "AGENT-EMAIL", Gen: GenEmail, Optional: 0.2, DropRate: 0.4,
+								Names: []string{"email", "agent-email", "e-mail", "mail", "contact-email"}},
+						},
+					},
+					{
+						Label:    "OFFICE-INFO",
+						Names:    []string{"office", "broker", "firm-info", "brokerage", "company"},
+						Flatten:  0.2,
+						DropRate: 0.2,
+						Children: []*Concept{
+							{Label: "OFFICE-NAME", Gen: GenFirm,
+								Names: []string{"firm", "office-name", "broker-name", "company-name", "agency"}},
+							{Label: "OFFICE-PHONE", Gen: GenPhone,
+								Names: []string{"office-phone", "main-phone", "broker-phone", "office-tel", "firm-phone"}},
+							{Label: "OFFICE-ADDRESS", Gen: GenStreetAddress, Optional: 0.2, DropRate: 0.4,
+								Names: []string{"office-address", "office-addr", "branch-address", "office-street", "located"}},
+						},
+					},
+				},
+			},
+			{
+				Label:    "OPEN-HOUSE",
+				Names:    []string{"open-house", "showing", "open-house-info", "viewing", "open"},
+				Flatten:  0.3,
+				DropRate: 0.5,
+				Children: []*Concept{
+					{Label: "OPEN-DATE", Gen: GenDate,
+						Names: []string{"open-date", "show-date", "date", "when", "oh-date"}},
+					{Label: "OPEN-TIME", Gen: GenTime,
+						Names: []string{"open-time", "show-time", "time", "hours", "oh-time"}},
+				},
+			},
+			{
+				Label:    "UTILITIES",
+				Names:    []string{"utilities", "services", "utility-info", "hookups", "connections"},
+				Flatten:  0.3,
+				DropRate: 0.6,
+				Children: []*Concept{
+					{Label: "WATER", Gen: GenChoice("public", "well", "community", "shared well"),
+						Names: []string{"water", "water-source", "water-supply", "water-service", "water-type"}},
+					{Label: "SEWER", Gen: GenChoice("public", "septic", "community"),
+						Names: []string{"sewer", "sewage", "septic-sewer", "waste", "sewer-type"}},
+					{Label: "ELECTRIC", Gen: GenChoice("PSE", "Seattle City Light", "PGE", "co-op"), Optional: 0.3,
+						Names: []string{"electric", "power", "electricity", "electric-utility", "power-company"}},
+				},
+			},
+			{
+				Label:    "ROOMS",
+				Names:    []string{"rooms", "room-info", "room-dimensions", "room-sizes", "layout"},
+				Flatten:  0.3,
+				DropRate: 0.5,
+				Children: []*Concept{
+					{Label: "LIVING-ROOM", Gen: GenRoomDim,
+						Names: []string{"living-room", "living", "lr", "livingroom", "family-room"}},
+					{Label: "DINING-ROOM", Gen: GenRoomDim, Optional: 0.2, DropRate: 0.3,
+						Names: []string{"dining-room", "dining", "dr", "diningroom", "eating-area"}},
+					{Label: "KITCHEN", Gen: GenRoomDim,
+						Names: []string{"kitchen", "kitchen-size", "kit", "kitchen-dim", "cook-area"}},
+					{Label: "MASTER-BEDROOM", Gen: GenRoomDim, Optional: 0.2, DropRate: 0.3,
+						Names: []string{"master-bedroom", "master", "mbr", "main-bedroom", "primary-bedroom"}},
+				},
+			},
+		},
+	}
+
+	return &Domain{
+		Name:            "Real Estate II",
+		Root:            root,
+		Extras:          nil, // 100% matchable per Table 3
+		ExtrasPerSource: [NumSources]int{},
+		ListingsRange:   [2]int{502, 3002},
+		BoilerplateRate: 0.45,
+		Constraints:     realEstateIIConstraints,
+		Synonyms: map[string][]string{
+			"addr": {"address"}, "loc": {"location"}, "tel": {"telephone", "phone"},
+			"desc": {"description"}, "br": {"bedrooms"}, "ba": {"bathrooms"},
+			"yr": {"year"}, "cnty": {"county"}, "sqft": {"square", "feet"},
+			"firm": {"office", "company"}, "hs": {"high", "school"},
+			"sd": {"school", "district"}, "ac": {"air", "conditioning"},
+			"lr": {"living", "room"}, "dr": {"dining", "room"},
+			"mbr": {"master", "bedroom"}, "fp": {"fireplace"},
+			"hoa": {"association"}, "st": {"state"},
+		},
+		Seed: 44,
+	}
+}
+
+// GenRoomDim generates room dimensions like "12x14".
+func GenRoomDim(c *Ctx) string {
+	a, b := 8+c.Rng.Intn(14), 8+c.Rng.Intn(14)
+	if c.Style%2 == 0 {
+		return itoa(a) + "x" + itoa(b)
+	}
+	return itoa(a) + " x " + itoa(b)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var digits []byte
+	for v > 0 {
+		digits = append([]byte{byte('0' + v%10)}, digits...)
+		v /= 10
+	}
+	return string(digits)
+}
+
+func realEstateIIConstraints() []constraint.Constraint {
+	labels := []string{
+		"LOCATION", "STREET-ADDRESS", "CITY", "STATE", "ZIP", "COUNTY",
+		"NEIGHBORHOOD", "SCHOOL-INFO", "ELEMENTARY-SCHOOL", "MIDDLE-SCHOOL",
+		"HIGH-SCHOOL", "SCHOOL-DISTRICT", "FINANCIAL", "PRICE", "TAX",
+		"HOA-FEE", "DATE-LISTED", "FINANCING", "INTERIOR", "BEDS", "BATHS",
+		"HALF-BATHS", "SQFT", "FLOORS", "FIREPLACE", "BASEMENT", "HEATING",
+		"COOLING", "FLOORING", "EXTERIOR", "LOT-SIZE", "GARAGE", "ROOF",
+		"SIDING", "POOL", "WATERFRONT", "VIEW", "FENCE", "LISTING-INFO",
+		"MLS-ID", "YEAR-BUILT", "HOUSE-STYLE", "STATUS", "DESCRIPTION",
+		"CONTACT-INFO", "AGENT-INFO", "AGENT-NAME", "AGENT-PHONE",
+		"AGENT-EMAIL", "OFFICE-INFO", "OFFICE-NAME", "OFFICE-PHONE",
+		"OFFICE-ADDRESS", "OPEN-HOUSE", "OPEN-DATE", "OPEN-TIME",
+		"UTILITIES", "WATER", "SEWER", "ELECTRIC", "ROOMS", "LIVING-ROOM",
+		"DINING-ROOM", "KITCHEN", "MASTER-BEDROOM",
+	}
+	var cs []constraint.Constraint
+	for _, l := range labels {
+		cs = append(cs, constraint.AtMostOne(l))
+	}
+	cs = append(cs,
+		constraint.Key("MLS-ID"),
+		constraint.NestedIn("AGENT-INFO", "AGENT-NAME"),
+		constraint.NestedIn("AGENT-INFO", "AGENT-PHONE"),
+		constraint.NestedIn("OFFICE-INFO", "OFFICE-NAME"),
+		constraint.NestedIn("OFFICE-INFO", "OFFICE-PHONE"),
+		constraint.NestedIn("CONTACT-INFO", "AGENT-INFO"),
+		constraint.NestedIn("CONTACT-INFO", "OFFICE-INFO"),
+		constraint.NotNestedIn("AGENT-INFO", "PRICE"),
+		constraint.NotNestedIn("CONTACT-INFO", "DESCRIPTION"),
+		constraint.NotNestedIn("UTILITIES", "PRICE"),
+		constraint.NotNestedIn("ROOMS", "AGENT-NAME"),
+		constraint.Contiguous("BEDS", "BATHS"),
+		constraint.Contiguous("OPEN-DATE", "OPEN-TIME"),
+		constraint.Near("AGENT-NAME", "AGENT-PHONE", 0.5),
+		constraint.Near("OFFICE-NAME", "OFFICE-PHONE", 0.5),
+		constraint.Near("CITY", "STATE", 0.5),
+		constraint.Near("BEDS", "BATHS", 0.25),
+	)
+	return cs
+}

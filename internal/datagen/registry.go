@@ -1,0 +1,22 @@
+package datagen
+
+// Domains returns the four evaluation domains of Table 3 in paper
+// order.
+func Domains() []*Domain {
+	return []*Domain{
+		RealEstateI(),
+		TimeSchedule(),
+		FacultyListings(),
+		RealEstateII(),
+	}
+}
+
+// ByName returns the domain with the given Table-3 name, or nil.
+func ByName(name string) *Domain {
+	for _, d := range Domains() {
+		if d.Name == name {
+			return d
+		}
+	}
+	return nil
+}

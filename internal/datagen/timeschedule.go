@@ -1,0 +1,164 @@
+package datagen
+
+import "repro/internal/constraint"
+
+// TimeSchedule builds the Time Schedule domain of Table 3: course
+// offerings across universities. Mediated schema of 23 tags (6
+// non-leaf, depth 4); five sources of 704-3925 listings with 15-19
+// tags, 95-100% matchable.
+func TimeSchedule() *Domain {
+	root := &Concept{
+		Label: "COURSE",
+		Names: []string{"course", "offering", "class", "course-entry", "listing"},
+		Children: []*Concept{
+			// The §7 format-learner case: short alphanumeric codes.
+			{Label: "COURSE-CODE", Gen: GenCourseCode,
+				Names: []string{"course-code", "code", "course-no", "number", "course-id"}},
+			{Label: "COURSE-TITLE", Gen: GenCourseTitle,
+				Names: []string{"title", "course-title", "name", "course-name", "subject"}},
+			// COURSE-CREDIT vs SECTION-CREDIT: the exclusivity example of
+			// Table 1 — a source lists credits at one level, never both.
+			{Label: "COURSE-CREDIT", Gen: GenCredits, DropRate: 0.4,
+				Names: []string{"credits", "credit", "units", "credit-hours", "hrs"}},
+			{Label: "DEPARTMENT", Gen: GenChoice(departments...),
+				Names:    []string{"department", "dept", "division", "school", "program"},
+				Optional: 0.1},
+			{
+				Label:   "SECTION",
+				Names:   []string{"section", "sect", "session", "offering-section", "sec"},
+				Flatten: 0.3,
+				Children: []*Concept{
+					{Label: "SECTION-ID", Gen: GenSection,
+						Names: []string{"section-id", "sln", "sec-no", "section-code", "letter"}},
+					{Label: "SECTION-CREDIT", Gen: GenCredits, SkipIfPresent: "COURSE-CREDIT",
+						Names: []string{"sec-credits", "section-credit", "credit-per-section", "sec-units", "sec-hrs"}},
+					{Label: "ENROLLMENT", Gen: GenEnrollment,
+						Names:    []string{"enrollment", "enrolled", "class-size", "seats", "capacity"},
+						Optional: 0.1},
+					{
+						Label:   "MEETING",
+						Names:   []string{"meeting", "schedule", "when", "meets", "meeting-time"},
+						Flatten: 0.4,
+						Children: []*Concept{
+							{Label: "DAYS", Gen: GenDays,
+								Names: []string{"days", "meeting-days", "day", "on-days", "weekdays"}},
+							// START-TIME and END-TIME share a generator:
+							// only names and order separate them.
+							{Label: "START-TIME", Gen: GenTime,
+								Names: []string{"start-time", "start", "from", "begin", "time-start"}},
+							{Label: "END-TIME", Gen: GenTime,
+								Names: []string{"end-time", "end", "to", "until", "time-end"}},
+						},
+					},
+					{
+						Label:    "PLACE",
+						Names:    []string{"place", "location", "where", "room-info", "venue"},
+						Flatten:  0.4,
+						DropRate: 0.1,
+						Children: []*Concept{
+							{Label: "BUILDING", Gen: GenChoice("MGH", "EE1", "SAV", "KNE", "GWN", "LOW", "SMI", "THO"),
+								Names: []string{"building", "bldg", "hall", "building-code", "bld"}},
+							{Label: "ROOM-NUM", Gen: GenSmallInt(100, 499),
+								Names: []string{"room", "room-no", "room-number", "rm", "room-num"}},
+						},
+					},
+					{
+						Label:    "INSTRUCTOR",
+						Names:    []string{"instructor", "teacher", "taught-by", "faculty", "prof"},
+						Flatten:  0.3,
+						DropRate: 0.1,
+						Children: []*Concept{
+							{Label: "INSTRUCTOR-NAME", Gen: GenPersonName,
+								Names: []string{"instructor-name", "prof-name", "teacher-name", "lecturer", "staff-name"}},
+							{Label: "INSTRUCTOR-EMAIL", Gen: GenEmail, Optional: 0.2,
+								Names: []string{"email", "e-mail", "instructor-email", "mail", "contact-email"}},
+						},
+					},
+				},
+			},
+			{
+				Label:    "TEXTBOOK",
+				Names:    []string{"textbook", "book", "text", "required-text", "materials"},
+				Flatten:  0.3,
+				DropRate: 0.3,
+				Children: []*Concept{
+					{Label: "BOOK-TITLE", Gen: GenCourseTitle,
+						Names: []string{"book-title", "text-title", "title-of-book", "book-name", "text-name"}},
+					{Label: "BOOK-AUTHOR", Gen: GenPersonName,
+						Names: []string{"author", "book-author", "by", "written-by", "authors"}},
+				},
+			},
+			{Label: "COURSE-DESCRIPTION", Gen: GenCourseDescription, Optional: 0.1,
+				Names: []string{"description", "about", "overview", "course-desc", "summary"}},
+		},
+	}
+
+	return &Domain{
+		Name: "Time Schedule",
+		Root: root,
+		Extras: []ExtraTag{
+			{Names: []string{"quarter", "term", "semester", "session-term", "period"},
+				Gen: GenChoice("Autumn", "Winter", "Spring", "Summer")},
+			{Names: []string{"fee", "course-fee", "lab-fee", "surcharge", "extra-fee"},
+				Gen: GenTax},
+		},
+		// 95-100% matchable on 15-19 source tags: at most one extra.
+		ExtrasPerSource: [NumSources]int{1, 0, 0, 1, 0},
+		ListingsRange:   [2]int{704, 3925},
+		BoilerplateRate: 0.5,
+		Constraints:     timeScheduleConstraints,
+		Synonyms: map[string][]string{
+			"dept":   {"department"},
+			"sec":    {"section"},
+			"rm":     {"room"},
+			"bldg":   {"building"},
+			"hrs":    {"hours", "credits"},
+			"prof":   {"professor", "instructor"},
+			"sln":    {"section"},
+			"prereq": {"prerequisite"},
+		},
+		Seed: 42,
+	}
+}
+
+// GenCourseDescription generates course-catalog prose.
+func GenCourseDescription(c *Ctx) string {
+	return "Covers " + GenResearch(c) + ". " +
+		pick(c.Rng, []string{
+			"Weekly programming assignments.", "Midterm and final exam.",
+			"Term project required.", "Intended for majors.",
+			"No prior experience required.", "Laboratory included.",
+		})
+}
+
+func timeScheduleConstraints() []constraint.Constraint {
+	labels := []string{
+		"COURSE-CODE", "COURSE-TITLE", "COURSE-CREDIT", "DEPARTMENT",
+		"SECTION", "SECTION-ID", "SECTION-CREDIT", "ENROLLMENT",
+		"MEETING", "DAYS", "START-TIME", "END-TIME", "PLACE", "BUILDING",
+		"ROOM-NUM", "INSTRUCTOR", "INSTRUCTOR-NAME", "INSTRUCTOR-EMAIL",
+		"TEXTBOOK", "BOOK-TITLE", "BOOK-AUTHOR", "COURSE-DESCRIPTION",
+	}
+	var cs []constraint.Constraint
+	for _, l := range labels {
+		cs = append(cs, constraint.AtMostOne(l))
+	}
+	cs = append(cs,
+		// The Table-1 exclusivity example, verbatim.
+		constraint.Exclusive("COURSE-CREDIT", "SECTION-CREDIT"),
+		// Nesting.
+		constraint.NestedIn("SECTION", "SECTION-ID"),
+		constraint.NestedIn("MEETING", "DAYS"),
+		constraint.NestedIn("INSTRUCTOR", "INSTRUCTOR-NAME"),
+		constraint.NotNestedIn("INSTRUCTOR", "COURSE-CODE"),
+		constraint.NotNestedIn("TEXTBOOK", "COURSE-CODE"),
+		constraint.NotNestedIn("MEETING", "INSTRUCTOR-NAME"),
+		// Contiguity: start and end time are adjacent siblings.
+		constraint.Contiguous("START-TIME", "END-TIME"),
+		// Soft preferences.
+		constraint.Near("START-TIME", "END-TIME", 0.5),
+		constraint.Near("BUILDING", "ROOM-NUM", 0.5),
+		constraint.Near("COURSE-CODE", "COURSE-TITLE", 0.25),
+	)
+	return cs
+}

@@ -1,0 +1,377 @@
+// Package datagen synthesizes the four evaluation domains of §6
+// (Table 3): Real Estate I, Time Schedule, Faculty Listings, and Real
+// Estate II. The paper downloaded listings from five WWW sources per
+// domain; this package generates equivalent sources — per-source DTDs
+// with independently drawn tag vocabularies and structure, plus listing
+// generators — reproducing the signal/noise axes the learners exploit:
+// descriptive vs. vacuous tag names, indicative word frequencies,
+// numeric vs. textual fields, shared vocabulary across nested classes,
+// and constraint-resolvable ambiguities.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Ctx carries the state a value generator may use: the deterministic
+// RNG, the source's formatting style, and the listing sequence number
+// (for key-like unique values).
+type Ctx struct {
+	Rng   *rand.Rand
+	Style int
+	Seq   int
+}
+
+// ValueGen produces one leaf value.
+type ValueGen func(c *Ctx) string
+
+func pick(rng *rand.Rand, xs []string) string { return xs[rng.Intn(len(xs))] }
+
+var (
+	cities = []string{
+		"Seattle", "Portland", "Miami", "Boston", "Austin", "Denver",
+		"Chicago", "Atlanta", "Phoenix", "Tacoma", "Bellevue", "Spokane",
+		"Olympia", "Eugene", "Oakland", "Tucson", "Orlando", "Kent",
+		"Everett", "Renton", "Redmond", "Kirkland", "Burien", "Shoreline",
+	}
+	states = []string{"WA", "OR", "FL", "MA", "TX", "CO", "IL", "GA", "AZ", "CA"}
+
+	streets = []string{
+		"Main St", "Oak Ave", "Pine St", "Maple Dr", "Cedar Ln",
+		"Lake View Rd", "Sunset Blvd", "Hill Crest Way", "River Rd",
+		"Park Ave", "Union St", "Madison Ave", "Queen Anne Ave",
+		"Greenwood Ave", "Rainier Ave",
+	}
+
+	firstNames = []string{
+		"Kate", "Mike", "Jane", "Matt", "Gail", "Ken", "Laura", "Steve",
+		"Anna", "Paul", "Emma", "John", "Sara", "David", "Nancy", "Brian",
+		"Carol", "Peter", "Linda", "James",
+	}
+	lastNames = []string{
+		"Richardson", "Smith", "Kendall", "Murphy", "Adams", "Nguyen",
+		"Brown", "Wilson", "Garcia", "Lee", "Clark", "Walker", "Hall",
+		"Young", "King", "Lopez", "Scott", "Reed", "Baker", "Cole",
+	}
+
+	firms = []string{
+		"MAX Realtors", "ACME Homes", "Best Realty", "Star Estates",
+		"Blue Sky Realty", "Evergreen Properties", "Pacific Crest Homes",
+		"Golden Gate Realty", "Summit Brokers", "Harbor View Realty",
+	}
+
+	// descWords carry the indicative tokens of house descriptions —
+	// the paper's "fantastic" and "great" example.
+	descAdjectives = []string{
+		"fantastic", "great", "beautiful", "spacious", "charming",
+		"stunning", "cozy", "lovely", "wonderful", "gorgeous", "bright",
+		"quiet", "remodeled", "updated", "immaculate",
+	}
+	descNouns = []string{
+		"house", "location", "yard", "view", "neighborhood", "kitchen",
+		"garden", "deck", "garage", "basement", "fireplace", "beach",
+		"park", "school district", "backyard",
+	}
+	descPhrases = []string{
+		"close to downtown", "near the river", "walking distance to shops",
+		"move-in ready", "a must see", "name your price",
+		"freshly painted", "new roof", "open floor plan",
+		"minutes from the freeway", "quiet street", "corner lot",
+	}
+
+	houseStyles = []string{
+		"Victorian", "Colonial", "Craftsman", "Ranch", "Tudor",
+		"Contemporary", "Cape Cod", "Bungalow", "Split Level", "Townhouse",
+	}
+
+	departments = []string{
+		"CSE", "MATH", "PHYS", "CHEM", "BIO", "HIST", "ECON", "PSYCH",
+		"ENGL", "PHIL", "STAT", "LING", "GEOG", "ART", "MUS",
+	}
+	courseTitleHeads = []string{
+		"Introduction to", "Advanced", "Topics in", "Foundations of",
+		"Principles of", "Seminar in", "Readings in", "Applied",
+	}
+	courseTitleTails = []string{
+		"Computer Science", "Data Structures", "Algorithms", "Databases",
+		"Calculus", "Linear Algebra", "Mechanics", "Organic Chemistry",
+		"Genetics", "World History", "Microeconomics", "Cognition",
+		"American Literature", "Ethics", "Statistics", "Syntax",
+	}
+	weekdays = []string{"MWF", "TTh", "MW", "WF", "M", "T", "W", "Th", "F", "Daily"}
+
+	researchAreas = []string{
+		"machine learning", "databases", "computer networks",
+		"operating systems", "computational biology", "graphics",
+		"human computer interaction", "programming languages",
+		"theory of computation", "computer architecture", "robotics",
+		"natural language processing", "data mining", "security",
+	}
+	universities = []string{
+		"University of Washington", "Stanford University", "MIT",
+		"Carnegie Mellon University", "UC Berkeley", "Cornell University",
+		"Princeton University", "University of Michigan",
+		"University of Texas", "Georgia Tech",
+	}
+	ranks = []string{
+		"Professor", "Associate Professor", "Assistant Professor",
+		"Lecturer", "Research Professor", "Professor Emeritus",
+	}
+)
+
+// GenCityState generates "City, ST" addresses.
+func GenCityState(c *Ctx) string {
+	return pick(c.Rng, cities) + ", " + pick(c.Rng, states)
+}
+
+// GenStreetAddress generates street addresses.
+func GenStreetAddress(c *Ctx) string {
+	return fmt.Sprintf("%d %s", 100+c.Rng.Intn(9900), pick(c.Rng, streets))
+}
+
+// GenPrice generates listing prices; styles vary the formatting the
+// way different WWW sources did.
+func GenPrice(c *Ctx) string {
+	v := (80 + c.Rng.Intn(900)) * 1000
+	switch c.Style % 3 {
+	case 0:
+		return fmt.Sprintf("$%s", withCommas(v))
+	case 1:
+		return fmt.Sprintf("$ %s", withCommas(v))
+	default:
+		return fmt.Sprintf("%d", v)
+	}
+}
+
+func withCommas(v int) string {
+	s := fmt.Sprintf("%d", v)
+	var out []string
+	for len(s) > 3 {
+		out = append([]string{s[len(s)-3:]}, out...)
+		s = s[:len(s)-3]
+	}
+	out = append([]string{s}, out...)
+	return strings.Join(out, ",")
+}
+
+// GenPhone generates US phone numbers in per-source styles.
+func GenPhone(c *Ctx) string {
+	a, b, d := 200+c.Rng.Intn(700), 200+c.Rng.Intn(700), c.Rng.Intn(10000)
+	switch c.Style % 3 {
+	case 0:
+		return fmt.Sprintf("(%03d) %03d %04d", a, b, d)
+	case 1:
+		return fmt.Sprintf("%03d-%03d-%04d", a, b, d)
+	default:
+		return fmt.Sprintf("%03d.%03d.%04d", a, b, d)
+	}
+}
+
+// GenPersonName generates "First Last" names.
+func GenPersonName(c *Ctx) string {
+	return pick(c.Rng, firstNames) + " " + pick(c.Rng, lastNames)
+}
+
+// GenFirstName and GenLastName generate name parts.
+func GenFirstName(c *Ctx) string { return pick(c.Rng, firstNames) }
+
+// GenLastName generates last names.
+func GenLastName(c *Ctx) string { return pick(c.Rng, lastNames) }
+
+// GenFirm generates real-estate firm names.
+func GenFirm(c *Ctx) string { return pick(c.Rng, firms) }
+
+// GenDescription generates free-text house descriptions rich in the
+// indicative adjectives the Naive Bayes learner keys on.
+func GenDescription(c *Ctx) string {
+	var parts []string
+	n := 2 + c.Rng.Intn(3)
+	for i := 0; i < n; i++ {
+		parts = append(parts,
+			strings.Title(pick(c.Rng, descAdjectives))+" "+pick(c.Rng, descNouns))
+	}
+	parts = append(parts, pick(c.Rng, descPhrases))
+	if c.Rng.Intn(3) == 0 {
+		parts = append(parts, "contact "+GenPersonName(c)+" at "+GenFirm(c))
+	}
+	return strings.Join(parts, ". ") + "."
+}
+
+// GenComment generates shorter remark-style text sharing the
+// description vocabulary.
+func GenComment(c *Ctx) string {
+	return strings.Title(pick(c.Rng, descAdjectives)) + " " + pick(c.Rng, descNouns)
+}
+
+// GenSmallInt generates counts in [lo, hi].
+func GenSmallInt(lo, hi int) ValueGen {
+	return func(c *Ctx) string {
+		return fmt.Sprintf("%d", lo+c.Rng.Intn(hi-lo+1))
+	}
+}
+
+// GenHalfSteps generates values like 1.5, 2, 2.5 in [lo, hi].
+func GenHalfSteps(lo, hi int) ValueGen {
+	return func(c *Ctx) string {
+		v := float64(lo) + 0.5*float64(c.Rng.Intn(2*(hi-lo)+1))
+		if v == float64(int(v)) {
+			return fmt.Sprintf("%d", int(v))
+		}
+		return fmt.Sprintf("%.1f", v)
+	}
+}
+
+// GenSqft generates house sizes; the thousands-scale values the paper
+// notes let a learner separate sizes from counts.
+func GenSqft(c *Ctx) string {
+	v := 600 + 50*c.Rng.Intn(90)
+	if c.Style%2 == 0 {
+		return fmt.Sprintf("%d", v)
+	}
+	return fmt.Sprintf("%d sqft", v)
+}
+
+// GenYear generates construction years.
+func GenYear(c *Ctx) string { return fmt.Sprintf("%d", 1900+c.Rng.Intn(101)) }
+
+// GenYesNo generates boolean flags.
+func GenYesNo(c *Ctx) string {
+	if c.Rng.Intn(2) == 0 {
+		return "yes"
+	}
+	return "no"
+}
+
+// GenChoice generates a uniform choice from options.
+func GenChoice(options ...string) ValueGen {
+	return func(c *Ctx) string { return pick(c.Rng, options) }
+}
+
+// GenHouseStyle generates architectural styles.
+func GenHouseStyle(c *Ctx) string { return pick(c.Rng, houseStyles) }
+
+// GenCounty samples county names; the county-name recognizer verifies
+// these against its embedded database.
+func GenCounty(counties []string) ValueGen {
+	return func(c *Ctx) string { return pick(c.Rng, counties) }
+}
+
+// GenZip generates 5-digit zip codes.
+func GenZip(c *Ctx) string { return fmt.Sprintf("%05d", 10000+c.Rng.Intn(89999)) }
+
+// GenMLS generates unique listing identifiers (a key column).
+func GenMLS(c *Ctx) string { return fmt.Sprintf("MLS%06d", 100000+c.Seq) }
+
+// GenCourseCode generates course codes (the §7 format-learner case).
+func GenCourseCode(c *Ctx) string {
+	return fmt.Sprintf("%s%d", pick(c.Rng, departments), 100+c.Rng.Intn(500))
+}
+
+// GenSection generates section identifiers.
+func GenSection(c *Ctx) string { return fmt.Sprintf("%c", 'A'+rune(c.Rng.Intn(6))) }
+
+// GenCourseTitle generates course titles.
+func GenCourseTitle(c *Ctx) string {
+	return pick(c.Rng, courseTitleHeads) + " " + pick(c.Rng, courseTitleTails)
+}
+
+// GenCredits generates credit counts.
+func GenCredits(c *Ctx) string { return fmt.Sprintf("%d", 1+c.Rng.Intn(5)) }
+
+// GenTime generates meeting times.
+func GenTime(c *Ctx) string {
+	h := 8 + c.Rng.Intn(10)
+	m := []string{"00", "30"}[c.Rng.Intn(2)]
+	switch c.Style % 2 {
+	case 0:
+		return fmt.Sprintf("%d:%s", h, m)
+	default:
+		suffix := "AM"
+		hh := h
+		if h >= 12 {
+			suffix = "PM"
+			if h > 12 {
+				hh = h - 12
+			}
+		}
+		return fmt.Sprintf("%d:%s %s", hh, m, suffix)
+	}
+}
+
+// GenDays generates meeting-day patterns.
+func GenDays(c *Ctx) string { return pick(c.Rng, weekdays) }
+
+// GenRoom generates building/room designators.
+func GenRoom(c *Ctx) string {
+	return fmt.Sprintf("%s %d", pick(c.Rng, []string{"MGH", "EE1", "SAV", "KNE", "GWN", "LOW", "SMI", "THO"}), 100+c.Rng.Intn(400))
+}
+
+// GenEnrollment generates enrollment counts.
+func GenEnrollment(c *Ctx) string { return fmt.Sprintf("%d", 5+c.Rng.Intn(295)) }
+
+// GenEmail generates e-mail addresses.
+func GenEmail(c *Ctx) string {
+	return strings.ToLower(pick(c.Rng, firstNames)) + "@" +
+		pick(c.Rng, []string{"cs.washington.edu", "cs.stanford.edu", "mit.edu", "cmu.edu", "berkeley.edu"})
+}
+
+// GenURL generates homepage URLs.
+func GenURL(c *Ctx) string {
+	return "http://www." + pick(c.Rng, []string{"cs", "ee", "math"}) + ".example.edu/~" +
+		strings.ToLower(pick(c.Rng, lastNames))
+}
+
+// GenResearch generates research-interest blurbs for faculty profiles.
+func GenResearch(c *Ctx) string {
+	n := 2 + c.Rng.Intn(2)
+	var parts []string
+	for i := 0; i < n; i++ {
+		parts = append(parts, pick(c.Rng, researchAreas))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// GenUniversity generates PhD-granting institutions.
+func GenUniversity(c *Ctx) string { return pick(c.Rng, universities) }
+
+// GenRank generates academic ranks.
+func GenRank(c *Ctx) string { return pick(c.Rng, ranks) }
+
+// GenOfficeRoom generates faculty office designators.
+func GenOfficeRoom(c *Ctx) string {
+	return fmt.Sprintf("CSE %d", 100+c.Rng.Intn(500))
+}
+
+// GenBio generates faculty biography text.
+func GenBio(c *Ctx) string {
+	return fmt.Sprintf("%s received the PhD from %s and works on %s.",
+		GenPersonName(c), GenUniversity(c), GenResearch(c))
+}
+
+// GenLotSize generates lot sizes in acres.
+func GenLotSize(c *Ctx) string {
+	return fmt.Sprintf("%.2f acres", 0.05+c.Rng.Float64()*2)
+}
+
+// GenGarage generates garage descriptions.
+func GenGarage(c *Ctx) string {
+	return pick(c.Rng, []string{"1 car", "2 car", "3 car", "carport", "none"})
+}
+
+// GenSchoolDistrict generates school-district names.
+func GenSchoolDistrict(c *Ctx) string {
+	return pick(c.Rng, cities) + " School District"
+}
+
+// GenHOA generates homeowner-association dues.
+func GenHOA(c *Ctx) string { return fmt.Sprintf("$%d/mo", 50+10*c.Rng.Intn(40)) }
+
+// GenTax generates annual property taxes.
+func GenTax(c *Ctx) string { return fmt.Sprintf("$%d", 1000+c.Rng.Intn(9000)) }
+
+// GenDate generates listing dates.
+func GenDate(c *Ctx) string {
+	return fmt.Sprintf("%02d/%02d/%d", 1+c.Rng.Intn(12), 1+c.Rng.Intn(28), 1998+c.Rng.Intn(3))
+}

@@ -1,0 +1,39 @@
+package dtd
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that the DTD parser never panics and that anything
+// it accepts can be rendered and re-parsed to the same tag set.
+func FuzzParse(f *testing.F) {
+	f.Add("<!ELEMENT a (#PCDATA)>")
+	f.Add(paperDTD)
+	f.Add("<!ELEMENT a (b?, (c | d)+)>\n<!ELEMENT b (#PCDATA)>\n<!ELEMENT c (#PCDATA)>\n<!ELEMENT d (#PCDATA)>")
+	f.Add("<!ELEMENT a EMPTY><!ATTLIST a x CDATA #IMPLIED>")
+	f.Add("<!-- comment --><!ELEMENT a ANY>")
+	f.Add("<!ELEMENT a (#PCDATA | b)*><!ELEMENT b (#PCDATA)>")
+	f.Add("<!ELEMENT")
+	f.Add(strings.Repeat("(", 100))
+
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := Parse(input)
+		if err != nil {
+			return
+		}
+		again, err := Parse(s.String())
+		if err != nil {
+			t.Fatalf("accepted DTD failed to re-parse: %v\n%s", err, s)
+		}
+		a, b := s.Tags(), again.Tags()
+		if len(a) != len(b) {
+			t.Fatalf("round trip changed tag count: %v vs %v", a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("round trip changed tags: %v vs %v", a, b)
+			}
+		}
+	})
+}

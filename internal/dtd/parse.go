@@ -1,0 +1,345 @@
+package dtd
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse parses DTD text consisting of <!ELEMENT ...> and <!ATTLIST ...>
+// declarations and XML comments, and returns the resulting Schema.
+func Parse(input string) (*Schema, error) {
+	p := &parser{src: input}
+	s := NewSchema()
+	attlists := make(map[string][]string)
+	for {
+		p.skipSpaceAndComments()
+		if p.eof() {
+			break
+		}
+		switch {
+		case p.consume("<!ELEMENT"):
+			if err := p.requireSpace(); err != nil {
+				return nil, err
+			}
+			e, err := p.parseElementDecl()
+			if err != nil {
+				return nil, err
+			}
+			if err := s.Declare(e); err != nil {
+				return nil, err
+			}
+		case p.consume("<!ATTLIST"):
+			if err := p.requireSpace(); err != nil {
+				return nil, err
+			}
+			name, attrs, err := p.parseAttlistDecl()
+			if err != nil {
+				return nil, err
+			}
+			attlists[name] = append(attlists[name], attrs...)
+		default:
+			return nil, p.errorf("expected <!ELEMENT or <!ATTLIST")
+		}
+	}
+	for name, attrs := range attlists {
+		e := s.Element(name)
+		if e == nil {
+			return nil, fmt.Errorf("dtd: ATTLIST for undeclared element %q", name)
+		}
+		e.Attributes = append(e.Attributes, attrs...)
+	}
+	if len(s.order) == 0 {
+		return nil, fmt.Errorf("dtd: no element declarations")
+	}
+	return s, nil
+}
+
+// MustParse is Parse that panics on error; intended for statically
+// known schemas (domain definitions, tests).
+func MustParse(input string) *Schema {
+	s, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *parser) errorf(format string, args ...interface{}) error {
+	line := 1 + strings.Count(p.src[:p.pos], "\n")
+	return fmt.Errorf("dtd: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) skipSpaceAndComments() {
+	for {
+		for !p.eof() && unicode.IsSpace(rune(p.src[p.pos])) {
+			p.pos++
+		}
+		if strings.HasPrefix(p.src[p.pos:], "<!--") {
+			end := strings.Index(p.src[p.pos+4:], "-->")
+			if end < 0 {
+				p.pos = len(p.src)
+				return
+			}
+			p.pos += 4 + end + 3
+			continue
+		}
+		return
+	}
+}
+
+// requireSpace enforces whitespace after a declaration keyword, so
+// "<!ELEMENT0" is rejected rather than read as a name starting with 0.
+func (p *parser) requireSpace() error {
+	if p.eof() || !unicode.IsSpace(rune(p.src[p.pos])) {
+		return p.errorf("expected whitespace after declaration keyword")
+	}
+	return nil
+}
+
+func (p *parser) skipSpace() {
+	for !p.eof() && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *parser) consume(lit string) bool {
+	if strings.HasPrefix(p.src[p.pos:], lit) {
+		p.pos += len(lit)
+		return true
+	}
+	return false
+}
+
+func isNameRune(r byte) bool {
+	return r == '-' || r == '_' || r == '.' || r == ':' ||
+		(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+		(r >= '0' && r <= '9')
+}
+
+func (p *parser) parseName() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for !p.eof() && isNameRune(p.src[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", p.errorf("expected name")
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *parser) parseElementDecl() (*Element, error) {
+	name, err := p.parseName()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	model, err := p.parseContentModel()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if !p.consume(">") {
+		return nil, p.errorf("expected > closing ELEMENT %s", name)
+	}
+	return &Element{Name: name, Model: model}, nil
+}
+
+func (p *parser) parseContentModel() (*ContentModel, error) {
+	switch {
+	case p.consume("EMPTY"):
+		return &ContentModel{Kind: Empty}, nil
+	case p.consume("ANY"):
+		return &ContentModel{Kind: Any}, nil
+	}
+	if !p.consume("(") {
+		return nil, p.errorf("expected ( starting content model")
+	}
+	p.skipSpace()
+	if p.consume("#PCDATA") {
+		return p.parseMixedTail()
+	}
+	p.unread(1) // put back nothing; we consumed only "("
+	// Re-enter: parse the group we already opened.
+	particle, err := p.parseGroupBody()
+	if err != nil {
+		return nil, err
+	}
+	particle.Occurs = p.parseOccurs()
+	return &ContentModel{Kind: ElementContent, Particle: particle}, nil
+}
+
+// unread is a no-op placeholder retained for clarity of parse flow; the
+// grammar here never needs real backtracking because "(" has already
+// been consumed on both branches.
+func (p *parser) unread(int) {}
+
+// parseMixedTail parses the remainder of (#PCDATA ... after #PCDATA.
+func (p *parser) parseMixedTail() (*ContentModel, error) {
+	p.skipSpace()
+	if p.consume(")") {
+		p.consume("*") // (#PCDATA)* is legal
+		return &ContentModel{Kind: PCDATA}, nil
+	}
+	var set []string
+	for {
+		if !p.consume("|") {
+			return nil, p.errorf("expected | or ) in mixed content")
+		}
+		name, err := p.parseName()
+		if err != nil {
+			return nil, err
+		}
+		set = append(set, name)
+		p.skipSpace()
+		if p.consume(")") {
+			break
+		}
+	}
+	if !p.consume("*") {
+		return nil, p.errorf("mixed content must end with )*")
+	}
+	return &ContentModel{Kind: Mixed, MixedSet: set}, nil
+}
+
+// parseGroupBody parses the inside of a ( ... ) group; the opening
+// paren has been consumed. It returns a Seq or Choice particle (or the
+// single inner particle when the group has one member).
+func (p *parser) parseGroupBody() (*Particle, error) {
+	var parts []*Particle
+	var sep byte // 0 unknown, ',' or '|'
+	for {
+		part, err := p.parseParticle()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, part)
+		p.skipSpace()
+		if p.consume(")") {
+			break
+		}
+		var this byte
+		switch {
+		case p.consume(","):
+			this = ','
+		case p.consume("|"):
+			this = '|'
+		default:
+			return nil, p.errorf("expected , | or ) in group")
+		}
+		if sep == 0 {
+			sep = this
+		} else if sep != this {
+			return nil, p.errorf("cannot mix , and | in one group")
+		}
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	kind := SeqParticle
+	if sep == '|' {
+		kind = ChoiceParticle
+	}
+	return &Particle{Kind: kind, Children: parts}, nil
+}
+
+// parseParticle parses a name or parenthesized group with an optional
+// occurrence marker.
+func (p *parser) parseParticle() (*Particle, error) {
+	p.skipSpace()
+	if p.consume("(") {
+		inner, err := p.parseGroupBody()
+		if err != nil {
+			return nil, err
+		}
+		// A marked group must keep its grouping even with one child.
+		occ := p.parseOccurs()
+		if occ != One && inner.Occurs != One && inner.Kind == NameParticle {
+			inner = &Particle{Kind: SeqParticle, Children: []*Particle{inner}}
+		}
+		if occ != One {
+			inner.Occurs = occ
+		}
+		return inner, nil
+	}
+	name, err := p.parseName()
+	if err != nil {
+		return nil, err
+	}
+	return &Particle{Kind: NameParticle, Name: name, Occurs: p.parseOccurs()}, nil
+}
+
+func (p *parser) parseOccurs() Occurs {
+	switch {
+	case p.consume("?"):
+		return Optional
+	case p.consume("*"):
+		return ZeroOrMore
+	case p.consume("+"):
+		return OneOrMore
+	}
+	return One
+}
+
+// parseAttlistDecl parses <!ATTLIST elem a1 TYPE DEFAULT a2 TYPE
+// DEFAULT ... > and returns the element name and attribute names. Types
+// and defaults are validated loosely: any token is accepted for the
+// type, and defaults may be #REQUIRED, #IMPLIED, #FIXED "v", or "v".
+func (p *parser) parseAttlistDecl() (string, []string, error) {
+	name, err := p.parseName()
+	if err != nil {
+		return "", nil, err
+	}
+	var attrs []string
+	for {
+		p.skipSpace()
+		if p.consume(">") {
+			return name, attrs, nil
+		}
+		attr, err := p.parseName()
+		if err != nil {
+			return "", nil, err
+		}
+		attrs = append(attrs, attr)
+		if _, err := p.parseName(); err != nil { // type token (CDATA, ID, ...)
+			return "", nil, err
+		}
+		p.skipSpace()
+		switch {
+		case p.consume("#REQUIRED"), p.consume("#IMPLIED"):
+		case p.consume("#FIXED"):
+			if err := p.parseQuoted(); err != nil {
+				return "", nil, err
+			}
+		default:
+			if err := p.parseQuoted(); err != nil {
+				return "", nil, err
+			}
+		}
+	}
+}
+
+func (p *parser) parseQuoted() error {
+	p.skipSpace()
+	if p.eof() || (p.src[p.pos] != '"' && p.src[p.pos] != '\'') {
+		return p.errorf("expected quoted default value")
+	}
+	q := p.src[p.pos]
+	p.pos++
+	for !p.eof() && p.src[p.pos] != q {
+		p.pos++
+	}
+	if p.eof() {
+		return p.errorf("unterminated quoted value")
+	}
+	p.pos++
+	return nil
+}

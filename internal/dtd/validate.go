@@ -1,0 +1,205 @@
+package dtd
+
+import (
+	"fmt"
+
+	"repro/internal/xmltree"
+)
+
+// Validate checks that the document rooted at doc conforms to the
+// schema: the root tag matches the schema root, every element is
+// declared, and each element's children match its content model.
+// Attribute pseudo-children (tags listed in the element's ATTLIST) are
+// excluded from content-model matching.
+func (s *Schema) Validate(doc *xmltree.Node) error {
+	if doc.Tag != s.Root() {
+		return fmt.Errorf("dtd: root is %q, schema root is %q", doc.Tag, s.Root())
+	}
+	return s.validateNode(doc)
+}
+
+func (s *Schema) validateNode(n *xmltree.Node) error {
+	e := s.elements[n.Tag]
+	if e == nil {
+		if s.isAttribute(n.Tag) {
+			if !n.IsLeaf() {
+				return fmt.Errorf("dtd: attribute %q has child elements", n.Tag)
+			}
+			return nil
+		}
+		return fmt.Errorf("dtd: element %q not declared", n.Tag)
+	}
+	attrs := make(map[string]bool, len(e.Attributes))
+	for _, a := range e.Attributes {
+		attrs[a] = true
+	}
+	var childTags []string
+	for _, c := range n.Children {
+		if !attrs[c.Tag] {
+			childTags = append(childTags, c.Tag)
+		}
+	}
+	switch e.Model.Kind {
+	case PCDATA:
+		if len(childTags) > 0 {
+			return fmt.Errorf("dtd: element %q is #PCDATA but has child <%s>", n.Tag, childTags[0])
+		}
+	case Empty:
+		if len(childTags) > 0 || n.Text != "" {
+			return fmt.Errorf("dtd: element %q is EMPTY but has content", n.Tag)
+		}
+	case Any:
+		// Children only need to be declared, checked recursively below.
+	case Mixed:
+		allowed := make(map[string]bool, len(e.Model.MixedSet))
+		for _, t := range e.Model.MixedSet {
+			allowed[t] = true
+		}
+		for _, t := range childTags {
+			if !allowed[t] {
+				return fmt.Errorf("dtd: element %q not allowed in mixed content of %q", t, n.Tag)
+			}
+		}
+	case ElementContent:
+		if n.Text != "" {
+			return fmt.Errorf("dtd: element %q has element content but contains text %q", n.Tag, n.Text)
+		}
+		if !matches(e.Model.Particle, childTags) {
+			return fmt.Errorf("dtd: children of %q (%v) do not match model %s",
+				n.Tag, childTags, e.Model.Particle)
+		}
+	}
+	for _, c := range n.Children {
+		if err := s.validateNode(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// isAttribute reports whether tag appears in any element's ATTLIST.
+func (s *Schema) isAttribute(tag string) bool {
+	for _, name := range s.order {
+		for _, a := range s.elements[name].Attributes {
+			if a == tag {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// matches reports whether the full tag sequence can be derived from the
+// particle expression.
+func matches(p *Particle, tags []string) bool {
+	for _, end := range matchFrom(p, tags, 0) {
+		if end == len(tags) {
+			return true
+		}
+	}
+	return false
+}
+
+// matchFrom returns the distinct positions the input can be consumed up
+// to when matching particle p starting at pos. Backtracking matcher;
+// input sizes here are child lists of single elements, so worst-case
+// blowup is not a concern.
+func matchFrom(p *Particle, tags []string, pos int) []int {
+	base := func(start int) []int {
+		switch p.Kind {
+		case NameParticle:
+			if start < len(tags) && tags[start] == p.Name {
+				return []int{start + 1}
+			}
+			return nil
+		case SeqParticle:
+			positions := []int{start}
+			for _, c := range p.Children {
+				var next []int
+				seen := make(map[int]bool)
+				for _, q := range positions {
+					for _, r := range matchFrom(c, tags, q) {
+						if !seen[r] {
+							seen[r] = true
+							next = append(next, r)
+						}
+					}
+				}
+				positions = next
+				if len(positions) == 0 {
+					return nil
+				}
+			}
+			return positions
+		case ChoiceParticle:
+			var out []int
+			seen := make(map[int]bool)
+			for _, c := range p.Children {
+				for _, r := range matchFrom(c, tags, start) {
+					if !seen[r] {
+						seen[r] = true
+						out = append(out, r)
+					}
+				}
+			}
+			return out
+		}
+		return nil
+	}
+
+	switch p.Occurs {
+	case One:
+		return baseOnce(p, base, pos)
+	case Optional:
+		out := []int{pos}
+		for _, r := range baseOnce(p, base, pos) {
+			if r != pos {
+				out = append(out, r)
+			}
+		}
+		return out
+	case ZeroOrMore, OneOrMore:
+		reachable := map[int]bool{}
+		frontier := []int{pos}
+		visited := map[int]bool{pos: true}
+		for len(frontier) > 0 {
+			var next []int
+			for _, q := range frontier {
+				for _, r := range baseOnce(p, base, q) {
+					reachable[r] = true
+					if !visited[r] {
+						visited[r] = true
+						next = append(next, r)
+					}
+				}
+			}
+			frontier = next
+		}
+		var out []int
+		if p.Occurs == ZeroOrMore {
+			out = append(out, pos)
+		}
+		for r := range reachable {
+			out = append(out, r)
+		}
+		return dedupe(out)
+	}
+	return nil
+}
+
+// baseOnce matches the particle body exactly once, ignoring Occurs.
+func baseOnce(p *Particle, base func(int) []int, pos int) []int {
+	return base(pos)
+}
+
+func dedupe(xs []int) []int {
+	seen := make(map[int]bool, len(xs))
+	out := xs[:0]
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}

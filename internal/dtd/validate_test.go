@@ -1,0 +1,200 @@
+package dtd
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xmltree"
+)
+
+func doc(t *testing.T, s string) *xmltree.Node {
+	t.Helper()
+	n, err := xmltree.ParseString(s)
+	if err != nil {
+		t.Fatalf("parse doc: %v", err)
+	}
+	return n
+}
+
+func TestValidateAccepts(t *testing.T) {
+	s := MustParse(paperDTD)
+	good := []string{
+		`<house-listing><location>Seattle</location><price>70000</price>
+		 <contact><name>Kate</name><phone>206</phone></contact></house-listing>`,
+		// location is optional.
+		`<house-listing><price>70000</price>
+		 <contact><name>Kate</name><phone>206</phone></contact></house-listing>`,
+	}
+	for _, g := range good {
+		if err := s.Validate(doc(t, g)); err != nil {
+			t.Errorf("Validate rejected valid doc: %v", err)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	s := MustParse(paperDTD)
+	bad := map[string]string{
+		"wrong root":      `<listing><price>1</price></listing>`,
+		"missing price":   `<house-listing><contact><name>K</name><phone>2</phone></contact></house-listing>`,
+		"wrong order":     `<house-listing><price>1</price><location>S</location><contact><name>K</name><phone>2</phone></contact></house-listing>`,
+		"undeclared tag":  `<house-listing><price>1</price><contact><name>K</name><phone>2</phone><fax>3</fax></contact></house-listing>`,
+		"child in pcdata": `<house-listing><price><amount>1</amount></price><contact><name>K</name><phone>2</phone></contact></house-listing>`,
+		"extra child":     `<house-listing><price>1</price><price>2</price><contact><name>K</name><phone>2</phone></contact></house-listing>`,
+	}
+	for name, b := range bad {
+		if err := s.Validate(doc(t, b)); err == nil {
+			t.Errorf("%s: Validate accepted invalid doc", name)
+		}
+	}
+}
+
+func TestValidateRepetition(t *testing.T) {
+	s := MustParse(`
+<!ELEMENT list (item+, note*)>
+<!ELEMENT item (#PCDATA)>
+<!ELEMENT note (#PCDATA)>
+`)
+	if err := s.Validate(doc(t, `<list><item>a</item></list>`)); err != nil {
+		t.Errorf("one item: %v", err)
+	}
+	if err := s.Validate(doc(t, `<list><item>a</item><item>b</item><note>n</note><note>m</note></list>`)); err != nil {
+		t.Errorf("repeated: %v", err)
+	}
+	if err := s.Validate(doc(t, `<list><note>n</note></list>`)); err == nil {
+		t.Error("item+ requires at least one item")
+	}
+}
+
+func TestValidateChoice(t *testing.T) {
+	s := MustParse(`
+<!ELEMENT contact (email | phone)>
+<!ELEMENT email (#PCDATA)>
+<!ELEMENT phone (#PCDATA)>
+`)
+	if err := s.Validate(doc(t, `<contact><email>x@y</email></contact>`)); err != nil {
+		t.Errorf("email branch: %v", err)
+	}
+	if err := s.Validate(doc(t, `<contact><phone>206</phone></contact>`)); err != nil {
+		t.Errorf("phone branch: %v", err)
+	}
+	if err := s.Validate(doc(t, `<contact><email>x</email><phone>2</phone></contact>`)); err == nil {
+		t.Error("choice allows exactly one branch")
+	}
+}
+
+func TestValidateNestedGroups(t *testing.T) {
+	s := MustParse(`
+<!ELEMENT r ((a | b)+, c?)>
+<!ELEMENT a (#PCDATA)>
+<!ELEMENT b (#PCDATA)>
+<!ELEMENT c (#PCDATA)>
+`)
+	for _, good := range []string{
+		`<r><a>1</a></r>`,
+		`<r><b>1</b><a>2</a><b>3</b></r>`,
+		`<r><a>1</a><c>9</c></r>`,
+	} {
+		if err := s.Validate(doc(t, good)); err != nil {
+			t.Errorf("Validate(%s): %v", good, err)
+		}
+	}
+	for _, bad := range []string{
+		`<r><c>9</c></r>`,
+		`<r><a>1</a><c>9</c><c>9</c></r>`,
+	} {
+		if err := s.Validate(doc(t, bad)); err == nil {
+			t.Errorf("Validate(%s) accepted invalid doc", bad)
+		}
+	}
+}
+
+func TestValidateMixed(t *testing.T) {
+	s := MustParse(`
+<!ELEMENT desc (#PCDATA | em)*>
+<!ELEMENT em (#PCDATA)>
+`)
+	n := xmltree.NewParent("desc", xmltree.New("em", "great"))
+	n.Text = "a house"
+	if err := s.Validate(n); err != nil {
+		t.Errorf("mixed: %v", err)
+	}
+	bad := xmltree.NewParent("desc", xmltree.New("strong", "x"))
+	if err := s.Validate(bad); err == nil {
+		t.Error("mixed content rejected undeclared child")
+	}
+}
+
+func TestValidateEmptyAndAny(t *testing.T) {
+	s := MustParse(`
+<!ELEMENT r (hr, blob)>
+<!ELEMENT hr EMPTY>
+<!ELEMENT blob ANY>
+<!ELEMENT x (#PCDATA)>
+`)
+	okDoc := `<r><hr></hr><blob><x>1</x><x>2</x></blob></r>`
+	if err := s.Validate(doc(t, okDoc)); err != nil {
+		t.Errorf("EMPTY/ANY: %v", err)
+	}
+	if err := s.Validate(doc(t, `<r><hr>text</hr><blob></blob></r>`)); err == nil {
+		t.Error("EMPTY element with text accepted")
+	}
+	if err := s.Validate(doc(t, `<r><hr></hr><blob><zzz>1</zzz></blob></r>`)); err == nil {
+		t.Error("ANY element with undeclared child accepted")
+	}
+}
+
+func TestValidateAttributes(t *testing.T) {
+	s := MustParse(`
+<!ELEMENT listing (price)>
+<!ELEMENT price (#PCDATA)>
+<!ATTLIST listing id CDATA #REQUIRED>
+`)
+	// xmltree turns attributes into leaf children; they must not break
+	// content-model matching.
+	d := doc(t, `<listing id="42"><price>70000</price></listing>`)
+	if err := s.Validate(d); err != nil {
+		t.Errorf("attribute child: %v", err)
+	}
+}
+
+// TestValidateGeneratedSequences is a property test: any sequence of
+// a's and b's with at least one a and all a's before all b's matches
+// (a+, b*); any other arrangement of a/b with a missing a fails.
+func TestValidateGeneratedSequences(t *testing.T) {
+	s := MustParse(`
+<!ELEMENT r (a+, b*)>
+<!ELEMENT a (#PCDATA)>
+<!ELEMENT b (#PCDATA)>
+`)
+	f := func(na, nb uint8, shuffled bool) bool {
+		numA := int(na%4) + 1
+		numB := int(nb % 4)
+		var b strings.Builder
+		b.WriteString("<r>")
+		if shuffled && numB > 0 {
+			// Put a b first: must be invalid.
+			b.WriteString("<b>0</b>")
+		}
+		for i := 0; i < numA; i++ {
+			b.WriteString("<a>x</a>")
+		}
+		for i := 0; i < numB; i++ {
+			b.WriteString("<b>y</b>")
+		}
+		b.WriteString("</r>")
+		n, err := xmltree.ParseString(b.String())
+		if err != nil {
+			return false
+		}
+		err = s.Validate(n)
+		if shuffled && numB > 0 {
+			return err != nil
+		}
+		return err == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

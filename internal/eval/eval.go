@@ -1,0 +1,374 @@
+// Package eval implements the experimental methodology of §6: for each
+// domain, all ten 3-of-5 train / 2-test splits are run, repeated over
+// several fresh data samples; the matching accuracy of a source is the
+// percentage of matchable source tags matched correctly, the average
+// accuracy of a source is its accuracy averaged over all settings in
+// which it is tested, and the average accuracy of a domain is the
+// average over its five sources.
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/learn"
+	"repro/internal/learners/contentmatcher"
+	"repro/internal/learners/naivebayes"
+	"repro/internal/learners/namematcher"
+	"repro/internal/meta"
+)
+
+// Protocol fixes the experimental parameters.
+type Protocol struct {
+	// Listings is the number of data listings used per source (the
+	// paper's main experiments use 300).
+	Listings int
+	// Samples is how many fresh data samples to draw (the paper runs
+	// each experiment three times).
+	Samples int
+	// Seed drives sampling and training shuffles.
+	Seed int64
+	// MaxSplits optionally caps the number of train/test splits run
+	// (0 = all ten); tests use small values for speed.
+	MaxSplits int
+}
+
+// DefaultProtocol returns the paper's settings: 300 listings, 3
+// samples, all ten splits.
+func DefaultProtocol() Protocol {
+	return Protocol{Listings: 300, Samples: 3, Seed: 7}
+}
+
+// splits returns all C(5,3) = 10 ways to pick 3 training sources from
+// 5; the remaining 2 are the test sources.
+func splits() [][]int {
+	var out [][]int
+	for a := 0; a < datagen.NumSources; a++ {
+		for b := a + 1; b < datagen.NumSources; b++ {
+			for c := b + 1; c < datagen.NumSources; c++ {
+				out = append(out, []int{a, b, c})
+			}
+		}
+	}
+	return out
+}
+
+// Run trains cfg on each split's training sources and matches the test
+// sources, returning the domain's average matching accuracy (in %).
+func Run(d *datagen.Domain, cfg core.Config, p Protocol) (float64, error) {
+	med := d.Mediated()
+	specs := d.Sources()
+	perSource := make(map[string][]float64)
+
+	allSplits := splits()
+	if p.MaxSplits > 0 && len(allSplits) > p.MaxSplits {
+		allSplits = allSplits[:p.MaxSplits]
+	}
+	for sample := 0; sample < p.Samples; sample++ {
+		sampleSeed := p.Seed + int64(sample)*97
+		// Materialize every source once per sample.
+		sources := make([]*core.Source, len(specs))
+		for i, spec := range specs {
+			n := p.Listings
+			if n > spec.NominalListings {
+				n = spec.NominalListings
+			}
+			sources[i] = spec.Generate(n, sampleSeed)
+		}
+		for _, tr := range allSplits {
+			inTrain := make(map[int]bool, len(tr))
+			var train []*core.Source
+			for _, i := range tr {
+				inTrain[i] = true
+				train = append(train, sources[i])
+			}
+			runCfg := cfg
+			runCfg.Seed = sampleSeed + int64(tr[0])*31
+			sys, err := core.Train(med, train, runCfg)
+			if err != nil {
+				return 0, fmt.Errorf("eval: train on %s: %w", d.Name, err)
+			}
+			for i, src := range sources {
+				if inTrain[i] {
+					continue
+				}
+				res, err := sys.Match(src)
+				if err != nil {
+					return 0, fmt.Errorf("eval: match %s: %w", src.Name, err)
+				}
+				acc := core.Accuracy(src, res.Mapping)
+				perSource[src.Name] = append(perSource[src.Name], acc)
+			}
+		}
+	}
+	return domainAverage(perSource), nil
+}
+
+// domainAverage averages per-source means, per the paper's definition.
+func domainAverage(perSource map[string][]float64) float64 {
+	if len(perSource) == 0 {
+		return 0
+	}
+	names := make([]string, 0, len(perSource))
+	for n := range perSource {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	total := 0.0
+	for _, n := range names {
+		accs := perSource[n]
+		s := 0.0
+		for _, a := range accs {
+			s += a
+		}
+		total += s / float64(len(accs))
+	}
+	return 100 * total / float64(len(perSource))
+}
+
+// ---------------------------------------------------------------------------
+// Configurations (§6.1, Figure 8.a).
+
+// baseSpecs returns the three non-structural base learners.
+func baseSpecs() []core.LearnerSpec {
+	return []core.LearnerSpec{
+		{Name: "NameMatcher", Factory: namematcher.Factory},
+		{Name: "ContentMatcher", Factory: contentmatcher.Factory},
+		{Name: "NaiveBayes", Factory: naivebayes.Factory},
+	}
+}
+
+// SingleLearnerConfig runs one base learner alone: no stacking benefit,
+// greedy label choice, no XML learner, no constraints.
+func SingleLearnerConfig(spec core.LearnerSpec) core.Config {
+	return core.Config{
+		BaseLearners:         []core.LearnerSpec{spec},
+		UseXMLLearner:        false,
+		UseConstraintHandler: false,
+		Meta:                 meta.DefaultConfig(),
+	}
+}
+
+// MetaConfig is base learners + meta-learner (greedy, no XML).
+func MetaConfig() core.Config {
+	return core.Config{
+		BaseLearners:         baseSpecs(),
+		UseXMLLearner:        false,
+		UseConstraintHandler: false,
+		Meta:                 meta.DefaultConfig(),
+	}
+}
+
+// ConstraintConfig is base learners + meta-learner + constraint handler.
+func ConstraintConfig() core.Config {
+	cfg := MetaConfig()
+	cfg.UseConstraintHandler = true
+	return cfg
+}
+
+// FullConfig is the complete LSD system, XML learner included.
+func FullConfig() core.Config {
+	cfg := ConstraintConfig()
+	cfg.UseXMLLearner = true
+	return cfg
+}
+
+// Ladder is the four-bar group of Figure 8.a for one domain.
+type Ladder struct {
+	Domain       string
+	BestBase     float64 // best single base learner (excluding XML)
+	BestBaseName string
+	Meta         float64 // base learners + meta-learner
+	Constraints  float64 // + constraint handler
+	Full         float64 // + XML learner (complete LSD)
+}
+
+// RunLadder computes the Figure 8.a bars for one domain.
+func RunLadder(d *datagen.Domain, p Protocol) (*Ladder, error) {
+	out := &Ladder{Domain: d.Name}
+	for _, spec := range baseSpecs() {
+		acc, err := Run(d, SingleLearnerConfig(spec), p)
+		if err != nil {
+			return nil, err
+		}
+		if acc > out.BestBase {
+			out.BestBase, out.BestBaseName = acc, spec.Name
+		}
+	}
+	var err error
+	if out.Meta, err = Run(d, MetaConfig(), p); err != nil {
+		return nil, err
+	}
+	if out.Constraints, err = Run(d, ConstraintConfig(), p); err != nil {
+		return nil, err
+	}
+	if out.Full, err = Run(d, FullConfig(), p); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Sensitivity (§6.1, Figures 8.b-c).
+
+// SensitivityPoint is one x-position of Figures 8.b-c: the four
+// configuration accuracies at a given number of listings per source.
+type SensitivityPoint struct {
+	Listings    int
+	Base        float64 // best single base learner
+	Meta        float64
+	Constraints float64
+	Full        float64
+}
+
+// RunSensitivity sweeps the number of listings per source.
+func RunSensitivity(d *datagen.Domain, listingCounts []int, p Protocol) ([]SensitivityPoint, error) {
+	var out []SensitivityPoint
+	for _, n := range listingCounts {
+		pp := p
+		pp.Listings = n
+		ladder, err := RunLadder(d, pp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SensitivityPoint{
+			Listings:    n,
+			Base:        ladder.BestBase,
+			Meta:        ladder.Meta,
+			Constraints: ladder.Constraints,
+			Full:        ladder.Full,
+		})
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Lesion studies (§6.2, Figure 9.a).
+
+// Lesion holds Figure 9.a for one domain: the accuracy of LSD with each
+// component removed, plus the complete system.
+type Lesion struct {
+	Domain            string
+	WithoutName       float64
+	WithoutNaiveBayes float64
+	WithoutContent    float64
+	WithoutHandler    float64
+	Complete          float64
+}
+
+// RunLesion computes Figure 9.a for one domain.
+func RunLesion(d *datagen.Domain, p Protocol) (*Lesion, error) {
+	out := &Lesion{Domain: d.Name}
+	without := func(name string) core.Config {
+		cfg := FullConfig()
+		var kept []core.LearnerSpec
+		for _, spec := range cfg.BaseLearners {
+			if spec.Name != name {
+				kept = append(kept, spec)
+			}
+		}
+		cfg.BaseLearners = kept
+		return cfg
+	}
+	var err error
+	if out.WithoutName, err = Run(d, without("NameMatcher"), p); err != nil {
+		return nil, err
+	}
+	if out.WithoutNaiveBayes, err = Run(d, without("NaiveBayes"), p); err != nil {
+		return nil, err
+	}
+	if out.WithoutContent, err = Run(d, without("ContentMatcher"), p); err != nil {
+		return nil, err
+	}
+	noHandler := FullConfig()
+	noHandler.UseConstraintHandler = false
+	if out.WithoutHandler, err = Run(d, noHandler, p); err != nil {
+		return nil, err
+	}
+	if out.Complete, err = Run(d, FullConfig(), p); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Schema vs. data information (§6.2, Figure 9.b).
+
+// SchemaVsData holds Figure 9.b for one domain.
+type SchemaVsData struct {
+	Domain     string
+	SchemaOnly float64 // name matcher + schema constraints
+	DataOnly   float64 // content, NB, XML + data constraints
+	Both       float64 // the complete system
+}
+
+// RunSchemaVsData computes Figure 9.b for one domain. The schema-only
+// version keeps the name matcher and the schema-verifiable constraints;
+// the data-only version keeps the content matcher, Naive Bayes, and the
+// XML learner with the data-verifiable constraints.
+func RunSchemaVsData(d *datagen.Domain, p Protocol) (*SchemaVsData, error) {
+	out := &SchemaVsData{Domain: d.Name}
+
+	schemaOnly := func() *datagen.Domain {
+		dd := *d
+		orig := d.Constraints
+		dd.Constraints = func() []constraint.Constraint {
+			var cs []constraint.Constraint
+			for _, c := range orig() {
+				if !constraint.IsDataConstraint(c) {
+					cs = append(cs, c)
+				}
+			}
+			return cs
+		}
+		return &dd
+	}()
+	dataOnly := func() *datagen.Domain {
+		dd := *d
+		orig := d.Constraints
+		dd.Constraints = func() []constraint.Constraint {
+			var cs []constraint.Constraint
+			for _, c := range orig() {
+				if constraint.IsDataConstraint(c) {
+					cs = append(cs, c)
+				}
+			}
+			return cs
+		}
+		return &dd
+	}()
+
+	schemaCfg := core.Config{
+		BaseLearners:         []core.LearnerSpec{{Name: "NameMatcher", Factory: namematcher.Factory}},
+		UseXMLLearner:        false,
+		UseConstraintHandler: true,
+		Meta:                 meta.DefaultConfig(),
+	}
+	dataCfg := core.Config{
+		BaseLearners: []core.LearnerSpec{
+			{Name: "ContentMatcher", Factory: contentmatcher.Factory},
+			{Name: "NaiveBayes", Factory: naivebayes.Factory},
+		},
+		UseXMLLearner:        true,
+		UseConstraintHandler: true,
+		Meta:                 meta.DefaultConfig(),
+	}
+
+	var err error
+	if out.SchemaOnly, err = Run(schemaOnly, schemaCfg, p); err != nil {
+		return nil, err
+	}
+	if out.DataOnly, err = Run(dataOnly, dataCfg, p); err != nil {
+		return nil, err
+	}
+	if out.Both, err = Run(d, FullConfig(), p); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// used keeps learn imported for the feedback loop's label handling.
+var _ = learn.Other

@@ -1,0 +1,148 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/datagen"
+)
+
+// fastProtocol keeps unit-test runtime low: few listings, one sample,
+// two splits.
+func fastProtocol() Protocol {
+	return Protocol{Listings: 15, Samples: 1, Seed: 3, MaxSplits: 2}
+}
+
+func TestSplits(t *testing.T) {
+	ss := splits()
+	if len(ss) != 10 {
+		t.Fatalf("splits = %d, want C(5,3) = 10", len(ss))
+	}
+	seen := make(map[[3]int]bool)
+	for _, s := range ss {
+		if len(s) != 3 {
+			t.Fatalf("split size %d", len(s))
+		}
+		key := [3]int{s[0], s[1], s[2]}
+		if seen[key] {
+			t.Errorf("duplicate split %v", s)
+		}
+		seen[key] = true
+	}
+}
+
+func TestRunProducesReasonableAccuracy(t *testing.T) {
+	acc, err := Run(datagen.RealEstateI(), FullConfig(), fastProtocol())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if acc < 40 || acc > 100 {
+		t.Errorf("Real Estate I full accuracy = %.1f, outside plausible range", acc)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	p := fastProtocol()
+	a, err := Run(datagen.FacultyListings(), MetaConfig(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(datagen.FacultyListings(), MetaConfig(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("Run not deterministic: %.3f vs %.3f", a, b)
+	}
+}
+
+// TestLadderOrdering verifies the paper's headline relationship on one
+// domain at small scale: the complete system must beat the best single
+// base learner (Figure 8.a).
+func TestLadderOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ladder is slow")
+	}
+	p := Protocol{Listings: 30, Samples: 1, Seed: 7, MaxSplits: 3}
+	ladder, err := RunLadder(datagen.TimeSchedule(), p)
+	if err != nil {
+		t.Fatalf("RunLadder: %v", err)
+	}
+	if ladder.Full <= ladder.BestBase {
+		t.Errorf("full LSD %.1f should beat best base learner %.1f (%s)",
+			ladder.Full, ladder.BestBase, ladder.BestBaseName)
+	}
+	if ladder.BestBaseName == "" {
+		t.Error("best base learner name missing")
+	}
+}
+
+func TestTable3AllDomains(t *testing.T) {
+	rows := make([]Table3Row, 0, 4)
+	for _, d := range datagen.Domains() {
+		rows = append(rows, Table3(d))
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Spot-check the Real Estate I row against Table 3.
+	r := rows[0]
+	if r.MediatedTags != 20 || r.MediatedNonLeaf != 4 || r.MediatedDepth != 3 {
+		t.Errorf("Real Estate I mediated row = %+v", r)
+	}
+	if r.Sources != 5 {
+		t.Errorf("sources = %d", r.Sources)
+	}
+	out := FormatTable3(rows)
+	if len(out) == 0 {
+		t.Error("FormatTable3 empty")
+	}
+}
+
+func TestFeedbackLoopReachesPerfect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("feedback loop is slow")
+	}
+	res, err := RunFeedback(datagen.FacultyListings(), 1, 15, 5)
+	if err != nil {
+		t.Fatalf("RunFeedback: %v", err)
+	}
+	if res.AvgCorrections < 0 || res.AvgCorrections > res.AvgTags {
+		t.Errorf("corrections %.1f outside [0, %f]", res.AvgCorrections, res.AvgTags)
+	}
+	if res.AvgTags < 10 {
+		t.Errorf("avg tags %.1f too small", res.AvgTags)
+	}
+}
+
+func TestSchemaVsDataConstraintSplit(t *testing.T) {
+	d := datagen.RealEstateI()
+	all := d.Mediated().Constraints
+	data, schema := 0, 0
+	for _, c := range all {
+		if constraint.IsDataConstraint(c) {
+			data++
+		} else {
+			schema++
+		}
+	}
+	if data == 0 {
+		t.Error("Real Estate I has no data constraints (Key should be one)")
+	}
+	if schema == 0 {
+		t.Error("Real Estate I has no schema constraints")
+	}
+}
+
+func TestSingleLearnerConfigs(t *testing.T) {
+	for _, spec := range baseSpecs() {
+		cfg := SingleLearnerConfig(spec)
+		if len(cfg.BaseLearners) != 1 || cfg.UseXMLLearner || cfg.UseConstraintHandler {
+			t.Errorf("SingleLearnerConfig(%s) misconfigured: %+v", spec.Name, cfg)
+		}
+	}
+	full := FullConfig()
+	if !full.UseXMLLearner || !full.UseConstraintHandler || len(full.BaseLearners) != 3 {
+		t.Errorf("FullConfig misconfigured: %+v", full)
+	}
+}

@@ -1,0 +1,107 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/datagen"
+)
+
+// FeedbackResult summarizes the §6.3 user-feedback experiment for one
+// domain: how many corrections a (simulated) user must provide before
+// LSD reaches perfect matching on a test source, averaged over runs,
+// and the average number of tags in the test schemas.
+type FeedbackResult struct {
+	Domain         string
+	AvgCorrections float64
+	AvgTags        float64
+	Runs           int
+}
+
+// RunFeedback replays the §6.3 interaction loop: train on three random
+// sources, test on one; order the test source's tags by decreasing
+// structure score; repeatedly show the predicted labels in that order
+// and, at the first incorrect label, supply the correct one as a
+// feedback constraint and re-run the constraint handler, until every
+// tag is matched correctly.
+func RunFeedback(d *datagen.Domain, runs, listings int, seed int64) (*FeedbackResult, error) {
+	med := d.Mediated()
+	specs := d.Sources()
+	rng := rand.New(rand.NewSource(seed))
+	res := &FeedbackResult{Domain: d.Name, Runs: runs}
+
+	for run := 0; run < runs; run++ {
+		perm := rng.Perm(datagen.NumSources)
+		trainIdx, testIdx := perm[:3], perm[3]
+		sampleSeed := seed + int64(run)*131
+
+		var train []*core.Source
+		for _, i := range trainIdx {
+			n := listings
+			if n > specs[i].NominalListings {
+				n = specs[i].NominalListings
+			}
+			train = append(train, specs[i].Generate(n, sampleSeed))
+		}
+		n := listings
+		if n > specs[testIdx].NominalListings {
+			n = specs[testIdx].NominalListings
+		}
+		test := specs[testIdx].Generate(n, sampleSeed)
+
+		cfg := FullConfig()
+		cfg.Seed = sampleSeed
+		sys, err := core.Train(med, train, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("eval: feedback train: %w", err)
+		}
+
+		corrections, err := feedbackLoop(sys, test)
+		if err != nil {
+			return nil, err
+		}
+		res.AvgCorrections += float64(corrections)
+		res.AvgTags += float64(test.Schema.NumTags())
+	}
+	res.AvgCorrections /= float64(runs)
+	res.AvgTags /= float64(runs)
+	return res, nil
+}
+
+// feedbackLoop counts the corrections needed for perfect matching.
+func feedbackLoop(sys *core.System, test *core.Source) (int, error) {
+	// Tags in decreasing structure-score order (§6.3: "the greater the
+	// structure below a tag, the greater the probability that the tag
+	// is involved in one or more constraints").
+	cols := core.CollectColumns(nil, test, 0)
+	csrc := core.BuildConstraintSource(test, cols, 0)
+	tags := append([]string(nil), test.Schema.Tags()...)
+	sort.SliceStable(tags, func(i, j int) bool {
+		return constraint.StructureScore(csrc, tags[i]) > constraint.StructureScore(csrc, tags[j])
+	})
+
+	var feedback []constraint.Constraint
+	corrections := 0
+	for iter := 0; iter <= len(tags); iter++ {
+		res, err := sys.Match(test, feedback...)
+		if err != nil {
+			return 0, fmt.Errorf("eval: feedback match: %w", err)
+		}
+		wrong := ""
+		for _, tag := range tags {
+			if res.Mapping[tag] != test.LabelOf(tag) {
+				wrong = tag
+				break
+			}
+		}
+		if wrong == "" {
+			return corrections, nil
+		}
+		feedback = append(feedback, constraint.MustMatch(wrong, test.LabelOf(wrong)))
+		corrections++
+	}
+	return corrections, nil
+}

@@ -1,0 +1,95 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/datagen"
+)
+
+// Table3Row is one domain row of Table 3.
+type Table3Row struct {
+	Domain           string
+	MediatedTags     int
+	MediatedNonLeaf  int
+	MediatedDepth    int
+	Sources          int
+	ListingsLo       int
+	ListingsHi       int
+	TagsLo, TagsHi   int
+	NonLeafLo        int
+	NonLeafHi        int
+	DepthLo, DepthHi int
+	MatchableLo      float64
+	MatchableHi      float64
+}
+
+// Table3 computes the Table-3 characteristics of a domain from its
+// synthesized mediated schema and sources.
+func Table3(d *datagen.Domain) Table3Row {
+	med := d.MediatedSchema()
+	row := Table3Row{
+		Domain:          d.Name,
+		MediatedTags:    med.NumTags(),
+		MediatedNonLeaf: len(med.NonLeafTags()),
+		MediatedDepth:   med.Depth(),
+		Sources:         datagen.NumSources,
+		ListingsLo:      1 << 30,
+		TagsLo:          1 << 30,
+		NonLeafLo:       1 << 30,
+		DepthLo:         1 << 30,
+		MatchableLo:     101,
+	}
+	for _, s := range d.Sources() {
+		row.ListingsLo = min(row.ListingsLo, s.NominalListings)
+		row.ListingsHi = max(row.ListingsHi, s.NominalListings)
+		row.TagsLo = min(row.TagsLo, s.Schema.NumTags())
+		row.TagsHi = max(row.TagsHi, s.Schema.NumTags())
+		row.NonLeafLo = min(row.NonLeafLo, len(s.Schema.NonLeafTags()))
+		row.NonLeafHi = max(row.NonLeafHi, len(s.Schema.NonLeafTags()))
+		row.DepthLo = min(row.DepthLo, s.Schema.Depth())
+		row.DepthHi = max(row.DepthHi, s.Schema.Depth())
+		p := s.MatchablePercent()
+		if p < row.MatchableLo {
+			row.MatchableLo = p
+		}
+		if p > row.MatchableHi {
+			row.MatchableHi = p
+		}
+	}
+	return row
+}
+
+// String renders the row in the layout of Table 3.
+func (r Table3Row) String() string {
+	return fmt.Sprintf("%-17s med[tags=%d nonleaf=%d depth=%d] sources=%d listings=%d-%d tags=%d-%d nonleaf=%d-%d depth=%d-%d matchable=%.0f-%.0f%%",
+		r.Domain, r.MediatedTags, r.MediatedNonLeaf, r.MediatedDepth,
+		r.Sources, r.ListingsLo, r.ListingsHi, r.TagsLo, r.TagsHi,
+		r.NonLeafLo, r.NonLeafHi, r.DepthLo, r.DepthHi,
+		r.MatchableLo, r.MatchableHi)
+}
+
+// FormatTable3 renders all domains as the full table.
+func FormatTable3(rows []Table3Row) string {
+	var b strings.Builder
+	b.WriteString("Table 3: domains and data sources\n")
+	for _, r := range rows {
+		b.WriteString(r.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,257 @@
+// Package integrate is the thin data-integration engine of the paper's
+// Figure 1: users pose queries against the mediated schema ("find
+// houses with four bathrooms and price under $500,000"), and the system
+// answers them from many sources through the semantic mappings LSD
+// learned — each source's listings are translated into the mediated
+// schema and filtered. It is deliberately small: the paper's
+// contribution is acquiring the mappings, and this package exists to
+// exercise them the way a real system would.
+package integrate
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"repro/internal/constraint"
+	"repro/internal/dtd"
+	"repro/internal/transform"
+	"repro/internal/xmltree"
+)
+
+// Op is a comparison operator in a query condition.
+type Op int
+
+const (
+	// Eq matches values equal to the operand (case-insensitive).
+	Eq Op = iota
+	// Contains matches values containing the operand (case-insensitive).
+	Contains
+	// Lt matches numerically smaller values.
+	Lt
+	// Gt matches numerically larger values.
+	Gt
+)
+
+func (o Op) String() string {
+	switch o {
+	case Eq:
+		return "="
+	case Contains:
+		return "contains"
+	case Lt:
+		return "<"
+	case Gt:
+		return ">"
+	}
+	return "?"
+}
+
+// Condition restricts one mediated-schema attribute.
+type Condition struct {
+	// Attribute is a mediated-schema leaf tag.
+	Attribute string
+	Op        Op
+	// Value is the operand; for Lt/Gt it must parse as a number, and
+	// listing values are parsed leniently ($ and commas stripped).
+	Value string
+}
+
+// Query is a conjunctive query over the mediated schema.
+type Query struct {
+	// Select lists the mediated attributes to return; empty means all.
+	Select []string
+	// Where are the conjunctive conditions.
+	Where []Condition
+}
+
+// RegisteredSource is one data source attached to the engine: its
+// listings plus the (LSD-proposed, user-confirmed) mapping.
+type RegisteredSource struct {
+	Name       string
+	Listings   []*xmltree.Node
+	translator *transform.Translator
+}
+
+// Engine answers mediated-schema queries from registered sources.
+type Engine struct {
+	mediated *dtd.Schema
+	sources  []*RegisteredSource
+}
+
+// NewEngine builds an engine over the mediated schema.
+func NewEngine(mediated *dtd.Schema) *Engine {
+	return &Engine{mediated: mediated}
+}
+
+// Register attaches a source through its semantic mapping. Sources
+// whose mapping does not cover an attribute simply return no bindings
+// for it.
+func (e *Engine) Register(name string, listings []*xmltree.Node, mapping constraint.Assignment) error {
+	tr, err := transform.New(e.mediated, mapping)
+	if err != nil {
+		return fmt.Errorf("integrate: register %s: %w", name, err)
+	}
+	e.sources = append(e.sources, &RegisteredSource{
+		Name: name, Listings: listings, translator: tr,
+	})
+	return nil
+}
+
+// Sources returns the registered source names.
+func (e *Engine) Sources() []string {
+	out := make([]string, len(e.sources))
+	for i, s := range e.sources {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Result is one answer tuple: the source it came from and the selected
+// attribute bindings.
+type Result struct {
+	Source string
+	Values map[string]string
+}
+
+// Execute answers the query: every source's listings are translated
+// into the mediated schema, filtered by the conditions, and projected
+// onto the selected attributes. Results keep source order, then listing
+// order.
+func (e *Engine) Execute(q Query) ([]Result, error) {
+	for _, c := range q.Where {
+		if e.mediated.Element(c.Attribute) == nil {
+			return nil, fmt.Errorf("integrate: unknown attribute %q", c.Attribute)
+		}
+		if (c.Op == Lt || c.Op == Gt) && !isNumber(c.Value) {
+			return nil, fmt.Errorf("integrate: %s needs a numeric operand, got %q", c.Op, c.Value)
+		}
+	}
+	selected := q.Select
+	if len(selected) == 0 {
+		for _, tag := range e.mediated.Tags() {
+			if e.mediated.IsLeaf(tag) {
+				selected = append(selected, tag)
+			}
+		}
+	}
+	var out []Result
+	for _, src := range e.sources {
+		for _, listing := range src.Listings {
+			med := src.translator.Translate(listing)
+			values := leafValues(med)
+			if !matches(q.Where, values) {
+				continue
+			}
+			row := make(map[string]string, len(selected))
+			for _, attr := range selected {
+				if v, ok := values[attr]; ok {
+					row[attr] = v
+				}
+			}
+			out = append(out, Result{Source: src.Name, Values: row})
+		}
+	}
+	return out, nil
+}
+
+func leafValues(doc *xmltree.Node) map[string]string {
+	out := make(map[string]string)
+	doc.Walk(func(n *xmltree.Node, _ []string) {
+		if n.IsLeaf() && n.Text != "" {
+			if _, ok := out[n.Tag]; !ok {
+				out[n.Tag] = n.Text
+			}
+		}
+	})
+	return out
+}
+
+func matches(conds []Condition, values map[string]string) bool {
+	for _, c := range conds {
+		v, ok := values[c.Attribute]
+		if !ok {
+			return false
+		}
+		switch c.Op {
+		case Eq:
+			if !strings.EqualFold(strings.TrimSpace(v), strings.TrimSpace(c.Value)) {
+				return false
+			}
+		case Contains:
+			if !strings.Contains(strings.ToLower(v), strings.ToLower(c.Value)) {
+				return false
+			}
+		case Lt, Gt:
+			nv, ok := parseNumber(v)
+			if !ok {
+				return false
+			}
+			op, _ := parseNumber(c.Value)
+			if c.Op == Lt && !(nv < op) {
+				return false
+			}
+			if c.Op == Gt && !(nv > op) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// parseNumber extracts the first number from a listing value, ignoring
+// currency symbols, commas, units, and page furniture.
+func parseNumber(s string) (float64, bool) {
+	cleaned := strings.Map(func(r rune) rune {
+		if unicode.IsDigit(r) || r == '.' {
+			return r
+		}
+		if r == ',' {
+			return -1
+		}
+		return ' '
+	}, s)
+	for _, f := range strings.Fields(cleaned) {
+		if v, err := strconv.ParseFloat(f, 64); err == nil {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+func isNumber(s string) bool {
+	_, ok := parseNumber(s)
+	return ok
+}
+
+// FormatResults renders results as an aligned text table.
+func FormatResults(rs []Result, attrs []string) string {
+	if len(attrs) == 0 {
+		seen := map[string]bool{}
+		for _, r := range rs {
+			for a := range r.Values {
+				if !seen[a] {
+					seen[a] = true
+					attrs = append(attrs, a)
+				}
+			}
+		}
+		sort.Strings(attrs)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s", "SOURCE")
+	for _, a := range attrs {
+		fmt.Fprintf(&b, " %-22s", a)
+	}
+	b.WriteString("\n")
+	for _, r := range rs {
+		fmt.Fprintf(&b, "%-22s", r.Source)
+		for _, a := range attrs {
+			fmt.Fprintf(&b, " %-22s", r.Values[a])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

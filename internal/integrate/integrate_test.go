@@ -1,0 +1,166 @@
+package integrate
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/dtd"
+	"repro/internal/xmltree"
+)
+
+var mediated = dtd.MustParse(`
+<!ELEMENT HOUSE (ADDRESS?, PRICE?, BATHS?)>
+<!ELEMENT ADDRESS (#PCDATA)>
+<!ELEMENT PRICE (#PCDATA)>
+<!ELEMENT BATHS (#PCDATA)>
+`)
+
+func listings(t *testing.T, xml string) []*xmltree.Node {
+	t.Helper()
+	docs, err := xmltree.ParseAll(strings.NewReader(xml))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return docs
+}
+
+func engine(t *testing.T) *Engine {
+	t.Helper()
+	e := NewEngine(mediated)
+	// Source A uses one vocabulary and $ prices.
+	err := e.Register("homeseekers.com", listings(t, `
+<l><addr>Seattle, WA</addr><price>$450,000</price><baths>4</baths></l>
+<l><addr>Portland, OR</addr><price>$650,000</price><baths>2</baths></l>
+`), constraint.Assignment{
+		"l": "HOUSE", "addr": "ADDRESS", "price": "PRICE", "baths": "BATHS",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Source B uses different tags and plain prices.
+	err = e.Register("greathomes.com", listings(t, `
+<e><area>Kent, WA</area><cost>390000</cost><ba>4</ba><junk>x</junk></e>
+<e><area>Miami, FL</area><cost>980000</cost><ba>3</ba><junk>y</junk></e>
+`), constraint.Assignment{
+		"e": "HOUSE", "area": "ADDRESS", "cost": "PRICE", "ba": "BATHS",
+		"junk": "OTHER",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestFigure1Query runs the paper's motivating query: houses with four
+// bathrooms and price under $500,000, answered across both sources.
+func TestFigure1Query(t *testing.T) {
+	e := engine(t)
+	rs, err := e.Execute(Query{
+		Select: []string{"ADDRESS", "PRICE"},
+		Where: []Condition{
+			{Attribute: "BATHS", Op: Eq, Value: "4"},
+			{Attribute: "PRICE", Op: Lt, Value: "500000"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("results = %d, want 2: %v", len(rs), rs)
+	}
+	if rs[0].Source != "homeseekers.com" || rs[0].Values["ADDRESS"] != "Seattle, WA" {
+		t.Errorf("rs[0] = %+v", rs[0])
+	}
+	if rs[1].Source != "greathomes.com" || rs[1].Values["ADDRESS"] != "Kent, WA" {
+		t.Errorf("rs[1] = %+v", rs[1])
+	}
+}
+
+func TestContainsAndGt(t *testing.T) {
+	e := engine(t)
+	rs, err := e.Execute(Query{
+		Where: []Condition{
+			{Attribute: "ADDRESS", Op: Contains, Value: "wa"},
+			{Attribute: "PRICE", Op: Gt, Value: "400000"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].Values["ADDRESS"] != "Seattle, WA" {
+		t.Errorf("rs = %v", rs)
+	}
+	// Empty Select returns all leaf attributes present.
+	if rs[0].Values["BATHS"] != "4" {
+		t.Errorf("projection missing BATHS: %v", rs[0].Values)
+	}
+}
+
+func TestExecuteErrors(t *testing.T) {
+	e := engine(t)
+	if _, err := e.Execute(Query{Where: []Condition{{Attribute: "NOPE", Op: Eq, Value: "x"}}}); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	if _, err := e.Execute(Query{Where: []Condition{{Attribute: "PRICE", Op: Lt, Value: "cheap"}}}); err == nil {
+		t.Error("non-numeric operand accepted for <")
+	}
+}
+
+func TestRegisterErrors(t *testing.T) {
+	e := NewEngine(mediated)
+	err := e.Register("bad", nil, constraint.Assignment{"x": "NOT-A-LABEL"})
+	if err == nil {
+		t.Error("bad mapping accepted")
+	}
+}
+
+func TestMissingAttributeFails(t *testing.T) {
+	// A source not covering BATHS can never satisfy a BATHS condition.
+	e := NewEngine(mediated)
+	if err := e.Register("partial", listings(t, `<l><price>100000</price></l>`),
+		constraint.Assignment{"l": "HOUSE", "price": "PRICE"}); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := e.Execute(Query{Where: []Condition{{Attribute: "BATHS", Op: Eq, Value: "2"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 0 {
+		t.Errorf("uncovered attribute matched: %v", rs)
+	}
+}
+
+func TestParseNumber(t *testing.T) {
+	cases := map[string]float64{
+		"$450,000":         450000,
+		"Note: $1,175,000": 1175000,
+		"3.5":              3.5,
+		"1200 sqft":        1200,
+	}
+	for in, want := range cases {
+		got, ok := parseNumber(in)
+		if !ok || got != want {
+			t.Errorf("parseNumber(%q) = %g, %v; want %g", in, got, ok, want)
+		}
+	}
+	if _, ok := parseNumber("no digits here"); ok {
+		t.Error("parseNumber accepted text")
+	}
+}
+
+func TestFormatResults(t *testing.T) {
+	rs := []Result{{Source: "s", Values: map[string]string{"PRICE": "$1"}}}
+	out := FormatResults(rs, nil)
+	if !strings.Contains(out, "SOURCE") || !strings.Contains(out, "$1") {
+		t.Errorf("FormatResults = %q", out)
+	}
+}
+
+func TestSourcesList(t *testing.T) {
+	e := engine(t)
+	got := e.Sources()
+	if len(got) != 2 || got[0] != "homeseekers.com" {
+		t.Errorf("Sources = %v", got)
+	}
+}

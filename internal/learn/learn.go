@@ -1,0 +1,234 @@
+// Package learn defines the machine-learning substrate of LSD: the
+// Learner interface all base learners implement, confidence-score
+// predictions (§2.2), training examples built from XML elements,
+// d-fold cross-validation (§3.1 step 5a), and the least-squares linear
+// regression the meta-learner uses to fit learner weights (§3.1 step
+// 5c).
+package learn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/xmltree"
+)
+
+// Other is the reserved label assigned to source tags that match no
+// mediated-schema tag (§2.2).
+const Other = "OTHER"
+
+// Instance is one XML element presented to the learners: LSD extracts
+// for every source element its tag name, the root-to-element tag path,
+// any synonym expansion of the name, the enclosed text, and the element
+// tree itself (for structural learners).
+type Instance struct {
+	// TagName is the source-schema tag of the element.
+	TagName string
+	// Path is the list of tags from the document root to the element,
+	// inclusive. The name matcher learns from the expanded name, which
+	// includes "all tag names leading to this element from the root"
+	// (§3.3).
+	Path []string
+	// Synonyms are additional names for the tag, when available.
+	Synonyms []string
+	// Content is the full text enclosed by the element.
+	Content string
+	// Node is the element tree; nil for purely textual instances.
+	Node *xmltree.Node
+}
+
+// ExpandedName returns the tag name expanded with its path and
+// synonyms, the input the name matcher vectorizes.
+func (in Instance) ExpandedName() string {
+	s := in.TagName
+	for _, p := range in.Path {
+		s += " " + p
+	}
+	for _, syn := range in.Synonyms {
+		s += " " + syn
+	}
+	return s
+}
+
+// Example pairs an instance with its observed label. Group identifies
+// the data source the example came from: cross-validation folds by
+// group, so that the fitted meta-weights measure how well each learner
+// generalizes to *unseen sources* rather than how well it memorizes the
+// training ones (§3.1: stacking "uses cross-validation to ensure that
+// the weights ... do not overfit the training sources"). Without
+// source-level folding the name matcher looks spuriously perfect — all
+// listings of a source share its tag names — and stacking would trust
+// it far beyond its real cross-source accuracy.
+type Example struct {
+	Instance Instance
+	Label    string
+	Group    string
+}
+
+// Prediction is a confidence-score distribution over labels:
+// s(c|x, L) for each label c, with scores summing to 1 after
+// Normalize (§2.2).
+type Prediction map[string]float64
+
+// Normalize scales the prediction so non-negative scores sum to 1.
+// Negative scores are clamped to 0 first. If every score is zero the
+// prediction becomes uniform over its labels.
+func (p Prediction) Normalize() Prediction {
+	sum := 0.0
+	for c, s := range p {
+		if s < 0 {
+			p[c] = 0
+		} else {
+			sum += s
+		}
+	}
+	if sum == 0 {
+		if len(p) == 0 {
+			return p
+		}
+		u := 1 / float64(len(p))
+		for c := range p {
+			p[c] = u
+		}
+		return p
+	}
+	for c := range p {
+		p[c] /= sum
+	}
+	return p
+}
+
+// Best returns the label with the highest score, breaking ties by
+// label order for determinism, and its score. The zero prediction
+// returns ("", 0).
+func (p Prediction) Best() (string, float64) {
+	best, bestScore := "", math.Inf(-1)
+	for _, c := range p.Labels() {
+		if s := p[c]; s > bestScore {
+			best, bestScore = c, s
+		}
+	}
+	if best == "" {
+		return "", 0
+	}
+	return best, bestScore
+}
+
+// Labels returns the labels of p in sorted order.
+func (p Prediction) Labels() []string {
+	out := make([]string, 0, len(p))
+	for c := range p {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns a copy of p.
+func (p Prediction) Clone() Prediction {
+	q := make(Prediction, len(p))
+	for c, s := range p {
+		q[c] = s
+	}
+	return q
+}
+
+// Uniform returns the uniform prediction over labels.
+func Uniform(labels []string) Prediction {
+	p := make(Prediction, len(labels))
+	if len(labels) == 0 {
+		return p
+	}
+	u := 1 / float64(len(labels))
+	for _, c := range labels {
+		p[c] = u
+	}
+	return p
+}
+
+// Learner is a base learner (§3.3): it is trained once on labelled
+// examples and then predicts a confidence-score distribution for new
+// instances. Implementations must return normalized predictions over
+// the label set given at training time.
+type Learner interface {
+	// Name identifies the learner in reports and lesion studies.
+	Name() string
+	// Train fits the learner to the examples. labels is the complete
+	// label set (mediated-schema tags plus OTHER); examples may not
+	// cover every label.
+	Train(labels []string, examples []Example) error
+	// Predict returns the learner's confidence scores for the instance.
+	Predict(in Instance) Prediction
+}
+
+// Factory creates a fresh, untrained learner. The meta-learner's
+// cross-validation trains throwaway copies on training folds, so
+// learners are constructed through factories rather than reused.
+type Factory func() Learner
+
+// CrossValidate produces CV(L) of §3.1 step 5(a): one prediction per
+// example, made by a copy of the learner trained on the other folds.
+// When the examples carry two or more distinct Groups (sources), the
+// folds are the groups — leave-one-source-out — so learner weights
+// measure cross-source generalization. Otherwise the examples are
+// shuffled with rng and split into d random parts. The returned slice
+// is aligned with the input examples.
+func CrossValidate(factory Factory, labels []string, examples []Example, d int, rng *rand.Rand) ([]Prediction, error) {
+	n := len(examples)
+	if n == 0 {
+		return nil, nil
+	}
+	if d < 2 {
+		return nil, fmt.Errorf("learn: cross-validation needs d >= 2, got %d", d)
+	}
+	fold := make([]int, n) // example index -> fold
+	groupFold := make(map[string]int)
+	for _, ex := range examples {
+		if ex.Group == "" {
+			continue
+		}
+		if _, ok := groupFold[ex.Group]; !ok {
+			groupFold[ex.Group] = len(groupFold)
+		}
+	}
+	if len(groupFold) >= 2 {
+		d = len(groupFold)
+		for i, ex := range examples {
+			fold[i] = groupFold[ex.Group]
+		}
+		return crossValidateFolds(factory, labels, examples, fold, d)
+	}
+	if d > n {
+		d = n
+	}
+	perm := rng.Perm(n)
+	for i, pi := range perm {
+		fold[pi] = i % d
+	}
+	return crossValidateFolds(factory, labels, examples, fold, d)
+}
+
+func crossValidateFolds(factory Factory, labels []string, examples []Example, fold []int, d int) ([]Prediction, error) {
+	n := len(examples)
+	preds := make([]Prediction, n)
+	for f := 0; f < d; f++ {
+		train := make([]Example, 0, n)
+		for i, ex := range examples {
+			if fold[i] != f {
+				train = append(train, ex)
+			}
+		}
+		l := factory()
+		if err := l.Train(labels, train); err != nil {
+			return nil, fmt.Errorf("learn: cross-validation fold %d: %w", f, err)
+		}
+		for i, ex := range examples {
+			if fold[i] == f {
+				preds[i] = l.Predict(ex.Instance)
+			}
+		}
+	}
+	return preds, nil
+}

@@ -1,0 +1,255 @@
+package learn
+
+import (
+	"fmt"
+	"math"
+)
+
+// LeastSquares fits weights w minimizing Σᵢ (yᵢ − Σⱼ X[i][j]·wⱼ)²,
+// the regression of §3.1 step 5(c). It solves the normal equations
+// XᵀX w = Xᵀy by Gaussian elimination with partial pivoting; a tiny
+// ridge term keeps the system well-posed when learners are perfectly
+// correlated on the training set (common with few examples).
+func LeastSquares(x [][]float64, y []float64) ([]float64, error) {
+	n := len(x)
+	if n == 0 {
+		return nil, fmt.Errorf("learn: regression with no rows")
+	}
+	if n != len(y) {
+		return nil, fmt.Errorf("learn: regression rows %d != targets %d", n, len(y))
+	}
+	k := len(x[0])
+	if k == 0 {
+		return nil, fmt.Errorf("learn: regression with no features")
+	}
+	for i, row := range x {
+		if len(row) != k {
+			return nil, fmt.Errorf("learn: regression row %d has %d features, want %d", i, len(row), k)
+		}
+	}
+
+	// Build XᵀX and Xᵀy.
+	const ridge = 1e-9
+	a := make([][]float64, k)
+	b := make([]float64, k)
+	for j := 0; j < k; j++ {
+		a[j] = make([]float64, k)
+	}
+	for _, row := range x {
+		for j := 0; j < k; j++ {
+			if row[j] == 0 {
+				continue
+			}
+			for l := j; l < k; l++ {
+				a[j][l] += row[j] * row[l]
+			}
+		}
+	}
+	for j := 0; j < k; j++ {
+		for l := 0; l < j; l++ {
+			a[j][l] = a[l][j]
+		}
+		a[j][j] += ridge
+	}
+	for i, row := range x {
+		for j := 0; j < k; j++ {
+			b[j] += row[j] * y[i]
+		}
+	}
+	w, err := solve(a, b)
+	if err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// NonNegativeLeastSquares fits weights w ≥ 0 minimizing ‖X·w − y‖²
+// with the Lawson-Hanson active-set algorithm. Stacking with
+// confidence-score features uses non-negative weights (Ting & Witten,
+// the stacking method §3.1 cites): unconstrained regression assigns
+// large negative weights to correlated learners, which generalizes
+// poorly to new sources.
+func NonNegativeLeastSquares(x [][]float64, y []float64) ([]float64, error) {
+	n := len(x)
+	if n == 0 {
+		return nil, fmt.Errorf("learn: regression with no rows")
+	}
+	if n != len(y) {
+		return nil, fmt.Errorf("learn: regression rows %d != targets %d", n, len(y))
+	}
+	k := len(x[0])
+	if k == 0 {
+		return nil, fmt.Errorf("learn: regression with no features")
+	}
+	for i, row := range x {
+		if len(row) != k {
+			return nil, fmt.Errorf("learn: regression row %d has %d features, want %d", i, len(row), k)
+		}
+	}
+
+	w := make([]float64, k)
+	passive := make([]bool, k) // the active set P of Lawson-Hanson
+	const tol = 1e-10
+
+	residual := func() []float64 {
+		r := make([]float64, n)
+		for i := range x {
+			s := y[i]
+			for j := 0; j < k; j++ {
+				s -= x[i][j] * w[j]
+			}
+			r[i] = s
+		}
+		return r
+	}
+	gradient := func(r []float64) []float64 {
+		g := make([]float64, k)
+		for i := range x {
+			for j := 0; j < k; j++ {
+				g[j] += x[i][j] * r[i]
+			}
+		}
+		return g
+	}
+	// solveOnPassive solves the unconstrained LS restricted to the
+	// passive columns, returning a full-length vector (zeros elsewhere).
+	solveOnPassive := func() ([]float64, error) {
+		var cols []int
+		for j := 0; j < k; j++ {
+			if passive[j] {
+				cols = append(cols, j)
+			}
+		}
+		sub := make([][]float64, n)
+		for i := range x {
+			row := make([]float64, len(cols))
+			for jj, j := range cols {
+				row[jj] = x[i][j]
+			}
+			sub[i] = row
+		}
+		zs, err := LeastSquares(sub, y)
+		if err != nil {
+			return nil, err
+		}
+		z := make([]float64, k)
+		for jj, j := range cols {
+			z[j] = zs[jj]
+		}
+		return z, nil
+	}
+
+	for iter := 0; iter < 3*k+10; iter++ {
+		g := gradient(residual())
+		// Select the most improving zero-weight feature.
+		bestJ, bestG := -1, tol
+		for j := 0; j < k; j++ {
+			if !passive[j] && g[j] > bestG {
+				bestJ, bestG = j, g[j]
+			}
+		}
+		if bestJ < 0 {
+			break
+		}
+		passive[bestJ] = true
+
+		for {
+			z, err := solveOnPassive()
+			if err != nil {
+				return nil, err
+			}
+			// Feasible: accept.
+			minZ := math.Inf(1)
+			for j := 0; j < k; j++ {
+				if passive[j] && z[j] < minZ {
+					minZ = z[j]
+				}
+			}
+			if minZ > tol {
+				copy(w, z)
+				break
+			}
+			// Step toward z until the first weight hits zero; demote it.
+			alpha := math.Inf(1)
+			for j := 0; j < k; j++ {
+				if passive[j] && z[j] <= tol {
+					if a := w[j] / (w[j] - z[j]); a < alpha {
+						alpha = a
+					}
+				}
+			}
+			if math.IsInf(alpha, 1) || math.IsNaN(alpha) {
+				alpha = 0
+			}
+			for j := 0; j < k; j++ {
+				if passive[j] {
+					w[j] += alpha * (z[j] - w[j])
+					if w[j] <= tol {
+						w[j] = 0
+						passive[j] = false
+					}
+				}
+			}
+		}
+	}
+	return w, nil
+}
+
+// solve solves the linear system a·w = b in place using Gaussian
+// elimination with partial pivoting.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	k := len(a)
+	for col := 0; col < k; col++ {
+		// Pivot.
+		pivot := col
+		for r := col + 1; r < k; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-15 {
+			return nil, fmt.Errorf("learn: singular regression system at column %d", col)
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		// Eliminate below.
+		for r := col + 1; r < k; r++ {
+			f := a[r][col] / a[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < k; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	// Back-substitute.
+	w := make([]float64, k)
+	for r := k - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < k; c++ {
+			s -= a[r][c] * w[c]
+		}
+		w[r] = s / a[r][r]
+	}
+	return w, nil
+}
+
+// Accuracy returns the fraction of predictions whose Best label equals
+// the true label. Slices must be aligned; it panics on length mismatch.
+func Accuracy(preds []Prediction, truth []string) float64 {
+	if len(preds) != len(truth) {
+		panic("learn: Accuracy length mismatch")
+	}
+	if len(preds) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, p := range preds {
+		if best, _ := p.Best(); best == truth[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(preds))
+}

@@ -1,0 +1,238 @@
+package learn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLeastSquaresExact(t *testing.T) {
+	// y = 2*x1 + 3*x2, exactly determined.
+	x := [][]float64{{1, 0}, {0, 1}, {1, 1}, {2, 1}}
+	y := []float64{2, 3, 5, 7}
+	w, err := LeastSquares(x, y)
+	if err != nil {
+		t.Fatalf("LeastSquares: %v", err)
+	}
+	if math.Abs(w[0]-2) > 1e-6 || math.Abs(w[1]-3) > 1e-6 {
+		t.Errorf("w = %v, want [2 3]", w)
+	}
+}
+
+func TestLeastSquaresOverdetermined(t *testing.T) {
+	// Noisy y ≈ 1.5*x; fitted slope must be the least-squares estimate
+	// Σxy/Σx² for the single-feature case.
+	x := [][]float64{{1}, {2}, {3}, {4}}
+	y := []float64{1.4, 3.2, 4.4, 6.1}
+	sumXY, sumXX := 0.0, 0.0
+	for i := range x {
+		sumXY += x[i][0] * y[i]
+		sumXX += x[i][0] * x[i][0]
+	}
+	want := sumXY / sumXX
+	w, err := LeastSquares(x, y)
+	if err != nil {
+		t.Fatalf("LeastSquares: %v", err)
+	}
+	if math.Abs(w[0]-want) > 1e-6 {
+		t.Errorf("w = %v, want %g", w, want)
+	}
+}
+
+func TestLeastSquaresCollinear(t *testing.T) {
+	// Two identical features: ridge keeps the system solvable and the
+	// fitted function must still reproduce y.
+	x := [][]float64{{1, 1}, {2, 2}, {3, 3}}
+	y := []float64{2, 4, 6}
+	w, err := LeastSquares(x, y)
+	if err != nil {
+		t.Fatalf("LeastSquares collinear: %v", err)
+	}
+	for i := range x {
+		got := x[i][0]*w[0] + x[i][1]*w[1]
+		if math.Abs(got-y[i]) > 1e-3 {
+			t.Errorf("fit(%v) = %g, want %g", x[i], got, y[i])
+		}
+	}
+}
+
+func TestLeastSquaresErrors(t *testing.T) {
+	if _, err := LeastSquares(nil, nil); err == nil {
+		t.Error("no rows should error")
+	}
+	if _, err := LeastSquares([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("row/target mismatch should error")
+	}
+	if _, err := LeastSquares([][]float64{{}}, []float64{1}); err == nil {
+		t.Error("no features should error")
+	}
+	if _, err := LeastSquares([][]float64{{1, 2}, {1}}, []float64{1, 2}); err == nil {
+		t.Error("ragged rows should error")
+	}
+}
+
+// TestLeastSquaresRecoversPlantedWeights is a property test: data
+// generated from planted weights with no noise is recovered.
+func TestLeastSquaresRecoversPlantedWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 1 + r.Intn(4)
+		n := k + 2 + r.Intn(10)
+		planted := make([]float64, k)
+		for j := range planted {
+			planted[j] = r.Float64()*4 - 2
+		}
+		x := make([][]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = make([]float64, k)
+			for j := range x[i] {
+				x[i][j] = r.Float64()*2 - 1
+			}
+			for j := range x[i] {
+				y[i] += planted[j] * x[i][j]
+			}
+		}
+		w, err := LeastSquares(x, y)
+		if err != nil {
+			return false
+		}
+		for j := range w {
+			if math.Abs(w[j]-planted[j]) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{Rand: rng, MaxCount: 50}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNNLSMatchesUnconstrainedWhenPositive(t *testing.T) {
+	// Planted positive weights: NNLS must recover them exactly.
+	x := [][]float64{{1, 0}, {0, 1}, {1, 1}, {2, 1}}
+	y := []float64{2, 3, 5, 7}
+	w, err := NonNegativeLeastSquares(x, y)
+	if err != nil {
+		t.Fatalf("NNLS: %v", err)
+	}
+	if math.Abs(w[0]-2) > 1e-6 || math.Abs(w[1]-3) > 1e-6 {
+		t.Errorf("w = %v, want [2 3]", w)
+	}
+}
+
+func TestNNLSClampsNegative(t *testing.T) {
+	// y = x1 - x2 exactly; the unconstrained solution has w2 < 0, so
+	// NNLS must return w2 = 0 and refit w1.
+	x := [][]float64{{1, 1}, {2, 1}, {3, 2}, {4, 1}}
+	y := make([]float64, len(x))
+	for i := range x {
+		y[i] = x[i][0] - x[i][1]
+	}
+	w, err := NonNegativeLeastSquares(x, y)
+	if err != nil {
+		t.Fatalf("NNLS: %v", err)
+	}
+	for j, wj := range w {
+		if wj < 0 {
+			t.Errorf("w[%d] = %g < 0", j, wj)
+		}
+	}
+	if w[1] != 0 {
+		t.Errorf("w[1] = %g, want 0", w[1])
+	}
+	if w[0] <= 0 {
+		t.Errorf("w[0] = %g, want > 0", w[0])
+	}
+}
+
+func TestNNLSZeroTarget(t *testing.T) {
+	x := [][]float64{{1, 2}, {3, 4}}
+	y := []float64{0, 0}
+	w, err := NonNegativeLeastSquares(x, y)
+	if err != nil {
+		t.Fatalf("NNLS: %v", err)
+	}
+	if w[0] != 0 || w[1] != 0 {
+		t.Errorf("w = %v, want zeros", w)
+	}
+}
+
+func TestNNLSErrors(t *testing.T) {
+	if _, err := NonNegativeLeastSquares(nil, nil); err == nil {
+		t.Error("no rows should error")
+	}
+	if _, err := NonNegativeLeastSquares([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("mismatch should error")
+	}
+	if _, err := NonNegativeLeastSquares([][]float64{{}}, []float64{1}); err == nil {
+		t.Error("no features should error")
+	}
+	if _, err := NonNegativeLeastSquares([][]float64{{1, 2}, {1}}, []float64{1, 2}); err == nil {
+		t.Error("ragged rows should error")
+	}
+}
+
+// TestNNLSNeverWorseThanZero: property test — the NNLS fit must have
+// residual no larger than the all-zero fit.
+func TestNNLSNeverWorseThanZero(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 1 + r.Intn(4)
+		n := k + 2 + r.Intn(8)
+		x := make([][]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = make([]float64, k)
+			for j := range x[i] {
+				x[i][j] = r.Float64()
+			}
+			y[i] = r.Float64()*2 - 1
+		}
+		w, err := NonNegativeLeastSquares(x, y)
+		if err != nil {
+			return false
+		}
+		ssFit, ssZero := 0.0, 0.0
+		for i := range x {
+			pred := 0.0
+			for j := range w {
+				if w[j] < 0 {
+					return false
+				}
+				pred += w[j] * x[i][j]
+			}
+			ssFit += (y[i] - pred) * (y[i] - pred)
+			ssZero += y[i] * y[i]
+		}
+		return ssFit <= ssZero+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolvePivoting(t *testing.T) {
+	// A system whose first pivot is zero: requires row exchange.
+	a := [][]float64{{0, 1}, {1, 0}}
+	b := []float64{3, 5}
+	w, err := solve(a, b)
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	if math.Abs(w[0]-5) > 1e-12 || math.Abs(w[1]-3) > 1e-12 {
+		t.Errorf("w = %v, want [5 3]", w)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := [][]float64{{1, 1}, {1, 1}}
+	b := []float64{1, 2}
+	if _, err := solve(a, b); err == nil {
+		t.Error("singular system should error")
+	}
+}

@@ -1,0 +1,27 @@
+// Package contentmatcher implements the content matcher of §3.3: a
+// WHIRL nearest-neighbour classifier over the data content of elements.
+// It works well on long textual elements (house descriptions) and on
+// elements with distinct descriptive values (colours), and poorly on
+// short numeric elements (number of bathrooms).
+package contentmatcher
+
+import (
+	"repro/internal/learn"
+	"repro/internal/learners/whirl"
+)
+
+// New returns an untrained content matcher.
+func New() learn.Learner {
+	cfg := whirl.DefaultConfig()
+	// Content vectors are long and noisy; a similarity floor keeps the
+	// matcher from issuing confident predictions off incidental token
+	// overlap on short values (§3.3 notes it "is not good at short,
+	// numeric elements") — below the floor it abstains instead.
+	cfg.MinSimilarity = 0.15
+	return whirl.New("ContentMatcher", func(in learn.Instance) string {
+		return in.Content
+	}, cfg)
+}
+
+// Factory is a learn.Factory for the content matcher.
+func Factory() learn.Learner { return New() }

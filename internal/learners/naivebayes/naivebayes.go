@@ -1,0 +1,161 @@
+// Package naivebayes implements the Naive Bayes text classifier of
+// §3.3: each input instance is a bag of tokens produced by parsing and
+// stemming the words and symbols in the instance; the learner assigns
+// d = {w1..wk} to the class maximizing P(c)·ΠP(wj|c), with P(wj|c)
+// estimated as n(wj,c)/n(c) under Laplace smoothing. It works best when
+// tokens are strongly indicative of the label by virtue of their
+// frequencies ("beautiful", "great" in house descriptions), and poorly
+// on short or numeric fields.
+package naivebayes
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/learn"
+	"repro/internal/text"
+)
+
+// Learner is a multinomial Naive Bayes classifier over stemmed tokens.
+type Learner struct {
+	labels []string
+	// tokenCount[c][w] = n(w, c); totalCount[c] = n(c).
+	tokenCount map[string]map[string]float64
+	totalCount map[string]float64
+	// docCount[c] = number of training instances with label c.
+	docCount map[string]float64
+	numDocs  float64
+	vocab    map[string]bool
+}
+
+// New returns an untrained Naive Bayes learner.
+func New() *Learner { return &Learner{} }
+
+// Factory is a learn.Factory for the Naive Bayes learner.
+func Factory() learn.Learner { return New() }
+
+// Name implements learn.Learner.
+func (l *Learner) Name() string { return "NaiveBayes" }
+
+// Tokens returns the bag of tokens NB derives from an instance: the
+// stemmed words and symbols of its data content. Exposed so the XML
+// learner can reuse the identical token pipeline for its text tokens.
+func Tokens(content string) []string {
+	return text.TokenizeAndStem(content)
+}
+
+// Train estimates P(c) and P(w|c) from the examples.
+func (l *Learner) Train(labels []string, examples []learn.Example) error {
+	if len(labels) == 0 {
+		return fmt.Errorf("naivebayes: no labels")
+	}
+	l.labels = append([]string(nil), labels...)
+	l.tokenCount = make(map[string]map[string]float64, len(labels))
+	l.totalCount = make(map[string]float64, len(labels))
+	l.docCount = make(map[string]float64, len(labels))
+	l.vocab = make(map[string]bool)
+	for _, c := range labels {
+		l.tokenCount[c] = make(map[string]float64)
+	}
+	l.numDocs = float64(len(examples))
+	for _, ex := range examples {
+		counts, ok := l.tokenCount[ex.Label]
+		if !ok {
+			return fmt.Errorf("naivebayes: example labelled %q outside label set", ex.Label)
+		}
+		l.docCount[ex.Label]++
+		for _, w := range Tokens(ex.Instance.Content) {
+			counts[w]++
+			l.totalCount[ex.Label]++
+			l.vocab[w] = true
+		}
+	}
+	return nil
+}
+
+// TrainBags fits the model directly from per-example token bags. The
+// XML learner uses this entry point with its structural token bags.
+func (l *Learner) TrainBags(labels []string, bags []text.Bag, bagLabels []string) error {
+	if len(bags) != len(bagLabels) {
+		return fmt.Errorf("naivebayes: %d bags but %d labels", len(bags), len(bagLabels))
+	}
+	l.labels = append([]string(nil), labels...)
+	l.tokenCount = make(map[string]map[string]float64, len(labels))
+	l.totalCount = make(map[string]float64, len(labels))
+	l.docCount = make(map[string]float64, len(labels))
+	l.vocab = make(map[string]bool)
+	for _, c := range labels {
+		l.tokenCount[c] = make(map[string]float64)
+	}
+	l.numDocs = float64(len(bags))
+	for i, bag := range bags {
+		c := bagLabels[i]
+		counts, ok := l.tokenCount[c]
+		if !ok {
+			return fmt.Errorf("naivebayes: bag labelled %q outside label set", c)
+		}
+		l.docCount[c]++
+		for w, n := range bag {
+			counts[w] += float64(n)
+			l.totalCount[c] += float64(n)
+			l.vocab[w] = true
+		}
+	}
+	return nil
+}
+
+// Predict computes the posterior distribution over labels for the
+// instance's content.
+func (l *Learner) Predict(in learn.Instance) learn.Prediction {
+	return l.PredictBag(text.NewBag(Tokens(in.Content)))
+}
+
+// PredictBag computes the posterior for an explicit token bag.
+// Arithmetic is in log space; the result is soft-maxed back to a
+// normalized confidence distribution.
+func (l *Learner) PredictBag(bag text.Bag) learn.Prediction {
+	p := make(learn.Prediction, len(l.labels))
+	if l.numDocs == 0 {
+		return learn.Uniform(l.labels)
+	}
+	vocabSize := float64(len(l.vocab))
+	if vocabSize == 0 {
+		vocabSize = 1
+	}
+	logs := make(map[string]float64, len(l.labels))
+	maxLog := math.Inf(-1)
+	for _, c := range l.labels {
+		// Laplace-smoothed class prior: labels absent from training keep
+		// a small non-zero probability.
+		lp := math.Log((l.docCount[c] + 1) / (l.numDocs + float64(len(l.labels))))
+		denom := l.totalCount[c] + vocabSize
+		for w, n := range bag {
+			lp += float64(n) * math.Log((l.tokenCount[c][w]+1)/denom)
+		}
+		logs[c] = lp
+		if lp > maxLog {
+			maxLog = lp
+		}
+	}
+	for c, lp := range logs {
+		p[c] = math.Exp(lp - maxLog)
+	}
+	return p.Normalize()
+}
+
+// LogLikelihood returns log P(bag|c) + log P(c) for diagnostics.
+func (l *Learner) LogLikelihood(bag text.Bag, c string) float64 {
+	if l.numDocs == 0 {
+		return 0
+	}
+	vocabSize := float64(len(l.vocab))
+	if vocabSize == 0 {
+		vocabSize = 1
+	}
+	lp := math.Log((l.docCount[c] + 1) / (l.numDocs + float64(len(l.labels))))
+	denom := l.totalCount[c] + vocabSize
+	for w, n := range bag {
+		lp += float64(n) * math.Log((l.tokenCount[c][w]+1)/denom)
+	}
+	return lp
+}

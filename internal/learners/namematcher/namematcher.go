@@ -1,0 +1,22 @@
+// Package namematcher implements the name matcher of §3.3: a WHIRL
+// nearest-neighbour classifier over tag names expanded with synonyms
+// and all tag names on the path from the root. It works well on
+// specific, descriptive names (price, house location) and poorly on
+// names that share no synonyms, partial names, or vacuous names (item,
+// listing).
+package namematcher
+
+import (
+	"repro/internal/learn"
+	"repro/internal/learners/whirl"
+)
+
+// New returns an untrained name matcher.
+func New() learn.Learner {
+	return whirl.New("NameMatcher", func(in learn.Instance) string {
+		return in.ExpandedName()
+	}, whirl.DefaultConfig())
+}
+
+// Factory is a learn.Factory for the name matcher.
+func Factory() learn.Learner { return New() }

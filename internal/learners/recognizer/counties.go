@@ -1,0 +1,38 @@
+package recognizer
+
+// USCounties returns the embedded county-name database. The paper's
+// recognizer used a database extracted from the Web; this list covers
+// the most populous US counties plus the counties of Washington state
+// (the paper's real-estate sources are Seattle-area heavy), which is
+// sufficient for the membership-test behaviour the experiments need.
+func USCounties() []string {
+	return []string{
+		// Washington state (all 39).
+		"Adams", "Asotin", "Benton", "Chelan", "Clallam", "Clark",
+		"Columbia", "Cowlitz", "Douglas", "Ferry", "Franklin", "Garfield",
+		"Grant", "Grays Harbor", "Island", "Jefferson", "King", "Kitsap",
+		"Kittitas", "Klickitat", "Lewis", "Lincoln", "Mason", "Okanogan",
+		"Pacific", "Pend Oreille", "Pierce", "San Juan", "Skagit",
+		"Skamania", "Snohomish", "Spokane", "Stevens", "Thurston",
+		"Wahkiakum", "Walla Walla", "Whatcom", "Whitman", "Yakima",
+		// Most populous counties elsewhere.
+		"Los Angeles", "Cook", "Harris", "Maricopa", "San Diego",
+		"Orange", "Miami-Dade", "Dallas", "Kings", "Riverside",
+		"Queens", "San Bernardino", "Clark", "Tarrant", "Santa Clara",
+		"Broward", "Wayne", "Bexar", "New York", "Alameda",
+		"Middlesex", "Philadelphia", "Suffolk", "Sacramento", "Bronx",
+		"Palm Beach", "Nassau", "Hillsborough", "Cuyahoga", "Allegheny",
+		"Oakland", "Franklin", "Hennepin", "Travis", "Fairfax",
+		"Contra Costa", "Salt Lake", "Montgomery", "Pima", "Fulton",
+		"Mecklenburg", "Westchester", "Milwaukee", "Wake", "Fresno",
+		"Shelby", "Fairfield", "DuPage", "Erie", "Marion",
+		"Hartford", "Prince George's", "Duval", "Bergen", "Gwinnett",
+		"Multnomah", "Denver", "Baltimore", "Kern", "Ventura",
+		"Macomb", "St. Louis", "San Francisco", "El Paso", "Hamilton",
+		"Honolulu", "Hidalgo", "Essex", "Monroe", "Jackson",
+		"Worcester", "Norfolk", "Bernalillo", "Providence", "Davidson",
+		"Jefferson", "Will", "Collin", "Lake", "Johnson",
+		"Summit", "Washtenaw", "Boulder", "Ada", "Utah",
+		"Washoe", "Douglas", "Lane", "Marin", "Sonoma",
+	}
+}

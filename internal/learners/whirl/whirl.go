@@ -1,0 +1,190 @@
+// Package whirl implements the nearest-neighbour classification model
+// of Cohen and Hirsh's WHIRL, which the paper's name matcher and
+// content matcher are built on (§3.3): training examples are stored as
+// TF/IDF vectors, and a new instance is labelled from the labels of the
+// stored examples within a similarity distance of it, combined with a
+// noisy-or.
+package whirl
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/learn"
+	"repro/internal/text"
+)
+
+// Extractor maps an instance to the text the classifier vectorizes.
+// The name matcher extracts the expanded tag name; the content matcher
+// extracts the data content.
+type Extractor func(learn.Instance) string
+
+// Config tunes a Classifier.
+type Config struct {
+	// MinSimilarity is the δ threshold of §3.3: stored examples whose
+	// cosine similarity falls at or below it are ignored.
+	MinSimilarity float64
+	// MaxNeighbors caps how many nearest stored examples contribute.
+	// Zero means all neighbours within the threshold.
+	MaxNeighbors int
+	// Smoothing is added to every label score before normalization so
+	// no label is ever ruled out entirely.
+	Smoothing float64
+}
+
+// DefaultConfig matches the behaviour described in the paper: consider
+// every stored example with positive similarity, lightly smoothed.
+func DefaultConfig() Config {
+	return Config{MinSimilarity: 0, MaxNeighbors: 30, Smoothing: 0.01}
+}
+
+type stored struct {
+	vec   text.Vector
+	label string
+}
+
+// Classifier is a WHIRL-style TF/IDF nearest-neighbour classifier.
+// Lookups run against an inverted index (token → postings), so a
+// prediction touches only stored examples that share a token with the
+// query instead of the whole store.
+type Classifier struct {
+	name    string
+	extract Extractor
+	cfg     Config
+	labels  []string
+	corpus  *text.Corpus
+	store   []stored
+	// index maps each token to the store indices whose vectors contain
+	// it.
+	index map[string][]int32
+	// cache memoizes predictions by extracted text: name-matcher inputs
+	// repeat once per column instance, so hit rates are very high. The
+	// cache is bounded and reset when full.
+	cache map[string]learn.Prediction
+}
+
+// maxCacheEntries bounds the prediction cache.
+const maxCacheEntries = 8192
+
+// New returns an untrained classifier. name identifies it in reports;
+// extract selects the instance text.
+func New(name string, extract Extractor, cfg Config) *Classifier {
+	return &Classifier{name: name, extract: extract, cfg: cfg}
+}
+
+// Name implements learn.Learner.
+func (c *Classifier) Name() string { return c.name }
+
+// Train stores the TF/IDF vectors of all training examples (§3.3: "the
+// name matcher stores all training examples ... it has seen so far").
+func (c *Classifier) Train(labels []string, examples []learn.Example) error {
+	if len(labels) == 0 {
+		return fmt.Errorf("whirl: no labels")
+	}
+	c.labels = append([]string(nil), labels...)
+	// Deduplicate by (extracted text, label): a source contributes one
+	// identical example per listing, and the noisy-or combination must
+	// count distinct pieces of evidence, not copies — otherwise forty
+	// identical partial matches saturate the score to certainty.
+	type docKey struct{ text, label string }
+	seen := make(map[docKey]bool, len(examples))
+	var texts []string
+	var docLabels []string
+	for _, ex := range examples {
+		k := docKey{c.extract(ex.Instance), ex.Label}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		texts = append(texts, k.text)
+		docLabels = append(docLabels, k.label)
+	}
+	c.corpus = text.NewCorpus()
+	bags := make([]text.Bag, len(texts))
+	for i, txt := range texts {
+		bags[i] = text.NewBag(text.TokenizeStemStop(txt))
+		c.corpus.AddDocument(bags[i])
+	}
+	c.corpus.Freeze()
+	c.cache = nil
+	c.store = make([]stored, 0, len(texts))
+	c.index = make(map[string][]int32)
+	for i := range texts {
+		vec := c.corpus.Vectorize(bags[i])
+		c.store = append(c.store, stored{vec: vec, label: docLabels[i]})
+		for tok := range vec {
+			c.index[tok] = append(c.index[tok], int32(i))
+		}
+	}
+	return nil
+}
+
+// Predict computes the similarity of the instance to every stored
+// example and combines the similarities of the qualifying neighbours
+// per label with a noisy-or: s(c) = 1 − Π(1 − simᵢ). Scores are
+// smoothed and normalized to a confidence distribution.
+func (c *Classifier) Predict(in learn.Instance) learn.Prediction {
+	extracted := c.extract(in)
+	if cached, ok := c.cache[extracted]; ok {
+		return cached.Clone()
+	}
+	p := make(learn.Prediction, len(c.labels))
+	for _, l := range c.labels {
+		p[l] = c.cfg.Smoothing
+	}
+	if c.corpus == nil || len(c.store) == 0 {
+		return p.Normalize()
+	}
+	q := c.corpus.Vectorize(text.NewBag(text.TokenizeStemStop(extracted)))
+
+	// Accumulate dot products over the inverted index: only stored
+	// examples sharing at least one token with the query can have a
+	// non-zero similarity.
+	sims := make(map[int32]float64)
+	for tok, w := range q {
+		for _, i := range c.index[tok] {
+			sims[i] += w * c.store[i].vec[tok]
+		}
+	}
+	type neighbor struct {
+		sim   float64
+		label string
+	}
+	neighbors := make([]neighbor, 0, len(sims))
+	for i, sim := range sims {
+		if sim > c.cfg.MinSimilarity {
+			neighbors = append(neighbors, neighbor{sim, c.store[i].label})
+		}
+	}
+	if k := c.cfg.MaxNeighbors; k > 0 && len(neighbors) > k {
+		// Only the k nearest neighbours contribute.
+		sort.Slice(neighbors, func(i, j int) bool {
+			if neighbors[i].sim != neighbors[j].sim {
+				return neighbors[i].sim > neighbors[j].sim
+			}
+			return neighbors[i].label < neighbors[j].label
+		})
+		neighbors = neighbors[:k]
+	}
+	// Noisy-or per label.
+	oneMinus := make(map[string]float64, len(c.labels))
+	for _, n := range neighbors {
+		prev, ok := oneMinus[n.label]
+		if !ok {
+			prev = 1
+		}
+		oneMinus[n.label] = prev * (1 - n.sim)
+	}
+	for l, om := range oneMinus {
+		p[l] += 1 - om
+	}
+	p.Normalize()
+	if c.cache == nil || len(c.cache) >= maxCacheEntries {
+		c.cache = make(map[string]learn.Prediction, 256)
+	}
+	c.cache[extracted] = p.Clone()
+	return p
+}
+
+// NumStored returns how many training examples the classifier holds.
+func (c *Classifier) NumStored() int { return len(c.store) }

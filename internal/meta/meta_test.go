@@ -1,0 +1,263 @@
+package meta
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/learn"
+)
+
+var labels = []string{"ADDRESS", "AGENT-PHONE", "DESCRIPTION"}
+
+// oracle predicts the true label perfectly via a tag->label table.
+type oracle struct {
+	table  map[string]string
+	labels []string
+}
+
+func (o *oracle) Name() string { return "oracle" }
+func (o *oracle) Train(labels []string, examples []learn.Example) error {
+	o.labels = labels
+	o.table = make(map[string]string)
+	for _, ex := range examples {
+		o.table[ex.Instance.TagName] = ex.Label
+	}
+	return nil
+}
+func (o *oracle) Predict(in learn.Instance) learn.Prediction {
+	p := learn.Prediction{}
+	for _, c := range o.labels {
+		p[c] = 0.01
+	}
+	if l, ok := o.table[in.TagName]; ok {
+		p[l] = 1
+	}
+	return p.Normalize()
+}
+
+// antiOracle always puts its mass on the wrong label.
+type antiOracle struct {
+	oracle
+}
+
+func (a *antiOracle) Name() string { return "anti" }
+func (a *antiOracle) Predict(in learn.Instance) learn.Prediction {
+	p := learn.Prediction{}
+	truth := a.table[in.TagName]
+	for _, c := range a.labels {
+		if c == truth {
+			p[c] = 0.01
+		} else {
+			p[c] = 1
+		}
+	}
+	return p.Normalize()
+}
+
+// coin predicts uniformly: carries no information.
+type coin struct{ labels []string }
+
+func (c *coin) Name() string { return "coin" }
+func (c *coin) Train(labels []string, _ []learn.Example) error {
+	c.labels = labels
+	return nil
+}
+func (c *coin) Predict(learn.Instance) learn.Prediction {
+	return learn.Uniform(c.labels)
+}
+
+func sharedExamples() []learn.Example {
+	// Tags generalize across examples so the oracle's CV copies can
+	// learn them from other folds.
+	tags := map[string]string{
+		"location": "ADDRESS", "house-addr": "ADDRESS", "area": "ADDRESS",
+		"phone": "AGENT-PHONE", "contact-phone": "AGENT-PHONE", "tel": "AGENT-PHONE",
+		"comments": "DESCRIPTION", "extra-info": "DESCRIPTION", "desc": "DESCRIPTION",
+	}
+	var out []learn.Example
+	for i := 0; i < 4; i++ {
+		for tag, label := range tags {
+			out = append(out, learn.Example{
+				Instance: learn.Instance{TagName: tag},
+				Label:    label,
+			})
+		}
+	}
+	return out
+}
+
+func TestTrainWeightsFavorGoodLearner(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	st, err := Train(labels,
+		[]string{"oracle", "anti"},
+		[]learn.Factory{
+			func() learn.Learner { return &oracle{} },
+			func() learn.Learner { return &antiOracle{} },
+		},
+		sharedExamples(), DefaultConfig(), rng)
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	for _, c := range labels {
+		if st.Weight(c, "oracle") <= st.Weight(c, "anti") {
+			t.Errorf("label %s: oracle weight %.3f <= anti weight %.3f",
+				c, st.Weight(c, "oracle"), st.Weight(c, "anti"))
+		}
+	}
+}
+
+func TestCombineUsesWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	st, err := Train(labels,
+		[]string{"oracle", "anti"},
+		[]learn.Factory{
+			func() learn.Learner { return &oracle{} },
+			func() learn.Learner { return &antiOracle{} },
+		},
+		sharedExamples(), DefaultConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Instance where the oracle says ADDRESS and the anti-oracle says
+	// anything else: combined must follow the oracle.
+	goodP := learn.Prediction{"ADDRESS": 0.9, "AGENT-PHONE": 0.05, "DESCRIPTION": 0.05}
+	badP := learn.Prediction{"ADDRESS": 0.05, "AGENT-PHONE": 0.9, "DESCRIPTION": 0.05}
+	combined := st.Combine([]learn.Prediction{goodP, badP})
+	if best, _ := combined.Best(); best != "ADDRESS" {
+		t.Errorf("Combine Best = %q, want ADDRESS; combined = %v", best, combined)
+	}
+}
+
+func TestCombinedBeatsUninformativeLearner(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	st, err := Train(labels,
+		[]string{"oracle", "coin"},
+		[]learn.Factory{
+			func() learn.Learner { return &oracle{} },
+			func() learn.Learner { return &coin{} },
+		},
+		sharedExamples(), DefaultConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range labels {
+		if st.Weight(c, "oracle") <= 0 {
+			t.Errorf("oracle weight for %s = %.3f, want > 0", c, st.Weight(c, "oracle"))
+		}
+	}
+}
+
+func TestUniformWeightsConfig(t *testing.T) {
+	cfg := Config{Folds: 5, UniformWeights: true}
+	st, err := Train(labels, []string{"a", "b"},
+		[]learn.Factory{
+			func() learn.Learner { return &coin{} },
+			func() learn.Learner { return &coin{} },
+		},
+		sharedExamples(), cfg, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range labels {
+		if math.Abs(st.Weight(c, "a")-0.5) > 1e-12 {
+			t.Errorf("uniform weight = %g, want 0.5", st.Weight(c, "a"))
+		}
+	}
+}
+
+func TestTrainNoExamples(t *testing.T) {
+	st, err := Train(labels, []string{"a"},
+		[]learn.Factory{func() learn.Learner { return &coin{} }},
+		nil, DefaultConfig(), rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatalf("Train with no examples: %v", err)
+	}
+	if st.Weight("ADDRESS", "a") != 1 {
+		t.Errorf("single learner uniform weight = %g, want 1", st.Weight("ADDRESS", "a"))
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(labels, []string{"a"}, nil, nil, DefaultConfig(), nil); err == nil {
+		t.Error("mismatched names/factories should error")
+	}
+	if _, err := Train(labels, nil, nil, nil, DefaultConfig(), nil); err == nil {
+		t.Error("no learners should error")
+	}
+}
+
+func TestCombinePanicsOnArity(t *testing.T) {
+	st, _ := Train(labels, []string{"a"},
+		[]learn.Factory{func() learn.Learner { return &coin{} }},
+		nil, DefaultConfig(), rand.New(rand.NewSource(6)))
+	defer func() {
+		if recover() == nil {
+			t.Error("Combine with wrong arity did not panic")
+		}
+	}()
+	st.Combine([]learn.Prediction{{}, {}})
+}
+
+func TestCombineIsNormalized(t *testing.T) {
+	st, err := Train(labels,
+		[]string{"oracle", "anti"},
+		[]learn.Factory{
+			func() learn.Learner { return &oracle{} },
+			func() learn.Learner { return &antiOracle{} },
+		},
+		sharedExamples(), DefaultConfig(), rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined := st.Combine([]learn.Prediction{
+		learn.Uniform(labels), learn.Uniform(labels),
+	})
+	sum := 0.0
+	for _, c := range labels {
+		if combined[c] < 0 {
+			t.Errorf("negative combined score: %v", combined)
+		}
+		sum += combined[c]
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("combined sum = %g", sum)
+	}
+}
+
+func TestStringMentionsWeights(t *testing.T) {
+	st, _ := Train(labels, []string{"a"},
+		[]learn.Factory{func() learn.Learner { return &coin{} }},
+		nil, DefaultConfig(), rand.New(rand.NewSource(8)))
+	s := st.String()
+	if !strings.Contains(s, "ADDRESS") || !strings.Contains(s, "a=") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestPaperExampleWeights(t *testing.T) {
+	// The running example of §3.2: W_ADDRESS_NameMatcher = 0.3 and
+	// W_ADDRESS_NaiveBayes = 0.8 combine ⟨0.5⟩ and ⟨0.7⟩ into 0.71
+	// before normalization.
+	st := &Stacker{
+		labels:       labels,
+		learnerNames: []string{"NameMatcher", "NaiveBayes"},
+		weights: map[string][]float64{
+			"ADDRESS":     {0.3, 0.8},
+			"AGENT-PHONE": {0.3, 0.8},
+			"DESCRIPTION": {0.3, 0.8},
+		},
+	}
+	nm := learn.Prediction{"ADDRESS": 0.5, "DESCRIPTION": 0.3, "AGENT-PHONE": 0.2}
+	nb := learn.Prediction{"ADDRESS": 0.7, "DESCRIPTION": 0.3, "AGENT-PHONE": 0.0}
+	combined := st.Combine([]learn.Prediction{nm, nb})
+	// Unnormalized: ADDRESS 0.71, DESCRIPTION 0.33, AGENT-PHONE 0.06.
+	wantAddr := 0.71 / (0.71 + 0.33 + 0.06)
+	if math.Abs(combined["ADDRESS"]-wantAddr) > 1e-9 {
+		t.Errorf("ADDRESS = %g, want %g", combined["ADDRESS"], wantAddr)
+	}
+	if best, _ := combined.Best(); best != "ADDRESS" {
+		t.Errorf("Best = %q", best)
+	}
+}

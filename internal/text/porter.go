@@ -1,0 +1,250 @@
+package text
+
+// Stem reduces an English word to its Porter stem. This is a complete
+// implementation of the original Porter (1980) algorithm, steps 1a-5b.
+// Input is assumed lower case; words shorter than three letters are
+// returned unchanged, as in the original paper.
+func Stem(word string) string {
+	if len(word) < 3 {
+		return word
+	}
+	w := stemWord{b: []byte(word)}
+	w.step1a()
+	w.step1b()
+	w.step1c()
+	w.step2()
+	w.step3()
+	w.step4()
+	w.step5a()
+	w.step5b()
+	return string(w.b)
+}
+
+type stemWord struct {
+	b []byte
+}
+
+// isConsonant reports whether the letter at index i is a consonant in
+// Porter's sense: not a vowel, and 'y' counts as a consonant only when
+// preceded by a vowel (or at position 0).
+func (w *stemWord) isConsonant(i int) bool {
+	switch w.b[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !w.isConsonant(i - 1)
+	}
+	return true
+}
+
+// measure computes m, the number of VC sequences in the stem b[:end].
+func (w *stemWord) measure(end int) int {
+	m := 0
+	i := 0
+	// Skip initial consonants.
+	for i < end && w.isConsonant(i) {
+		i++
+	}
+	for {
+		// Skip vowels.
+		for i < end && !w.isConsonant(i) {
+			i++
+		}
+		if i >= end {
+			return m
+		}
+		m++
+		// Skip consonants.
+		for i < end && w.isConsonant(i) {
+			i++
+		}
+		if i >= end {
+			return m
+		}
+	}
+}
+
+// hasVowel reports whether the stem b[:end] contains a vowel.
+func (w *stemWord) hasVowel(end int) bool {
+	for i := 0; i < end; i++ {
+		if !w.isConsonant(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// doubleConsonant reports whether b[:end] ends with a double consonant.
+func (w *stemWord) doubleConsonant(end int) bool {
+	if end < 2 {
+		return false
+	}
+	return w.b[end-1] == w.b[end-2] && w.isConsonant(end-1)
+}
+
+// cvc reports whether b[:end] ends consonant-vowel-consonant where the
+// final consonant is not w, x, or y.
+func (w *stemWord) cvc(end int) bool {
+	if end < 3 {
+		return false
+	}
+	if !w.isConsonant(end-1) || w.isConsonant(end-2) || !w.isConsonant(end-3) {
+		return false
+	}
+	switch w.b[end-1] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+// hasSuffix reports whether the word ends with s and returns the stem length.
+func (w *stemWord) hasSuffix(s string) (int, bool) {
+	if len(w.b) < len(s) {
+		return 0, false
+	}
+	stem := len(w.b) - len(s)
+	if string(w.b[stem:]) != s {
+		return 0, false
+	}
+	return stem, true
+}
+
+// replace replaces the suffix of length sufLen with repl.
+func (w *stemWord) replace(sufLen int, repl string) {
+	w.b = append(w.b[:len(w.b)-sufLen], repl...)
+}
+
+func (w *stemWord) step1a() {
+	switch {
+	case w.ends("sses"):
+		w.replace(2, "")
+	case w.ends("ies"):
+		w.replace(2, "")
+	case w.ends("ss"):
+		// Keep.
+	case w.ends("s"):
+		w.replace(1, "")
+	}
+}
+
+func (w *stemWord) ends(s string) bool {
+	_, ok := w.hasSuffix(s)
+	return ok
+}
+
+func (w *stemWord) step1b() {
+	if stem, ok := w.hasSuffix("eed"); ok {
+		if w.measure(stem) > 0 {
+			w.replace(1, "")
+		}
+		return
+	}
+	applied := false
+	if stem, ok := w.hasSuffix("ed"); ok && w.hasVowel(stem) {
+		w.b = w.b[:stem]
+		applied = true
+	} else if stem, ok := w.hasSuffix("ing"); ok && w.hasVowel(stem) {
+		w.b = w.b[:stem]
+		applied = true
+	}
+	if !applied {
+		return
+	}
+	switch {
+	case w.ends("at"), w.ends("bl"), w.ends("iz"):
+		w.b = append(w.b, 'e')
+	case w.doubleConsonant(len(w.b)):
+		last := w.b[len(w.b)-1]
+		if last != 'l' && last != 's' && last != 'z' {
+			w.b = w.b[:len(w.b)-1]
+		}
+	case w.measure(len(w.b)) == 1 && w.cvc(len(w.b)):
+		w.b = append(w.b, 'e')
+	}
+}
+
+func (w *stemWord) step1c() {
+	if stem, ok := w.hasSuffix("y"); ok && w.hasVowel(stem) {
+		w.b[len(w.b)-1] = 'i'
+	}
+}
+
+// suffixRule maps a suffix to its replacement, applied when the measure
+// of the remaining stem exceeds a threshold.
+type suffixRule struct {
+	suffix, repl string
+}
+
+var step2Rules = []suffixRule{
+	{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"},
+	{"anci", "ance"}, {"izer", "ize"}, {"abli", "able"},
+	{"alli", "al"}, {"entli", "ent"}, {"eli", "e"},
+	{"ousli", "ous"}, {"ization", "ize"}, {"ation", "ate"},
+	{"ator", "ate"}, {"alism", "al"}, {"iveness", "ive"},
+	{"fulness", "ful"}, {"ousness", "ous"}, {"aliti", "al"},
+	{"iviti", "ive"}, {"biliti", "ble"},
+}
+
+var step3Rules = []suffixRule{
+	{"icate", "ic"}, {"ative", ""}, {"alize", "al"},
+	{"iciti", "ic"}, {"ical", "ic"}, {"ful", ""}, {"ness", ""},
+}
+
+func (w *stemWord) applyRules(rules []suffixRule, minMeasure int) {
+	for _, r := range rules {
+		if stem, ok := w.hasSuffix(r.suffix); ok {
+			if w.measure(stem) > minMeasure {
+				w.replace(len(r.suffix), r.repl)
+			}
+			return
+		}
+	}
+}
+
+func (w *stemWord) step2() { w.applyRules(step2Rules, 0) }
+func (w *stemWord) step3() { w.applyRules(step3Rules, 0) }
+
+var step4Suffixes = []string{
+	"al", "ance", "ence", "er", "ic", "able", "ible", "ant",
+	"ement", "ment", "ent", "ion", "ou", "ism", "ate", "iti",
+	"ous", "ive", "ize",
+}
+
+func (w *stemWord) step4() {
+	for _, s := range step4Suffixes {
+		stem, ok := w.hasSuffix(s)
+		if !ok {
+			continue
+		}
+		if s == "ion" {
+			// "ion" is removed only after s or t.
+			if stem == 0 || (w.b[stem-1] != 's' && w.b[stem-1] != 't') {
+				continue
+			}
+		}
+		if w.measure(stem) > 1 {
+			w.b = w.b[:stem]
+		}
+		return
+	}
+}
+
+func (w *stemWord) step5a() {
+	if stem, ok := w.hasSuffix("e"); ok {
+		m := w.measure(stem)
+		if m > 1 || (m == 1 && !w.cvc(stem)) {
+			w.b = w.b[:stem]
+		}
+	}
+}
+
+func (w *stemWord) step5b() {
+	n := len(w.b)
+	if n > 1 && w.b[n-1] == 'l' && w.doubleConsonant(n) && w.measure(n) > 1 {
+		w.b = w.b[:n-1]
+	}
+}

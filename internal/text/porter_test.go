@@ -1,0 +1,131 @@
+package text
+
+import "testing"
+
+// TestStemKnownPairs checks the stemmer against the classic examples
+// from Porter's paper and a set of domain words.
+func TestStemKnownPairs(t *testing.T) {
+	cases := map[string]string{
+		// Examples from Porter (1980).
+		"caresses":       "caress",
+		"ponies":         "poni",
+		"ties":           "ti",
+		"caress":         "caress",
+		"cats":           "cat",
+		"feed":           "feed",
+		"agreed":         "agre",
+		"plastered":      "plaster",
+		"bled":           "bled",
+		"motoring":       "motor",
+		"sing":           "sing",
+		"conflated":      "conflat",
+		"troubled":       "troubl",
+		"sized":          "size",
+		"hopping":        "hop",
+		"tanned":         "tan",
+		"falling":        "fall",
+		"hissing":        "hiss",
+		"fizzed":         "fizz",
+		"failing":        "fail",
+		"filing":         "file",
+		"happy":          "happi",
+		"sky":            "sky",
+		"relational":     "relat",
+		"conditional":    "condit",
+		"rational":       "ration",
+		"valenci":        "valenc",
+		"hesitanci":      "hesit",
+		"digitizer":      "digit",
+		"conformabli":    "conform",
+		"radicalli":      "radic",
+		"differentli":    "differ",
+		"vileli":         "vile",
+		"analogousli":    "analog",
+		"vietnamization": "vietnam",
+		"predication":    "predic",
+		"operator":       "oper",
+		"feudalism":      "feudal",
+		"decisiveness":   "decis",
+		"hopefulness":    "hope",
+		"callousness":    "callous",
+		"formaliti":      "formal",
+		"sensitiviti":    "sensit",
+		"sensibiliti":    "sensibl",
+		"triplicate":     "triplic",
+		"formative":      "form",
+		"formalize":      "formal",
+		"electriciti":    "electr",
+		"electrical":     "electr",
+		"hopeful":        "hope",
+		"goodness":       "good",
+		"revival":        "reviv",
+		"allowance":      "allow",
+		"inference":      "infer",
+		"airliner":       "airlin",
+		"gyroscopic":     "gyroscop",
+		"adjustable":     "adjust",
+		"defensible":     "defens",
+		"irritant":       "irrit",
+		"replacement":    "replac",
+		"adjustment":     "adjust",
+		"dependent":      "depend",
+		"adoption":       "adopt",
+		"homologou":      "homolog",
+		"communism":      "commun",
+		"activate":       "activ",
+		"angulariti":     "angular",
+		"homologous":     "homolog",
+		"effective":      "effect",
+		"bowdlerize":     "bowdler",
+		"probate":        "probat",
+		"rate":           "rate",
+		"cease":          "ceas",
+		"controll":       "control",
+		"roll":           "roll",
+		// Domain words the learners see.
+		"houses":       "hous",
+		"bedrooms":     "bedroom",
+		"listings":     "list",
+		"descriptions": "descript",
+		"beautiful":    "beauti",
+		"location":     "locat",
+		"spacious":     "spaciou",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemShortWords(t *testing.T) {
+	for _, w := range []string{"", "a", "is", "by"} {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, want unchanged", w, got)
+		}
+	}
+}
+
+func TestStemEquivalenceClasses(t *testing.T) {
+	// Morphological variants of the same word must share a stem: this is
+	// the property the learners rely on.
+	classes := [][]string{
+		{"house", "houses"},
+		{"listing", "listings", "listed"},
+		{"description", "descriptions"},
+		{"locate", "location", "locations", "located"},
+		{"agent", "agents"},
+		{"course", "courses"},
+		{"credit", "credits"},
+		{"connect", "connection", "connected", "connecting"},
+	}
+	for _, class := range classes {
+		first := Stem(class[0])
+		for _, w := range class[1:] {
+			if got := Stem(w); got != first {
+				t.Errorf("Stem(%q) = %q, want %q (stem of %q)",
+					w, got, first, class[0])
+			}
+		}
+	}
+}

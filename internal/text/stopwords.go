@@ -1,0 +1,20 @@
+package text
+
+// stopwords is a compact English stopword list appropriate for the
+// short, noisy strings that appear in schema tags and data listings.
+var stopwords = map[string]bool{
+	"a": true, "an": true, "and": true, "are": true, "as": true,
+	"at": true, "be": true, "but": true, "by": true, "for": true,
+	"from": true, "has": true, "have": true, "he": true, "her": true,
+	"his": true, "if": true, "in": true, "into": true, "is": true,
+	"it": true, "its": true, "of": true, "on": true, "or": true,
+	"our": true, "she": true, "so": true, "that": true, "the": true,
+	"their": true, "them": true, "then": true, "there": true,
+	"these": true, "they": true, "this": true, "to": true, "was": true,
+	"we": true, "were": true, "will": true, "with": true, "you": true,
+	"your": true,
+}
+
+// IsStopword reports whether the lower-cased token t is an English
+// stopword.
+func IsStopword(t string) bool { return stopwords[t] }

@@ -1,0 +1,143 @@
+package text
+
+import (
+	"math"
+	"sort"
+)
+
+// Bag is a multiset of tokens represented as token -> count.
+type Bag map[string]int
+
+// NewBag builds a Bag from a token slice.
+func NewBag(tokens []string) Bag {
+	b := make(Bag, len(tokens))
+	for _, t := range tokens {
+		b[t]++
+	}
+	return b
+}
+
+// Add merges the tokens of other into b.
+func (b Bag) Add(other Bag) {
+	for t, n := range other {
+		b[t] += n
+	}
+}
+
+// Size returns the total number of token occurrences in b.
+func (b Bag) Size() int {
+	n := 0
+	for _, c := range b {
+		n += c
+	}
+	return n
+}
+
+// Tokens returns the distinct tokens of b in sorted order.
+func (b Bag) Tokens() []string {
+	out := make([]string, 0, len(b))
+	for t := range b {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Vector is a sparse TF/IDF-weighted document vector, normalized to
+// unit length so that the dot product of two vectors is their cosine
+// similarity.
+type Vector map[string]float64
+
+// Dot returns the dot product (cosine similarity for unit vectors) of v
+// and u.
+func (v Vector) Dot(u Vector) float64 {
+	if len(u) < len(v) {
+		v, u = u, v
+	}
+	s := 0.0
+	for t, w := range v {
+		s += w * u[t]
+	}
+	return s
+}
+
+// Corpus is a TF/IDF vector space over a set of documents. Documents
+// are added during indexing; after Freeze, Vectorize maps any token bag
+// to a unit-length TF/IDF vector using the corpus document frequencies.
+type Corpus struct {
+	docFreq map[string]int
+	numDocs int
+	frozen  bool
+	idf     map[string]float64
+}
+
+// NewCorpus returns an empty corpus.
+func NewCorpus() *Corpus {
+	return &Corpus{docFreq: make(map[string]int)}
+}
+
+// AddDocument records the document-frequency contribution of the bag.
+// It panics if the corpus has been frozen.
+func (c *Corpus) AddDocument(b Bag) {
+	if c.frozen {
+		panic("text: AddDocument after Freeze")
+	}
+	c.numDocs++
+	for t := range b {
+		c.docFreq[t]++
+	}
+}
+
+// NumDocs returns the number of indexed documents.
+func (c *Corpus) NumDocs() int { return c.numDocs }
+
+// Freeze finalizes the IDF table. Further AddDocument calls panic.
+func (c *Corpus) Freeze() {
+	if c.frozen {
+		return
+	}
+	c.frozen = true
+	c.idf = make(map[string]float64, len(c.docFreq))
+	n := float64(c.numDocs)
+	for t, df := range c.docFreq {
+		// Smoothed IDF; strictly positive so indexed tokens are never
+		// silently dropped.
+		c.idf[t] = math.Log(1 + n/float64(df))
+	}
+}
+
+// IDF returns the inverse document frequency of token t. Unknown tokens
+// get a default IDF as if they appeared in a single document.
+func (c *Corpus) IDF(t string) float64 {
+	if !c.frozen {
+		c.Freeze()
+	}
+	if w, ok := c.idf[t]; ok {
+		return w
+	}
+	return math.Log(1 + float64(c.numDocs))
+}
+
+// Vectorize maps a token bag to a unit-length TF/IDF vector. TF is
+// log-damped (1+ln(count)), the standard Whirl/IR weighting. The zero
+// bag maps to the zero vector.
+func (c *Corpus) Vectorize(b Bag) Vector {
+	if !c.frozen {
+		c.Freeze()
+	}
+	v := make(Vector, len(b))
+	norm := 0.0
+	for t, cnt := range b {
+		w := (1 + math.Log(float64(cnt))) * c.IDF(t)
+		v[t] = w
+		norm += w * w
+	}
+	if norm == 0 {
+		return v
+	}
+	norm = math.Sqrt(norm)
+	for t := range v {
+		v[t] /= norm
+	}
+	return v
+}

@@ -1,0 +1,127 @@
+package text
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBag(t *testing.T) {
+	b := NewBag([]string{"a", "b", "a"})
+	if b["a"] != 2 || b["b"] != 1 {
+		t.Fatalf("NewBag counts wrong: %v", b)
+	}
+	if b.Size() != 3 {
+		t.Errorf("Size = %d, want 3", b.Size())
+	}
+	b.Add(NewBag([]string{"b", "c"}))
+	if b["b"] != 2 || b["c"] != 1 {
+		t.Errorf("Add merged wrong: %v", b)
+	}
+	got := b.Tokens()
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Tokens = %v, want %v", got, want)
+		}
+	}
+}
+
+func corpusOf(docs ...[]string) *Corpus {
+	c := NewCorpus()
+	for _, d := range docs {
+		c.AddDocument(NewBag(d))
+	}
+	c.Freeze()
+	return c
+}
+
+func TestVectorizeUnitLength(t *testing.T) {
+	c := corpusOf(
+		[]string{"great", "location", "house"},
+		[]string{"great", "yard"},
+		[]string{"phone", "206"},
+	)
+	v := c.Vectorize(NewBag([]string{"great", "house", "house"}))
+	norm := 0.0
+	for _, w := range v {
+		norm += w * w
+	}
+	if math.Abs(norm-1) > 1e-12 {
+		t.Errorf("vector norm^2 = %g, want 1", norm)
+	}
+}
+
+func TestVectorizeZeroBag(t *testing.T) {
+	c := corpusOf([]string{"a"})
+	v := c.Vectorize(Bag{})
+	if len(v) != 0 {
+		t.Errorf("zero bag vector = %v, want empty", v)
+	}
+}
+
+func TestIDFOrdering(t *testing.T) {
+	// "common" appears in all 3 docs, "rare" in 1: IDF(rare) > IDF(common).
+	c := corpusOf(
+		[]string{"common", "rare"},
+		[]string{"common"},
+		[]string{"common"},
+	)
+	if c.IDF("rare") <= c.IDF("common") {
+		t.Errorf("IDF(rare)=%g should exceed IDF(common)=%g",
+			c.IDF("rare"), c.IDF("common"))
+	}
+	if c.IDF("unseen") <= 0 {
+		t.Errorf("IDF(unseen)=%g, want > 0", c.IDF("unseen"))
+	}
+}
+
+func TestCosineIdenticalDocs(t *testing.T) {
+	c := corpusOf([]string{"a", "b"}, []string{"c"})
+	v1 := c.Vectorize(NewBag([]string{"a", "b"}))
+	v2 := c.Vectorize(NewBag([]string{"a", "b"}))
+	if sim := v1.Dot(v2); math.Abs(sim-1) > 1e-12 {
+		t.Errorf("identical docs cosine = %g, want 1", sim)
+	}
+}
+
+func TestCosineDisjointDocs(t *testing.T) {
+	c := corpusOf([]string{"a"}, []string{"b"})
+	v1 := c.Vectorize(NewBag([]string{"a"}))
+	v2 := c.Vectorize(NewBag([]string{"b"}))
+	if sim := v1.Dot(v2); sim != 0 {
+		t.Errorf("disjoint docs cosine = %g, want 0", sim)
+	}
+}
+
+func TestCosineRange(t *testing.T) {
+	// Property: cosine of any two vectorized bags lies in [0, 1].
+	c := corpusOf(
+		[]string{"a", "b", "c"}, []string{"b", "c", "d"}, []string{"e"},
+	)
+	f := func(xs, ys []uint8) bool {
+		toks := []string{"a", "b", "c", "d", "e", "f"}
+		mk := func(zs []uint8) Bag {
+			b := Bag{}
+			for _, z := range zs {
+				b[toks[int(z)%len(toks)]]++
+			}
+			return b
+		}
+		sim := c.Vectorize(mk(xs)).Dot(c.Vectorize(mk(ys)))
+		return sim >= -1e-12 && sim <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddDocumentAfterFreezePanics(t *testing.T) {
+	c := corpusOf([]string{"a"})
+	defer func() {
+		if recover() == nil {
+			t.Error("AddDocument after Freeze did not panic")
+		}
+	}()
+	c.AddDocument(NewBag([]string{"b"}))
+}

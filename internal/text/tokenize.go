@@ -1,0 +1,91 @@
+// Package text provides the text-processing substrate used by every LSD
+// learner: tokenization, Porter stemming, stopword filtering, token
+// bags, and a TF/IDF vector-space model with cosine similarity.
+package text
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits s into lower-cased word and number tokens. A token is
+// a maximal run of letters or a maximal run of digits; all other runes
+// separate tokens. CamelCase and snake_case identifiers, tag names such
+// as "listed-price", and values such as "$70,000" are all split into
+// their constituent words and numbers, mirroring the trivial cleaning
+// the paper applies (e.g. "$70000" becomes "$" and "70000"; we drop the
+// bare symbol).
+func Tokenize(s string) []string {
+	var tokens []string
+	var cur strings.Builder
+	var curClass int // 0 none, 1 letter, 2 digit
+
+	flush := func() {
+		if cur.Len() > 0 {
+			tokens = append(tokens, strings.ToLower(cur.String()))
+			cur.Reset()
+		}
+		curClass = 0
+	}
+
+	prevLower := false
+	for _, r := range s {
+		switch {
+		case unicode.IsLetter(r):
+			// Split camelCase boundaries: "listedPrice" -> listed, price.
+			if curClass == 2 || (curClass == 1 && prevLower && unicode.IsUpper(r)) {
+				flush()
+			}
+			cur.WriteRune(r)
+			curClass = 1
+			prevLower = unicode.IsLower(r)
+		case unicode.IsDigit(r):
+			if curClass == 1 {
+				flush()
+			}
+			cur.WriteRune(r)
+			curClass = 2
+		default:
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// TokenizeAndStem tokenizes s and Porter-stems each non-numeric token.
+// Numeric tokens are kept verbatim.
+func TokenizeAndStem(s string) []string {
+	tokens := Tokenize(s)
+	for i, t := range tokens {
+		if !isNumeric(t) {
+			tokens[i] = Stem(t)
+		}
+	}
+	return tokens
+}
+
+// TokenizeStemStop tokenizes s, removes stopwords, and stems the rest.
+func TokenizeStemStop(s string) []string {
+	tokens := Tokenize(s)
+	out := tokens[:0]
+	for _, t := range tokens {
+		if IsStopword(t) {
+			continue
+		}
+		if !isNumeric(t) {
+			t = Stem(t)
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+func isNumeric(s string) bool {
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return len(s) > 0
+}

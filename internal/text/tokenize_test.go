@@ -1,0 +1,103 @@
+package text
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+	"unicode"
+)
+
+func TestTokenizeBasic(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"listed-price", []string{"listed", "price"}},
+		{"$70,000", []string{"70", "000"}},
+		{"(206) 523 4719", []string{"206", "523", "4719"}},
+		{"AGENT-PHONE", []string{"agent", "phone"}},
+		{"Miami, FL", []string{"miami", "fl"}},
+		{"listedPrice", []string{"listed", "price"}},
+		{"num_bedrooms2", []string{"num", "bedrooms", "2"}},
+		{"CSE142", []string{"cse", "142"}},
+		{"", nil},
+		{"   ", nil},
+		{"---", nil},
+		{"a", []string{"a"}},
+		{"Great location!", []string{"great", "location"}},
+		{"3.5 baths", []string{"3", "5", "baths"}},
+	}
+	for _, c := range cases {
+		got := Tokenize(c.in)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTokenizeLowercases(t *testing.T) {
+	for _, tok := range Tokenize("HOUSE Listing XML") {
+		for _, r := range tok {
+			if unicode.IsUpper(r) {
+				t.Errorf("token %q contains upper-case rune", tok)
+			}
+		}
+	}
+}
+
+func TestTokenizeProperty(t *testing.T) {
+	// Every token consists solely of lower-case letters or solely of digits.
+	f := func(s string) bool {
+		for _, tok := range Tokenize(s) {
+			if len(tok) == 0 {
+				return false
+			}
+			letters, digits := 0, 0
+			for _, r := range tok {
+				if unicode.IsDigit(r) {
+					digits++
+				} else if unicode.IsLetter(r) {
+					letters++
+				} else {
+					return false
+				}
+			}
+			if letters > 0 && digits > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenizeAndStem(t *testing.T) {
+	got := TokenizeAndStem("running houses 12345")
+	want := []string{"run", "hous", "12345"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("TokenizeAndStem = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeStemStop(t *testing.T) {
+	got := TokenizeStemStop("the house is close to the river")
+	want := []string{"hous", "close", "river"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("TokenizeStemStop = %v, want %v", got, want)
+	}
+}
+
+func TestIsStopword(t *testing.T) {
+	for _, w := range []string{"the", "and", "of", "a"} {
+		if !IsStopword(w) {
+			t.Errorf("IsStopword(%q) = false, want true", w)
+		}
+	}
+	for _, w := range []string{"house", "price", ""} {
+		if IsStopword(w) {
+			t.Errorf("IsStopword(%q) = true, want false", w)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+// Package transform applies a learned 1-1 mapping: it translates XML
+// documents from a source schema into the mediated schema. This is the
+// step the mappings exist for (§2: "semantic mappings ... enable
+// transforming data instances from one schema to instances of the
+// other") — the data-integration system uses it to answer
+// mediated-schema queries with source data.
+//
+// Translation renames matched tags to their mediated labels, drops
+// OTHER tags, and restructures: because source schemas flatten or
+// re-nest freely, matched elements are re-attached under their mediated
+// parents (creating missing intermediate elements on demand) and
+// reordered to the mediated content-model order.
+package transform
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/constraint"
+	"repro/internal/dtd"
+	"repro/internal/learn"
+	"repro/internal/xmltree"
+)
+
+// Translator rewrites source documents into the mediated schema using a
+// fixed mapping.
+type Translator struct {
+	mediated *dtd.Schema
+	mapping  constraint.Assignment
+	// parentOf caches each mediated tag's parent in the mediated tree.
+	parentOf map[string]string
+	// order caches each mediated tag's position among its siblings.
+	order map[string]int
+}
+
+// New builds a translator for the mediated schema and mapping. Mapping
+// entries to OTHER (and source tags absent from the mapping) are
+// dropped during translation.
+func New(mediated *dtd.Schema, mapping constraint.Assignment) (*Translator, error) {
+	if mediated == nil {
+		return nil, fmt.Errorf("transform: nil mediated schema")
+	}
+	t := &Translator{
+		mediated: mediated,
+		mapping:  mapping.Clone(),
+		parentOf: make(map[string]string),
+		order:    make(map[string]int),
+	}
+	pos := 0
+	var walk func(tag string)
+	seen := make(map[string]bool)
+	walk = func(tag string) {
+		if seen[tag] {
+			return
+		}
+		seen[tag] = true
+		t.order[tag] = pos
+		pos++
+		for _, c := range mediated.ChildOrder(tag) {
+			t.parentOf[c] = tag
+			walk(c)
+		}
+	}
+	walk(mediated.Root())
+	// Sanity: every non-OTHER target label must exist in the mediated
+	// schema.
+	for tag, label := range mapping {
+		if label == learn.Other {
+			continue
+		}
+		if !seen[label] {
+			return nil, fmt.Errorf("transform: mapping %s -> %s targets unknown label", tag, label)
+		}
+	}
+	return t, nil
+}
+
+// Translate rewrites one source document into a mediated-schema
+// document. Unmatched and OTHER elements are dropped; matched elements
+// are placed under their mediated parents, which are created as needed;
+// siblings are sorted into mediated declaration order.
+func (t *Translator) Translate(doc *xmltree.Node) *xmltree.Node {
+	root := &xmltree.Node{Tag: t.mediated.Root()}
+	nodes := map[string]*xmltree.Node{t.mediated.Root(): root}
+
+	// ensure returns the output node for a mediated tag, creating it
+	// and its ancestors on demand.
+	var ensure func(label string) *xmltree.Node
+	ensure = func(label string) *xmltree.Node {
+		if n, ok := nodes[label]; ok {
+			return n
+		}
+		parentLabel, ok := t.parentOf[label]
+		if !ok {
+			parentLabel = t.mediated.Root()
+		}
+		parent := ensure(parentLabel)
+		n := &xmltree.Node{Tag: label}
+		parent.AddChild(n)
+		nodes[label] = n
+		return n
+	}
+
+	doc.Walk(func(n *xmltree.Node, _ []string) {
+		label, ok := t.mapping[n.Tag]
+		if !ok || label == learn.Other || label == t.mediated.Root() {
+			return
+		}
+		out := ensure(label)
+		if t.mediated.IsLeaf(label) {
+			// Leaf values transfer; repeated occurrences concatenate,
+			// matching xmltree's text handling.
+			if n.Text != "" {
+				if out.Text == "" {
+					out.Text = n.Text
+				} else {
+					out.Text += " " + n.Text
+				}
+			}
+		}
+	})
+
+	t.sortChildren(root)
+	return root
+}
+
+// sortChildren recursively orders siblings by mediated declaration
+// order so translated documents validate against sequence models.
+func (t *Translator) sortChildren(n *xmltree.Node) {
+	sort.SliceStable(n.Children, func(i, j int) bool {
+		return t.order[n.Children[i].Tag] < t.order[n.Children[j].Tag]
+	})
+	for _, c := range n.Children {
+		t.sortChildren(c)
+	}
+}
+
+// TranslateAll maps Translate over a listing set.
+func (t *Translator) TranslateAll(docs []*xmltree.Node) []*xmltree.Node {
+	out := make([]*xmltree.Node, len(docs))
+	for i, d := range docs {
+		out[i] = d
+		out[i] = t.Translate(d)
+	}
+	return out
+}
+
+// Coverage reports which mediated leaf labels the mapping covers and
+// which are missing — the integration system uses it to know which
+// query attributes a source can answer.
+func (t *Translator) Coverage() (covered, missing []string) {
+	mapped := make(map[string]bool)
+	for _, label := range t.mapping {
+		mapped[label] = true
+	}
+	for _, tag := range t.mediated.Tags() {
+		if !t.mediated.IsLeaf(tag) {
+			continue
+		}
+		if mapped[tag] {
+			covered = append(covered, tag)
+		} else {
+			missing = append(missing, tag)
+		}
+	}
+	sort.Strings(covered)
+	sort.Strings(missing)
+	return covered, missing
+}

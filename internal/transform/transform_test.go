@@ -1,0 +1,158 @@
+package transform
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/dtd"
+	"repro/internal/learn"
+	"repro/internal/xmltree"
+)
+
+var mediated = dtd.MustParse(`
+<!ELEMENT LISTING (ADDRESS?, PRICE?, CONTACT-INFO?)>
+<!ELEMENT ADDRESS (#PCDATA)>
+<!ELEMENT PRICE (#PCDATA)>
+<!ELEMENT CONTACT-INFO (AGENT-NAME?, AGENT-PHONE?)>
+<!ELEMENT AGENT-NAME (#PCDATA)>
+<!ELEMENT AGENT-PHONE (#PCDATA)>
+`)
+
+func doc(t *testing.T, s string) *xmltree.Node {
+	t.Helper()
+	n, err := xmltree.ParseString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestTranslateFlatToNested(t *testing.T) {
+	// The source is flat: name and phone sit directly under the root.
+	// Translation must re-nest them under CONTACT-INFO.
+	tr, err := New(mediated, constraint.Assignment{
+		"entry": "LISTING",
+		"loc":   "ADDRESS",
+		"cost":  "PRICE",
+		"name":  "AGENT-NAME",
+		"tel":   "AGENT-PHONE",
+		"ad-id": learn.Other,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := doc(t, `<entry><loc>Seattle, WA</loc><cost>$70,000</cost>
+		<name>Kate Richardson</name><tel>(206) 523 4719</tel><ad-id>42</ad-id></entry>`)
+	out := tr.Translate(src)
+
+	if out.Tag != "LISTING" {
+		t.Fatalf("root = %q", out.Tag)
+	}
+	if got := out.First("ADDRESS"); got == nil || got.Text != "Seattle, WA" {
+		t.Errorf("ADDRESS = %v", got)
+	}
+	contact := out.First("CONTACT-INFO")
+	if contact == nil {
+		t.Fatal("CONTACT-INFO not created")
+	}
+	if got := contact.First("AGENT-NAME"); got == nil || got.Text != "Kate Richardson" {
+		t.Errorf("AGENT-NAME = %v", got)
+	}
+	if got := contact.First("AGENT-PHONE"); got == nil || got.Text != "(206) 523 4719" {
+		t.Errorf("AGENT-PHONE = %v", got)
+	}
+	// OTHER tags dropped.
+	if len(out.FindAll("ad-id")) != 0 {
+		t.Error("OTHER tag survived translation")
+	}
+	// The output validates against the mediated schema.
+	if err := mediated.Validate(out); err != nil {
+		t.Errorf("translated doc invalid: %v\n%s", err, out)
+	}
+}
+
+func TestTranslateNestedToNested(t *testing.T) {
+	tr, err := New(mediated, constraint.Assignment{
+		"listing": "LISTING",
+		"agent":   "CONTACT-INFO",
+		"name":    "AGENT-NAME",
+		"phone":   "AGENT-PHONE",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := doc(t, `<listing><agent><name>Mike</name><phone>305</phone></agent></listing>`)
+	out := tr.Translate(src)
+	contact := out.First("CONTACT-INFO")
+	if contact == nil || contact.First("AGENT-NAME") == nil {
+		t.Fatalf("nested translation wrong:\n%s", out)
+	}
+	if err := mediated.Validate(out); err != nil {
+		t.Errorf("invalid: %v", err)
+	}
+}
+
+func TestTranslateOrdersSiblings(t *testing.T) {
+	tr, err := New(mediated, constraint.Assignment{
+		"e": "LISTING", "p": "PRICE", "a": "ADDRESS",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Source order is price-then-address; mediated order is
+	// address-then-price.
+	out := tr.Translate(doc(t, `<e><p>1</p><a>x</a></e>`))
+	if len(out.Children) != 2 || out.Children[0].Tag != "ADDRESS" {
+		t.Errorf("sibling order = %v", out)
+	}
+	if err := mediated.Validate(out); err != nil {
+		t.Errorf("invalid: %v", err)
+	}
+}
+
+func TestTranslateAll(t *testing.T) {
+	tr, _ := New(mediated, constraint.Assignment{"e": "LISTING", "a": "ADDRESS"})
+	docs := []*xmltree.Node{
+		doc(t, `<e><a>x</a></e>`),
+		doc(t, `<e><a>y</a></e>`),
+	}
+	outs := tr.TranslateAll(docs)
+	if len(outs) != 2 || outs[1].First("ADDRESS").Text != "y" {
+		t.Errorf("TranslateAll = %v", outs)
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	tr, _ := New(mediated, constraint.Assignment{
+		"a": "ADDRESS", "n": "AGENT-NAME",
+	})
+	covered, missing := tr.Coverage()
+	if strings.Join(covered, ",") != "ADDRESS,AGENT-NAME" {
+		t.Errorf("covered = %v", covered)
+	}
+	if strings.Join(missing, ",") != "AGENT-PHONE,PRICE" {
+		t.Errorf("missing = %v", missing)
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(nil, nil); err == nil {
+		t.Error("nil schema accepted")
+	}
+	if _, err := New(mediated, constraint.Assignment{"x": "NOT-A-LABEL"}); err == nil {
+		t.Error("unknown target label accepted")
+	}
+	// OTHER targets are fine.
+	if _, err := New(mediated, constraint.Assignment{"x": learn.Other}); err != nil {
+		t.Errorf("OTHER target rejected: %v", err)
+	}
+}
+
+func TestTranslateRepeatedLeafConcatenates(t *testing.T) {
+	tr, _ := New(mediated, constraint.Assignment{"e": "LISTING", "a": "ADDRESS"})
+	out := tr.Translate(doc(t, `<e><a>x</a><a>y</a></e>`))
+	if got := out.First("ADDRESS").Text; got != "x y" {
+		t.Errorf("concatenated text = %q", got)
+	}
+}

@@ -1,0 +1,29 @@
+package xmltree
+
+import "testing"
+
+// FuzzParseString checks the XML parser never panics and that accepted
+// documents survive a String → Parse round trip.
+func FuzzParseString(f *testing.F) {
+	f.Add("<a><b>hi</b></a>")
+	f.Add(houseListing)
+	f.Add(`<listing id="42"><price currency="USD">70000</price></listing>`)
+	f.Add("<a>&lt;escaped&gt;</a>")
+	f.Add("<a")
+	f.Add("<a></b>")
+	f.Add("<a><a><a></a></a></a>")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		n, err := ParseString(input)
+		if err != nil {
+			return
+		}
+		again, err := ParseString(n.String())
+		if err != nil {
+			t.Fatalf("accepted doc failed to re-parse: %v\n%s", err, n)
+		}
+		if !equal(n, again) {
+			t.Fatalf("round trip changed tree:\n%s\nvs\n%s", n, again)
+		}
+	})
+}

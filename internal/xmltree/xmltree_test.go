@@ -1,0 +1,226 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const houseListing = `
+<house-listing>
+  <location>Seattle, WA</location>
+  <price>$70,000</price>
+  <contact>
+    <name>Kate Richardson</name>
+    <phone>(206) 523 4719</phone>
+  </contact>
+</house-listing>`
+
+func mustParse(t *testing.T, s string) *Node {
+	t.Helper()
+	n, err := ParseString(s)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	return n
+}
+
+func TestParseBasic(t *testing.T) {
+	root := mustParse(t, houseListing)
+	if root.Tag != "house-listing" {
+		t.Fatalf("root tag = %q", root.Tag)
+	}
+	if len(root.Children) != 3 {
+		t.Fatalf("children = %d, want 3", len(root.Children))
+	}
+	if got := root.First("location").Text; got != "Seattle, WA" {
+		t.Errorf("location text = %q", got)
+	}
+	contact := root.First("contact")
+	if contact == nil || len(contact.Children) != 2 {
+		t.Fatalf("contact wrong: %v", contact)
+	}
+	if got := contact.First("phone").Text; got != "(206) 523 4719" {
+		t.Errorf("phone text = %q", got)
+	}
+}
+
+func TestParseAttributesBecomeChildren(t *testing.T) {
+	root := mustParse(t, `<listing id="42"><price currency="USD">70000</price></listing>`)
+	if got := root.First("id"); got == nil || got.Text != "42" {
+		t.Fatalf("attribute id not a child leaf: %v", got)
+	}
+	price := root.First("price")
+	if got := price.First("currency"); got == nil || got.Text != "USD" {
+		t.Fatalf("attribute currency not a child leaf: %v", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"<a><b></a></b>",
+		"<a></a><b></b>",
+		"<a>",
+	} {
+		if _, err := ParseString(bad); err == nil {
+			t.Errorf("ParseString(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestDepthAndSize(t *testing.T) {
+	root := mustParse(t, houseListing)
+	if d := root.Depth(); d != 3 {
+		t.Errorf("Depth = %d, want 3", d)
+	}
+	if s := root.Size(); s != 6 {
+		t.Errorf("Size = %d, want 6", s)
+	}
+	leaf := New("x", "y")
+	if d := leaf.Depth(); d != 1 {
+		t.Errorf("leaf Depth = %d, want 1", d)
+	}
+}
+
+func TestContent(t *testing.T) {
+	root := mustParse(t, houseListing)
+	want := "Seattle, WA $70,000 Kate Richardson (206) 523 4719"
+	if got := root.Content(); got != want {
+		t.Errorf("Content = %q, want %q", got, want)
+	}
+}
+
+func TestWalkPaths(t *testing.T) {
+	root := mustParse(t, houseListing)
+	var phonePath string
+	root.Walk(func(n *Node, path []string) {
+		if n.Tag == "phone" {
+			phonePath = strings.Join(path, "/")
+		}
+	})
+	if phonePath != "house-listing/contact/phone" {
+		t.Errorf("phone path = %q", phonePath)
+	}
+}
+
+func TestFindAll(t *testing.T) {
+	root := mustParse(t, `<r><x>1</x><g><x>2</x></g><x>3</x></r>`)
+	xs := root.FindAll("x")
+	if len(xs) != 3 {
+		t.Fatalf("FindAll(x) = %d nodes, want 3", len(xs))
+	}
+	// Document order.
+	for i, want := range []string{"1", "2", "3"} {
+		if xs[i].Text != want {
+			t.Errorf("xs[%d].Text = %q, want %q", i, xs[i].Text, want)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	root := mustParse(t, houseListing)
+	cp := root.Clone()
+	cp.First("contact").First("phone").Text = "changed"
+	if root.First("contact").First("phone").Text == "changed" {
+		t.Error("Clone shares nodes with original")
+	}
+	if cp.Size() != root.Size() || cp.Depth() != root.Depth() {
+		t.Error("Clone shape differs from original")
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	root := mustParse(t, houseListing)
+	again, err := ParseString(root.String())
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if !equal(root, again) {
+		t.Errorf("round trip mismatch:\n%s\nvs\n%s", root, again)
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	n := New("desc", `great <view> & "cheap"`)
+	again, err := ParseString(n.String())
+	if err != nil {
+		t.Fatalf("reparse escaped: %v", err)
+	}
+	if again.Text != n.Text {
+		t.Errorf("escaped round trip: %q vs %q", again.Text, n.Text)
+	}
+}
+
+func TestParseAll(t *testing.T) {
+	docs, err := ParseAll(strings.NewReader(`<a>1</a><a>2</a><b>3</b>`))
+	if err != nil {
+		t.Fatalf("ParseAll: %v", err)
+	}
+	if len(docs) != 3 {
+		t.Fatalf("ParseAll = %d docs, want 3", len(docs))
+	}
+	if docs[0].Text != "1" || docs[2].Tag != "b" {
+		t.Errorf("ParseAll content wrong: %v", docs)
+	}
+}
+
+func TestTags(t *testing.T) {
+	root := mustParse(t, houseListing)
+	tags := root.Tags()
+	for _, want := range []string{"house-listing", "location", "price", "contact", "name", "phone"} {
+		if !tags[want] {
+			t.Errorf("Tags missing %q", want)
+		}
+	}
+	if len(tags) != 6 {
+		t.Errorf("len(Tags) = %d, want 6", len(tags))
+	}
+}
+
+// TestRoundTripProperty: any tree built from a restricted alphabet
+// survives a String -> Parse round trip.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(shape []uint8, texts []uint8) bool {
+		root := genTree(shape, texts)
+		again, err := ParseString(root.String())
+		if err != nil {
+			return false
+		}
+		return equal(root, again)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// genTree deterministically builds a small tree from fuzz bytes.
+func genTree(shape, texts []uint8) *Node {
+	tags := []string{"alpha", "beta", "gamma", "delta"}
+	words := []string{"", "great location", "70000", "x y z"}
+	root := New("root", "")
+	cur := root
+	for i, b := range shape {
+		child := New(tags[int(b)%len(tags)], "")
+		if len(texts) > 0 {
+			child.Text = words[int(texts[i%len(texts)])%len(words)]
+		}
+		cur.AddChild(child)
+		if b%3 == 0 {
+			cur = child
+		}
+	}
+	return root
+}
+
+func equal(a, b *Node) bool {
+	if a.Tag != b.Tag || a.Text != b.Text || len(a.Children) != len(b.Children) {
+		return false
+	}
+	for i := range a.Children {
+		if !equal(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
