@@ -307,6 +307,13 @@ func BenchmarkAblationFormatLearner(b *testing.B) {
 
 func trainedSystem(b *testing.B) (*core.System, *core.Source) {
 	b.Helper()
+	return trainedSystemWorkers(b, 0)
+}
+
+// trainedSystemWorkers trains the benchmark system with an explicit
+// worker-pool size (0 = one per CPU, 1 = serial).
+func trainedSystemWorkers(b *testing.B, workers int) (*core.System, *core.Source) {
+	b.Helper()
 	d := datagen.RealEstateI()
 	med := d.Mediated()
 	specs := d.Sources()
@@ -314,7 +321,9 @@ func trainedSystem(b *testing.B) (*core.System, *core.Source) {
 	for _, spec := range specs[:3] {
 		train = append(train, spec.Generate(40, 1))
 	}
-	sys, err := core.Train(med, train, core.DefaultConfig())
+	cfg := core.DefaultConfig()
+	cfg.Workers = workers
+	sys, err := core.Train(med, train, cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -338,6 +347,34 @@ func BenchmarkTrain(b *testing.B) {
 	}
 }
 
+// benchTrainWorkers measures training at an explicit pool size.
+func benchTrainWorkers(b *testing.B, workers int) {
+	d := datagen.RealEstateI()
+	med := d.Mediated()
+	specs := d.Sources()
+	var train []*core.Source
+	for _, spec := range specs[:3] {
+		train = append(train, spec.Generate(40, 1))
+	}
+	cfg := core.DefaultConfig()
+	cfg.Workers = workers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Train(med, train, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrainSerial pins training to one worker: the baseline for
+// the parallel speedup.
+func BenchmarkTrainSerial(b *testing.B) { benchTrainWorkers(b, 1) }
+
+// BenchmarkTrainParallel trains with one worker per CPU. On a
+// multi-core machine this should beat BenchmarkTrainSerial; the outputs
+// are bit-identical either way (see determinism_test.go).
+func BenchmarkTrainParallel(b *testing.B) { benchTrainWorkers(b, 0) }
+
 // BenchmarkMatch measures the matching phase (learners + meta +
 // converter + constraint handler) on one unseen source.
 func BenchmarkMatch(b *testing.B) {
@@ -349,6 +386,25 @@ func BenchmarkMatch(b *testing.B) {
 		}
 	}
 }
+
+// benchMatchWorkers measures matching at an explicit pool size.
+func benchMatchWorkers(b *testing.B, workers int) {
+	sys, test := trainedSystemWorkers(b, workers)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Match(test); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMatchSerial pins matching to one worker: the baseline for
+// the parallel speedup.
+func BenchmarkMatchSerial(b *testing.B) { benchMatchWorkers(b, 1) }
+
+// BenchmarkMatchParallel matches with one worker per CPU; the mapping
+// is bit-identical to the serial run (see determinism_test.go).
+func BenchmarkMatchParallel(b *testing.B) { benchMatchWorkers(b, 0) }
 
 // benchLearnerPredict measures one instance prediction for a trained
 // base learner on Real Estate I data.

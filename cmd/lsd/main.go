@@ -31,6 +31,7 @@ func main() {
 	noConstraints := flag.Bool("no-constraints", false, "disable the constraint handler")
 	noXML := flag.Bool("no-xml", false, "disable the XML learner")
 	evaluate := flag.Bool("eval", false, "if the target has a .mapping file, report accuracy")
+	workers := flag.Int("workers", 0, "worker goroutines for training and matching (0 = one per CPU, 1 = serial)")
 	flag.Parse()
 
 	if *mediatedPath == "" || *trainList == "" || *matchName == "" {
@@ -75,6 +76,7 @@ func main() {
 	cfg := lsd.DefaultConfig()
 	cfg.UseConstraintHandler = !*noConstraints
 	cfg.UseXMLLearner = !*noXML
+	cfg.Workers = *workers
 
 	sys, err := lsd.Train(mediated, training, cfg)
 	if err != nil {

@@ -30,9 +30,10 @@ func main() {
 	samples := flag.Int("samples", 1, "data samples per experiment")
 	maxSplits := flag.Int("splits", 10, "train/test splits per sample (max 10)")
 	seed := flag.Int64("seed", 7, "experiment seed")
+	workers := flag.Int("workers", 0, "worker goroutines per experiment (0 = one per CPU, 1 = serial)")
 	flag.Parse()
 
-	p := eval.Protocol{Listings: *listings, Samples: *samples, Seed: *seed, MaxSplits: *maxSplits}
+	p := eval.Protocol{Listings: *listings, Samples: *samples, Seed: *seed, MaxSplits: *maxSplits, Workers: *workers}
 	run := func(name string, fn func()) {
 		if *exp != "all" && *exp != name {
 			return
@@ -129,7 +130,7 @@ func feedback(p eval.Protocol) {
 	fmt.Printf("%-17s %12s %9s\n", "domain", "corrections", "avg tags")
 	for _, name := range []string{"Time Schedule", "Real Estate II"} {
 		d := datagen.ByName(name)
-		r, err := eval.RunFeedback(d, 3, p.Listings, p.Seed)
+		r, err := eval.RunFeedbackWorkers(d, 3, p.Listings, p.Seed, p.Workers)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,142 @@
+package repro_test
+
+// End-to-end determinism tests for the parallel pipeline: training and
+// matching must produce byte-identical results at every worker-pool
+// size. These are the acceptance tests for the concurrency layer — run
+// them under -race (CI does) to also prove the fan-out is data-race
+// free.
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+)
+
+// workerSettings are the pool sizes every determinism test compares:
+// serial, a fixed small pool, and one worker per CPU (0).
+func workerSettings() []int {
+	return []int{1, 4, runtime.GOMAXPROCS(0), 0}
+}
+
+// trainDomain builds the standard 3-train/1-test scenario on Real
+// Estate I with fixed seeds.
+func trainDomain(t *testing.T, workers int) (*core.System, *core.Source) {
+	t.Helper()
+	d := datagen.RealEstateI()
+	med := d.Mediated()
+	specs := d.Sources()
+	var train []*core.Source
+	for _, spec := range specs[:3] {
+		train = append(train, spec.Generate(25, 11))
+	}
+	cfg := core.DefaultConfig()
+	cfg.Workers = workers
+	sys, err := core.Train(med, train, cfg)
+	if err != nil {
+		t.Fatalf("workers=%d: Train: %v", workers, err)
+	}
+	return sys, specs[3].Generate(25, 11)
+}
+
+// weightsFingerprint renders every stacker weight with full float64
+// precision, in deterministic (label, learner) order.
+func weightsFingerprint(sys *core.System) string {
+	st := sys.Stacker()
+	var b strings.Builder
+	labels := append([]string(nil), sys.Labels()...)
+	sort.Strings(labels)
+	for _, label := range labels {
+		for _, name := range st.LearnerNames() {
+			fmt.Fprintf(&b, "%s/%s=%.17g\n", label, name, st.Weight(label, name))
+		}
+	}
+	return b.String()
+}
+
+// matchFingerprint renders the mapping and every per-tag confidence
+// score with full float64 precision, in deterministic order.
+func matchFingerprint(sys *core.System, res *core.MatchResult) string {
+	var b strings.Builder
+	tags := make([]string, 0, len(res.TagPredictions))
+	for tag := range res.TagPredictions {
+		tags = append(tags, tag)
+	}
+	sort.Strings(tags)
+	labels := append([]string(nil), sys.Labels()...)
+	sort.Strings(labels)
+	for _, tag := range tags {
+		fmt.Fprintf(&b, "%s -> %s\n", tag, res.Mapping[tag])
+		p := res.TagPredictions[tag]
+		for _, label := range labels {
+			fmt.Fprintf(&b, "  %s=%.17g\n", label, p[label])
+		}
+	}
+	return b.String()
+}
+
+// TestTrainDeterministic asserts the fitted meta-learner weights are
+// bit-identical at every worker setting.
+func TestTrainDeterministic(t *testing.T) {
+	sys, _ := trainDomain(t, 1)
+	want := weightsFingerprint(sys)
+	if want == "" {
+		t.Fatal("empty weights fingerprint")
+	}
+	for _, w := range workerSettings()[1:] {
+		sys, _ := trainDomain(t, w)
+		if got := weightsFingerprint(sys); got != want {
+			t.Errorf("workers=%d: stacker weights differ from serial run\nserial:\n%s\ngot:\n%s",
+				w, want, got)
+		}
+	}
+}
+
+// TestMatchDeterministic asserts the proposed mapping and the per-tag
+// confidence distributions are bit-identical at every worker setting —
+// both when the system itself was trained at that setting and when
+// matching fans out over the pool.
+func TestMatchDeterministic(t *testing.T) {
+	sys, test := trainDomain(t, 1)
+	res, err := sys.Match(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := matchFingerprint(sys, res)
+	if want == "" {
+		t.Fatal("empty match fingerprint")
+	}
+	for _, w := range workerSettings()[1:] {
+		sys, test := trainDomain(t, w)
+		res, err := sys.Match(test)
+		if err != nil {
+			t.Fatalf("workers=%d: Match: %v", w, err)
+		}
+		if got := matchFingerprint(sys, res); got != want {
+			t.Errorf("workers=%d: match result differs from serial run\nserial:\n%s\ngot:\n%s",
+				w, want, got)
+		}
+	}
+}
+
+// TestMatchRepeatedDeterministic asserts that re-matching with the same
+// trained system is stable: the prediction caches warmed by the first
+// pass must not change the second pass's output.
+func TestMatchRepeatedDeterministic(t *testing.T) {
+	sys, test := trainDomain(t, 4)
+	first, err := sys.Match(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := sys.Match(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := matchFingerprint(sys, first), matchFingerprint(sys, second); a != b {
+		t.Errorf("repeated Match differs:\nfirst:\n%s\nsecond:\n%s", a, b)
+	}
+}

@@ -6,9 +6,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"math/rand"
 	"sort"
+	"sync"
 
 	"repro/internal/constraint"
 	"repro/internal/dtd"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/learners/namematcher"
 	"repro/internal/learners/xmllearner"
 	"repro/internal/meta"
+	"repro/internal/parallel"
 	"repro/internal/xmltree"
 )
 
@@ -106,6 +108,12 @@ type Config struct {
 	Handler *constraint.Handler
 	// Seed drives the cross-validation shuffles.
 	Seed int64
+	// Workers bounds the concurrency of training and matching: 0 (or
+	// negative) uses one worker per CPU (runtime.GOMAXPROCS), 1 is the
+	// serial fallback, n > 1 uses n workers. Every parallel stage
+	// merges its results in deterministic task order, so Train and
+	// Match produce bit-identical output at every setting.
+	Workers int
 }
 
 // DefaultConfig returns the complete LSD system of the experiments:
@@ -146,7 +154,14 @@ func Train(med *Mediated, sources []*Source, cfg Config) (*System, error) {
 		return nil, fmt.Errorf("core: no learners configured")
 	}
 	labels := med.Labels()
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	// Per-stage RNG seeds are derived, not shared: the interim and the
+	// final meta-learner each get an independent stream, and meta.Train
+	// derives one per learner from there, so every cross-validation
+	// task owns its rand state and the fan-out stays deterministic.
+	interimSeed := learn.DeriveSeed(cfg.Seed, 0)
+	finalSeed := learn.DeriveSeed(cfg.Seed, 1)
+	mcfg := cfg.Meta
+	mcfg.Workers = cfg.Workers
 
 	// Steps 2-3: extract data and create training examples. All
 	// learners share the instance set; each extracts its own features.
@@ -169,11 +184,11 @@ func Train(med *Mediated, sources []*Source, cfg Config) (*System, error) {
 		trainLab := trainLabeler(sources)
 		var interim *ensembleLabeler
 		if len(cfg.BaseLearners) > 0 {
-			interimStack, err := meta.Train(labels, sys.names, factories, examples, cfg.Meta, rng)
+			interimStack, err := meta.Train(labels, sys.names, factories, examples, mcfg, interimSeed)
 			if err != nil {
 				return nil, fmt.Errorf("core: interim meta-learner: %w", err)
 			}
-			interimLearners, err := trainAll(cfg.BaseLearners, labels, examples)
+			interimLearners, err := trainAll(cfg.BaseLearners, labels, examples, cfg.Workers)
 			if err != nil {
 				return nil, err
 			}
@@ -193,18 +208,23 @@ func Train(med *Mediated, sources []*Source, cfg Config) (*System, error) {
 	}
 
 	// Train the final copies of every learner on the full training set.
+	// Learners are independent instances, so they train concurrently.
 	trained := make([]learn.Learner, len(factories))
-	for i, f := range factories {
-		l := f()
+	err := parallel.ForEach(context.Background(), cfg.Workers, len(factories), func(_ context.Context, i int) error {
+		l := factories[i]()
 		if err := l.Train(labels, examples); err != nil {
-			return nil, fmt.Errorf("core: training %s: %w", sys.names[i], err)
+			return fmt.Errorf("core: training %s: %w", sys.names[i], err)
 		}
 		trained[i] = l
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	sys.learners = trained
 
 	// Step 5: train the meta-learner by stacking over all learners.
-	stacker, err := meta.Train(labels, sys.names, factories, examples, cfg.Meta, rng)
+	stacker, err := meta.Train(labels, sys.names, factories, examples, mcfg, finalSeed)
 	if err != nil {
 		return nil, fmt.Errorf("core: meta-learner: %w", err)
 	}
@@ -212,14 +232,18 @@ func Train(med *Mediated, sources []*Source, cfg Config) (*System, error) {
 	return sys, nil
 }
 
-func trainAll(specs []LearnerSpec, labels []string, examples []learn.Example) ([]learn.Learner, error) {
+func trainAll(specs []LearnerSpec, labels []string, examples []learn.Example, workers int) ([]learn.Learner, error) {
 	out := make([]learn.Learner, len(specs))
-	for i, spec := range specs {
-		l := spec.Factory()
+	err := parallel.ForEach(context.Background(), workers, len(specs), func(_ context.Context, i int) error {
+		l := specs[i].Factory()
 		if err := l.Train(labels, examples); err != nil {
-			return nil, fmt.Errorf("core: training %s: %w", spec.Name, err)
+			return fmt.Errorf("core: training %s: %w", specs[i].Name, err)
 		}
 		out[i] = l
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -253,12 +277,20 @@ type ensembleLabeler struct {
 	// nodeCache memoizes labels per element node: the labeler is fixed
 	// once trained, so each node needs labelling only once even though
 	// cross-validation folds and the final XML learner all consult it.
+	// mu guards the cache — concurrent CV folds and parallel match
+	// workers share one labeler. A label is a pure function of the
+	// trained ensemble, so racing workers that both miss compute the
+	// same value and determinism is preserved.
+	mu        sync.Mutex
 	nodeCache map[*xmltree.Node]string
 }
 
 // LabelNode implements xmllearner.NodeLabeler.
 func (e *ensembleLabeler) LabelNode(n *xmltree.Node, path []string) string {
-	if label, ok := e.nodeCache[n]; ok {
+	e.mu.Lock()
+	label, ok := e.nodeCache[n]
+	e.mu.Unlock()
+	if ok {
 		return label
 	}
 	in := NewInstance(e.mediated, n, path)
@@ -270,10 +302,12 @@ func (e *ensembleLabeler) LabelNode(n *xmltree.Node, path []string) string {
 	if best == "" {
 		best = learn.Other
 	}
+	e.mu.Lock()
 	if e.nodeCache == nil {
 		e.nodeCache = make(map[*xmltree.Node]string)
 	}
 	e.nodeCache[n] = best
+	e.mu.Unlock()
 	return best
 }
 
@@ -368,32 +402,42 @@ func (s *System) Match(src *Source, feedback ...constraint.Constraint) (*MatchRe
 		return nil, fmt.Errorf("core: nil source")
 	}
 	// Step 1: extract & collect data into per-tag columns.
-	cols := CollectColumns(s.mediated, src, s.cfg.MaxListings)
+	cols := collectColumns(s.mediated, src, s.cfg.MaxListings, s.cfg.Workers)
 
 	// Step 2: match each source tag: apply base learners per instance,
-	// combine with the meta-learner, convert per column.
+	// combine with the meta-learner, convert per column. The (tag,
+	// instance) pairs are flattened into one job list in deterministic
+	// tag/instance order and fanned out across the worker pool; results
+	// come back positionally, so the per-tag merge is identical to the
+	// serial loop.
 	tags := src.Schema.Tags()
-	tagPreds := make(map[string]learn.Prediction, len(tags))
-	for _, tag := range tags {
-		instances := cols[tag]
-		instPreds := make([]learn.Prediction, 0, len(instances))
-		for _, in := range instances {
-			base := make([]learn.Prediction, len(s.learners))
-			for i, l := range s.learners {
-				base[i] = l.Predict(in)
-			}
-			instPreds = append(instPreds, s.stacker.Combine(base))
-		}
-		if len(instPreds) == 0 {
+	type span struct{ start, end int }
+	var jobs []learn.Instance
+	spans := make([]span, len(tags))
+	for ti, tag := range tags {
+		start := len(jobs)
+		if instances := cols[tag]; len(instances) > 0 {
+			jobs = append(jobs, instances...)
+		} else {
 			// A tag with no data instances is matched on its name alone.
-			in := learn.Instance{TagName: tag, Path: src.Schema.PathFromRoot(tag)}
-			base := make([]learn.Prediction, len(s.learners))
-			for i, l := range s.learners {
-				base[i] = l.Predict(in)
-			}
-			instPreds = append(instPreds, s.stacker.Combine(base))
+			jobs = append(jobs, learn.Instance{TagName: tag, Path: src.Schema.PathFromRoot(tag)})
 		}
-		tagPreds[tag] = meta.Convert(s.cfg.Converter, s.labels, instPreds)
+		spans[ti] = span{start, len(jobs)}
+	}
+	combined, err := parallel.Map(context.Background(), s.cfg.Workers, len(jobs),
+		func(_ context.Context, i int) (learn.Prediction, error) {
+			base := make([]learn.Prediction, len(s.learners))
+			for j, l := range s.learners {
+				base[j] = l.Predict(jobs[i])
+			}
+			return s.stacker.Combine(base), nil
+		})
+	if err != nil {
+		return nil, fmt.Errorf("core: matching %s: %w", src.Name, err)
+	}
+	tagPreds := make(map[string]learn.Prediction, len(tags))
+	for ti, tag := range tags {
+		tagPreds[tag] = meta.Convert(s.cfg.Converter, s.labels, combined[spans[ti].start:spans[ti].end])
 	}
 
 	// Step 3: apply the constraint handler.
@@ -430,15 +474,30 @@ func (s *System) Match(src *Source, feedback ...constraint.Constraint) (*MatchRe
 // CollectColumns extracts, for each source tag, the column of element
 // instances with that tag across the source's listings (§3.2 step 1).
 func CollectColumns(med *Mediated, src *Source, maxListings int) map[string][]learn.Instance {
-	cols := make(map[string][]learn.Instance)
+	return collectColumns(med, src, maxListings, 1)
+}
+
+// collectColumns is CollectColumns over a worker pool: each listing is
+// walked independently and the per-listing columns are merged in
+// listing order, so instance order per tag matches the serial walk.
+func collectColumns(med *Mediated, src *Source, maxListings, workers int) map[string][]learn.Instance {
 	listings := src.Listings
 	if maxListings > 0 && len(listings) > maxListings {
 		listings = listings[:maxListings]
 	}
-	for _, listing := range listings {
-		listing.Walk(func(n *xmltree.Node, path []string) {
-			cols[n.Tag] = append(cols[n.Tag], NewInstance(med, n, path))
+	perListing, _ := parallel.Map(context.Background(), workers, len(listings),
+		func(_ context.Context, i int) (map[string][]learn.Instance, error) {
+			m := make(map[string][]learn.Instance)
+			listings[i].Walk(func(n *xmltree.Node, path []string) {
+				m[n.Tag] = append(m[n.Tag], NewInstance(med, n, path))
+			})
+			return m, nil
 		})
+	cols := make(map[string][]learn.Instance)
+	for _, m := range perListing {
+		for tag, instances := range m {
+			cols[tag] = append(cols[tag], instances...)
+		}
 	}
 	return cols
 }

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Occurs is a repetition marker on a content particle.
@@ -134,9 +135,15 @@ type Element struct {
 }
 
 // Schema is a parsed DTD: a set of element declarations with a root.
+// Once built, a Schema is safe for concurrent readers: the pipeline
+// shares one instance across all matching workers.
 type Schema struct {
 	elements map[string]*Element
 	order    []string // declaration order
+	// rootOnce guards the lazily computed root so concurrent Root()
+	// calls do not race. As before, the root is fixed on first use;
+	// Declare after that point does not re-elect it.
+	rootOnce sync.Once
 	root     string
 }
 
@@ -242,24 +249,23 @@ func (s *Schema) IsLeaf(tag string) bool { return len(s.ChildTags(tag)) == 0 }
 // not referenced in any other element's content model. If every
 // element is referenced the first declared element is the root.
 func (s *Schema) Root() string {
-	if s.root != "" {
-		return s.root
-	}
-	referenced := make(map[string]bool)
-	for _, name := range s.order {
-		for _, c := range s.ChildTags(name) {
-			referenced[c] = true
+	s.rootOnce.Do(func() {
+		referenced := make(map[string]bool)
+		for _, name := range s.order {
+			for _, c := range s.ChildTags(name) {
+				referenced[c] = true
+			}
 		}
-	}
-	for _, name := range s.order {
-		if !referenced[name] {
-			s.root = name
-			return name
+		for _, name := range s.order {
+			if !referenced[name] {
+				s.root = name
+				return
+			}
 		}
-	}
-	if len(s.order) > 0 {
-		s.root = s.order[0]
-	}
+		if len(s.order) > 0 {
+			s.root = s.order[0]
+		}
+	})
 	return s.root
 }
 

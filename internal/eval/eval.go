@@ -8,6 +8,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -19,6 +20,7 @@ import (
 	"repro/internal/learners/naivebayes"
 	"repro/internal/learners/namematcher"
 	"repro/internal/meta"
+	"repro/internal/parallel"
 )
 
 // Protocol fixes the experimental parameters.
@@ -34,6 +36,12 @@ type Protocol struct {
 	// MaxSplits optionally caps the number of train/test splits run
 	// (0 = all ten); tests use small values for speed.
 	MaxSplits int
+	// Workers bounds the concurrency of the protocol: the (sample,
+	// split) train/match rounds are independent and run on a worker
+	// pool of this size (0 or negative = one per CPU, 1 = serial).
+	// Each round derives its own RNG seed from (Seed, sample, split),
+	// so the reported accuracy is identical at every setting.
+	Workers int
 }
 
 // DefaultProtocol returns the paper's settings: 300 listings, 3
@@ -58,18 +66,25 @@ func splits() [][]int {
 
 // Run trains cfg on each split's training sources and matches the test
 // sources, returning the domain's average matching accuracy (in %).
+//
+// The Samples × splits rounds are independent, so they fan out across
+// p.Workers goroutines; per-round accuracies are merged back in
+// (sample, split, source) order, which keeps the average bit-identical
+// to the serial protocol.
 func Run(d *datagen.Domain, cfg core.Config, p Protocol) (float64, error) {
 	med := d.Mediated()
 	specs := d.Sources()
-	perSource := make(map[string][]float64)
 
 	allSplits := splits()
 	if p.MaxSplits > 0 && len(allSplits) > p.MaxSplits {
 		allSplits = allSplits[:p.MaxSplits]
 	}
+	// Materialize every source once per sample, up front and serially:
+	// generation is cheap next to training, and the rounds of a sample
+	// then share the sources read-only.
+	sampleSources := make([][]*core.Source, p.Samples)
 	for sample := 0; sample < p.Samples; sample++ {
 		sampleSeed := p.Seed + int64(sample)*97
-		// Materialize every source once per sample.
 		sources := make([]*core.Source, len(specs))
 		for i, spec := range specs {
 			n := p.Listings
@@ -78,7 +93,20 @@ func Run(d *datagen.Domain, cfg core.Config, p Protocol) (float64, error) {
 			}
 			sources[i] = spec.Generate(n, sampleSeed)
 		}
-		for _, tr := range allSplits {
+		sampleSources[sample] = sources
+	}
+
+	workers := parallel.Workers(p.Workers)
+	type sourceAcc struct {
+		name string
+		acc  float64
+	}
+	rounds := p.Samples * len(allSplits)
+	perRound, err := parallel.Map(context.Background(), workers, rounds,
+		func(_ context.Context, round int) ([]sourceAcc, error) {
+			sample, split := round/len(allSplits), round%len(allSplits)
+			sources := sampleSources[sample]
+			tr := allSplits[split]
 			inTrain := make(map[int]bool, len(tr))
 			var train []*core.Source
 			for _, i := range tr {
@@ -86,22 +114,36 @@ func Run(d *datagen.Domain, cfg core.Config, p Protocol) (float64, error) {
 				train = append(train, sources[i])
 			}
 			runCfg := cfg
-			runCfg.Seed = sampleSeed + int64(tr[0])*31
+			runCfg.Seed = learn.DeriveSeed(p.Seed, int64(sample), int64(split))
+			if workers > 1 {
+				// Round-level parallelism already saturates the pool;
+				// keep the inner pipeline serial.
+				runCfg.Workers = 1
+			}
 			sys, err := core.Train(med, train, runCfg)
 			if err != nil {
-				return 0, fmt.Errorf("eval: train on %s: %w", d.Name, err)
+				return nil, fmt.Errorf("eval: train on %s: %w", d.Name, err)
 			}
+			var accs []sourceAcc
 			for i, src := range sources {
 				if inTrain[i] {
 					continue
 				}
 				res, err := sys.Match(src)
 				if err != nil {
-					return 0, fmt.Errorf("eval: match %s: %w", src.Name, err)
+					return nil, fmt.Errorf("eval: match %s: %w", src.Name, err)
 				}
-				acc := core.Accuracy(src, res.Mapping)
-				perSource[src.Name] = append(perSource[src.Name], acc)
+				accs = append(accs, sourceAcc{src.Name, core.Accuracy(src, res.Mapping)})
 			}
+			return accs, nil
+		})
+	if err != nil {
+		return 0, err
+	}
+	perSource := make(map[string][]float64)
+	for _, accs := range perRound {
+		for _, a := range accs {
+			perSource[a.name] = append(perSource[a.name], a.acc)
 		}
 	}
 	return domainAverage(perSource), nil

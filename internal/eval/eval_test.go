@@ -56,6 +56,29 @@ func TestRunDeterministic(t *testing.T) {
 	}
 }
 
+// TestRunDeterministicAcrossWorkers asserts the protocol's headline
+// concurrency guarantee: the reported accuracy is bit-identical no
+// matter how many workers execute the (sample, split) rounds.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	p := fastProtocol()
+	p.Samples = 2
+	p.Workers = 1
+	serial, err := Run(datagen.FacultyListings(), MetaConfig(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4, 0} {
+		p.Workers = w
+		got, err := Run(datagen.FacultyListings(), MetaConfig(), p)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if got != serial {
+			t.Errorf("workers=%d: accuracy %.17g != serial %.17g", w, got, serial)
+		}
+	}
+}
+
 // TestLadderOrdering verifies the paper's headline relationship on one
 // domain at small scale: the complete system must beat the best single
 // base learner (Figure 8.a).

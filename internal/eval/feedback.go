@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/constraint"
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/parallel"
 )
 
 // FeedbackResult summarizes the §6.3 user-feedback experiment for one
@@ -28,43 +30,72 @@ type FeedbackResult struct {
 // feedback constraint and re-run the constraint handler, until every
 // tag is matched correctly.
 func RunFeedback(d *datagen.Domain, runs, listings int, seed int64) (*FeedbackResult, error) {
+	return RunFeedbackWorkers(d, runs, listings, seed, 1)
+}
+
+// RunFeedbackWorkers is RunFeedback with the runs fanned out over a
+// worker pool. The source permutations are drawn serially from a single
+// seeded stream before fan-out (so the scenario sequence is identical
+// to the serial protocol), and the per-run sums are merged back in run
+// order; the averages are bit-identical at every workers setting.
+func RunFeedbackWorkers(d *datagen.Domain, runs, listings int, seed int64, workers int) (*FeedbackResult, error) {
 	med := d.Mediated()
 	specs := d.Sources()
 	rng := rand.New(rand.NewSource(seed))
 	res := &FeedbackResult{Domain: d.Name, Runs: runs}
 
+	perms := make([][]int, runs)
 	for run := 0; run < runs; run++ {
-		perm := rng.Perm(datagen.NumSources)
-		trainIdx, testIdx := perm[:3], perm[3]
-		sampleSeed := seed + int64(run)*131
+		perms[run] = rng.Perm(datagen.NumSources)
+	}
 
-		var train []*core.Source
-		for _, i := range trainIdx {
-			n := listings
-			if n > specs[i].NominalListings {
-				n = specs[i].NominalListings
+	workers = parallel.Workers(workers)
+	type runStats struct {
+		corrections int
+		tags        int
+	}
+	stats, err := parallel.Map(context.Background(), workers, runs,
+		func(_ context.Context, run int) (runStats, error) {
+			perm := perms[run]
+			trainIdx, testIdx := perm[:3], perm[3]
+			sampleSeed := seed + int64(run)*131
+
+			var train []*core.Source
+			for _, i := range trainIdx {
+				n := listings
+				if n > specs[i].NominalListings {
+					n = specs[i].NominalListings
+				}
+				train = append(train, specs[i].Generate(n, sampleSeed))
 			}
-			train = append(train, specs[i].Generate(n, sampleSeed))
-		}
-		n := listings
-		if n > specs[testIdx].NominalListings {
-			n = specs[testIdx].NominalListings
-		}
-		test := specs[testIdx].Generate(n, sampleSeed)
+			n := listings
+			if n > specs[testIdx].NominalListings {
+				n = specs[testIdx].NominalListings
+			}
+			test := specs[testIdx].Generate(n, sampleSeed)
 
-		cfg := FullConfig()
-		cfg.Seed = sampleSeed
-		sys, err := core.Train(med, train, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("eval: feedback train: %w", err)
-		}
+			cfg := FullConfig()
+			cfg.Seed = sampleSeed
+			if workers > 1 {
+				cfg.Workers = 1
+			}
+			sys, err := core.Train(med, train, cfg)
+			if err != nil {
+				return runStats{}, fmt.Errorf("eval: feedback train: %w", err)
+			}
 
-		corrections, err := feedbackLoop(sys, test)
-		if err != nil {
-			return nil, err
-		}
-		res.AvgCorrections += float64(corrections)
-		res.AvgTags += float64(test.Schema.NumTags())
+			corrections, err := feedbackLoop(sys, test)
+			if err != nil {
+				return runStats{}, err
+			}
+			return runStats{corrections, test.Schema.NumTags()}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range stats {
+		res.AvgCorrections += float64(s.corrections)
+		res.AvgTags += float64(s.tags)
 	}
 	res.AvgCorrections /= float64(runs)
 	res.AvgTags /= float64(runs)

@@ -7,11 +7,13 @@
 package learn
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
 
+	"repro/internal/parallel"
 	"repro/internal/xmltree"
 )
 
@@ -75,14 +77,24 @@ type Prediction map[string]float64
 // Normalize scales the prediction so non-negative scores sum to 1.
 // Negative scores are clamped to 0 first. If every score is zero the
 // prediction becomes uniform over its labels.
+//
+// The scores are summed in sorted-value order, not map order: float
+// addition is not associative, so a map-order sum would differ between
+// otherwise identical runs in the last bits, and the pipeline promises
+// bit-identical output for a fixed seed.
 func (p Prediction) Normalize() Prediction {
-	sum := 0.0
+	vals := make([]float64, 0, len(p))
 	for c, s := range p {
 		if s < 0 {
 			p[c] = 0
 		} else {
-			sum += s
+			vals = append(vals, s)
 		}
+	}
+	sort.Float64s(vals)
+	sum := 0.0
+	for _, s := range vals {
+		sum += s
 	}
 	if sum == 0 {
 		if len(p) == 0 {
@@ -168,6 +180,31 @@ type Learner interface {
 // learners are constructed through factories rather than reused.
 type Factory func() Learner
 
+// DeriveSeed deterministically derives an independent RNG seed from a
+// base seed and a task coordinate (learner index, sample index, split
+// index, run index, …). Each coordinate is folded in with a SplitMix64
+// finalizer, so adjacent coordinates yield statistically unrelated
+// streams. Parallel tasks seeded this way never share rand state, and
+// the derived sequence is pinned by a regression test so that
+// parallelization cannot silently change published experiment numbers.
+func DeriveSeed(base int64, idxs ...int64) int64 {
+	x := uint64(base) ^ 0x9e3779b97f4a7c15
+	for _, idx := range idxs {
+		x = mix64(x + mix64(uint64(idx)+0x9e3779b97f4a7c15))
+	}
+	return int64(x)
+}
+
+// mix64 is the SplitMix64 finalizer (Steele, Lea & Flood 2014).
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
 // CrossValidate produces CV(L) of §3.1 step 5(a): one prediction per
 // example, made by a copy of the learner trained on the other folds.
 // When the examples carry two or more distinct Groups (sources), the
@@ -175,7 +212,12 @@ type Factory func() Learner
 // measure cross-source generalization. Otherwise the examples are
 // shuffled with rng and split into d random parts. The returned slice
 // is aligned with the input examples.
-func CrossValidate(factory Factory, labels []string, examples []Example, d int, rng *rand.Rand) ([]Prediction, error) {
+//
+// The per-fold train/predict rounds are independent and run on a
+// bounded worker pool of the given size (parallel.Workers semantics:
+// 0 = one per CPU, 1 = serial). Fold assignment happens before the
+// fan-out, so the result is identical at every worker count.
+func CrossValidate(factory Factory, labels []string, examples []Example, d int, rng *rand.Rand, workers int) ([]Prediction, error) {
 	n := len(examples)
 	if n == 0 {
 		return nil, nil
@@ -198,7 +240,7 @@ func CrossValidate(factory Factory, labels []string, examples []Example, d int, 
 		for i, ex := range examples {
 			fold[i] = groupFold[ex.Group]
 		}
-		return crossValidateFolds(factory, labels, examples, fold, d)
+		return crossValidateFolds(factory, labels, examples, fold, d, workers)
 	}
 	if d > n {
 		d = n
@@ -207,13 +249,15 @@ func CrossValidate(factory Factory, labels []string, examples []Example, d int, 
 	for i, pi := range perm {
 		fold[pi] = i % d
 	}
-	return crossValidateFolds(factory, labels, examples, fold, d)
+	return crossValidateFolds(factory, labels, examples, fold, d, workers)
 }
 
-func crossValidateFolds(factory Factory, labels []string, examples []Example, fold []int, d int) ([]Prediction, error) {
+func crossValidateFolds(factory Factory, labels []string, examples []Example, fold []int, d, workers int) ([]Prediction, error) {
 	n := len(examples)
 	preds := make([]Prediction, n)
-	for f := 0; f < d; f++ {
+	// Folds are independent: each trains a fresh learner copy and fills
+	// a disjoint set of preds slots, so the slice needs no lock.
+	err := parallel.ForEach(context.Background(), workers, d, func(_ context.Context, f int) error {
 		train := make([]Example, 0, n)
 		for i, ex := range examples {
 			if fold[i] != f {
@@ -222,13 +266,17 @@ func crossValidateFolds(factory Factory, labels []string, examples []Example, fo
 		}
 		l := factory()
 		if err := l.Train(labels, train); err != nil {
-			return nil, fmt.Errorf("learn: cross-validation fold %d: %w", f, err)
+			return fmt.Errorf("learn: cross-validation fold %d: %w", f, err)
 		}
 		for i, ex := range examples {
 			if fold[i] == f {
 				preds[i] = l.Predict(ex.Instance)
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return preds, nil
 }

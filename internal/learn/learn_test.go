@@ -152,7 +152,7 @@ func TestCrossValidateAlignment(t *testing.T) {
 		{Instance: Instance{TagName: "x5"}, Label: "A"},
 	}
 	preds, err := CrossValidate(func() Learner { return &constLearner{label: "A"} },
-		labels, examples, 5, rand.New(rand.NewSource(1)))
+		labels, examples, 5, rand.New(rand.NewSource(1)), 1)
 	if err != nil {
 		t.Fatalf("CrossValidate: %v", err)
 	}
@@ -182,7 +182,7 @@ func TestCrossValidateWithholdsFold(t *testing.T) {
 		})
 	}
 	preds, err := CrossValidate(func() Learner { return &memorizer{} },
-		labels, examples, 5, rand.New(rand.NewSource(7)))
+		labels, examples, 5, rand.New(rand.NewSource(7)), 1)
 	if err != nil {
 		t.Fatalf("CrossValidate: %v", err)
 	}
@@ -201,16 +201,16 @@ func TestCrossValidateSmallInput(t *testing.T) {
 		{Instance: Instance{TagName: "y"}, Label: "A"},
 	}
 	preds, err := CrossValidate(func() Learner { return &constLearner{label: "A"} },
-		labels, examples, 5, rand.New(rand.NewSource(3)))
+		labels, examples, 5, rand.New(rand.NewSource(3)), 4)
 	if err != nil || len(preds) != 2 {
 		t.Fatalf("CrossValidate small: %v, %d preds", err, len(preds))
 	}
 	if _, err := CrossValidate(func() Learner { return &constLearner{label: "A"} },
-		labels, examples, 1, rand.New(rand.NewSource(3))); err == nil {
+		labels, examples, 1, rand.New(rand.NewSource(3)), 1); err == nil {
 		t.Error("d=1 should be rejected")
 	}
 	preds, err = CrossValidate(func() Learner { return &constLearner{label: "A"} },
-		labels, nil, 5, rand.New(rand.NewSource(3)))
+		labels, nil, 5, rand.New(rand.NewSource(3)), 1)
 	if err != nil || preds != nil {
 		t.Errorf("empty examples: %v, %v", preds, err)
 	}

@@ -122,6 +122,9 @@ func (l *Learner) PredictBag(bag text.Bag) learn.Prediction {
 	if vocabSize == 0 {
 		vocabSize = 1
 	}
+	// Sorted token order keeps the log-probability sums bit-identical
+	// across runs; bag is a map and float addition is not associative.
+	toks := bag.Tokens()
 	logs := make(map[string]float64, len(l.labels))
 	maxLog := math.Inf(-1)
 	for _, c := range l.labels {
@@ -129,8 +132,8 @@ func (l *Learner) PredictBag(bag text.Bag) learn.Prediction {
 		// a small non-zero probability.
 		lp := math.Log((l.docCount[c] + 1) / (l.numDocs + float64(len(l.labels))))
 		denom := l.totalCount[c] + vocabSize
-		for w, n := range bag {
-			lp += float64(n) * math.Log((l.tokenCount[c][w]+1)/denom)
+		for _, w := range toks {
+			lp += float64(bag[w]) * math.Log((l.tokenCount[c][w]+1)/denom)
 		}
 		logs[c] = lp
 		if lp > maxLog {
@@ -154,8 +157,8 @@ func (l *Learner) LogLikelihood(bag text.Bag, c string) float64 {
 	}
 	lp := math.Log((l.docCount[c] + 1) / (l.numDocs + float64(len(l.labels))))
 	denom := l.totalCount[c] + vocabSize
-	for w, n := range bag {
-		lp += float64(n) * math.Log((l.tokenCount[c][w]+1)/denom)
+	for _, w := range bag.Tokens() {
+		lp += float64(bag[w]) * math.Log((l.tokenCount[c][w]+1)/denom)
 	}
 	return lp
 }

@@ -9,6 +9,7 @@ package whirl
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/learn"
 	"repro/internal/text"
@@ -59,8 +60,12 @@ type Classifier struct {
 	index map[string][]int32
 	// cache memoizes predictions by extracted text: name-matcher inputs
 	// repeat once per column instance, so hit rates are very high. The
-	// cache is bounded and reset when full.
-	cache map[string]learn.Prediction
+	// cache is bounded and reset when full. cacheMu guards it: Predict
+	// is called concurrently by the parallel match/CV fan-out, and
+	// entries are pure functions of the frozen model, so losing a
+	// concurrent insert only costs a recomputation, never determinism.
+	cacheMu sync.RWMutex
+	cache   map[string]learn.Prediction
 }
 
 // maxCacheEntries bounds the prediction cache.
@@ -125,7 +130,10 @@ func (c *Classifier) Train(labels []string, examples []learn.Example) error {
 // smoothed and normalized to a confidence distribution.
 func (c *Classifier) Predict(in learn.Instance) learn.Prediction {
 	extracted := c.extract(in)
-	if cached, ok := c.cache[extracted]; ok {
+	c.cacheMu.RLock()
+	cached, ok := c.cache[extracted]
+	c.cacheMu.RUnlock()
+	if ok {
 		return cached.Clone()
 	}
 	p := make(learn.Prediction, len(c.labels))
@@ -139,9 +147,17 @@ func (c *Classifier) Predict(in learn.Instance) learn.Prediction {
 
 	// Accumulate dot products over the inverted index: only stored
 	// examples sharing at least one token with the query can have a
-	// non-zero similarity.
+	// non-zero similarity. Tokens are visited in sorted order so each
+	// similarity sums its terms identically on every run (float addition
+	// is not associative, and q is a map).
+	toks := make([]string, 0, len(q))
+	for tok := range q {
+		toks = append(toks, tok)
+	}
+	sort.Strings(toks)
 	sims := make(map[int32]float64)
-	for tok, w := range q {
+	for _, tok := range toks {
+		w := q[tok]
 		for _, i := range c.index[tok] {
 			sims[i] += w * c.store[i].vec[tok]
 		}
@@ -149,21 +165,28 @@ func (c *Classifier) Predict(in learn.Instance) learn.Prediction {
 	type neighbor struct {
 		sim   float64
 		label string
+		idx   int32
 	}
 	neighbors := make([]neighbor, 0, len(sims))
 	for i, sim := range sims {
 		if sim > c.cfg.MinSimilarity {
-			neighbors = append(neighbors, neighbor{sim, c.store[i].label})
+			neighbors = append(neighbors, neighbor{sim, c.store[i].label, i})
 		}
 	}
+	// Order the neighbours deterministically (sims is a map): the
+	// noisy-or below multiplies per-label factors in neighbour order,
+	// and float multiplication is not associative either.
+	sort.Slice(neighbors, func(i, j int) bool {
+		if neighbors[i].sim != neighbors[j].sim {
+			return neighbors[i].sim > neighbors[j].sim
+		}
+		if neighbors[i].label != neighbors[j].label {
+			return neighbors[i].label < neighbors[j].label
+		}
+		return neighbors[i].idx < neighbors[j].idx
+	})
 	if k := c.cfg.MaxNeighbors; k > 0 && len(neighbors) > k {
 		// Only the k nearest neighbours contribute.
-		sort.Slice(neighbors, func(i, j int) bool {
-			if neighbors[i].sim != neighbors[j].sim {
-				return neighbors[i].sim > neighbors[j].sim
-			}
-			return neighbors[i].label < neighbors[j].label
-		})
 		neighbors = neighbors[:k]
 	}
 	// Noisy-or per label.
@@ -179,10 +202,12 @@ func (c *Classifier) Predict(in learn.Instance) learn.Prediction {
 		p[l] += 1 - om
 	}
 	p.Normalize()
+	c.cacheMu.Lock()
 	if c.cache == nil || len(c.cache) >= maxCacheEntries {
 		c.cache = make(map[string]learn.Prediction, 256)
 	}
 	c.cache[extracted] = p.Clone()
+	c.cacheMu.Unlock()
 	return p
 }
 

@@ -12,11 +12,13 @@
 package meta
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
 
 	"repro/internal/learn"
+	"repro/internal/parallel"
 )
 
 // Stacker holds the per-label learner weights fitted by stacking.
@@ -51,6 +53,10 @@ type Config struct {
 	// large negative weights to correlated learners and generalizes
 	// poorly to unseen sources.
 	AllowNegativeWeights bool
+	// Workers bounds the concurrency of the per-learner (and per-fold)
+	// cross-validation: 0 or negative = one worker per CPU, 1 = serial.
+	// The fitted weights are identical at every setting.
+	Workers int
 }
 
 // DefaultConfig returns the paper's configuration: 5-fold
@@ -61,9 +67,12 @@ func DefaultConfig() Config { return Config{Folds: 5} }
 // cross-validation; names must align with factories and with the
 // prediction vectors later passed to Combine. examples is the training
 // set shared by all learners (each learner extracts its own features
-// from the instances).
+// from the instances). seed drives the cross-validation shuffles: each
+// learner's CV gets its own RNG seeded by learn.DeriveSeed(seed, j),
+// so the per-learner rounds can run concurrently without sharing rand
+// state and produce identical folds at every worker count.
 func Train(labels []string, names []string, factories []learn.Factory,
-	examples []learn.Example, cfg Config, rng *rand.Rand) (*Stacker, error) {
+	examples []learn.Example, cfg Config, seed int64) (*Stacker, error) {
 	if len(names) != len(factories) {
 		return nil, fmt.Errorf("meta: %d names but %d factories", len(names), len(factories))
 	}
@@ -90,12 +99,17 @@ func Train(labels []string, names []string, factories []learn.Factory,
 		folds = 5
 	}
 	cv := make([][]learn.Prediction, k)
-	for j, f := range factories {
-		preds, err := learn.CrossValidate(f, labels, examples, folds, rng)
+	err := parallel.ForEach(context.Background(), cfg.Workers, k, func(_ context.Context, j int) error {
+		rng := rand.New(rand.NewSource(learn.DeriveSeed(seed, int64(j))))
+		preds, err := learn.CrossValidate(factories[j], labels, examples, folds, rng, cfg.Workers)
 		if err != nil {
-			return nil, fmt.Errorf("meta: CV for %s: %w", names[j], err)
+			return fmt.Errorf("meta: CV for %s: %w", names[j], err)
 		}
 		cv[j] = preds
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	// Steps 5(b)-(c): per label, gather ⟨s(ci|x,L1..Lk), l(ci,x)⟩ and

@@ -2,7 +2,6 @@ package meta
 
 import (
 	"math"
-	"math/rand"
 	"strings"
 	"testing"
 
@@ -89,14 +88,14 @@ func sharedExamples() []learn.Example {
 }
 
 func TestTrainWeightsFavorGoodLearner(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
+	var seed int64 = 1
 	st, err := Train(labels,
 		[]string{"oracle", "anti"},
 		[]learn.Factory{
 			func() learn.Learner { return &oracle{} },
 			func() learn.Learner { return &antiOracle{} },
 		},
-		sharedExamples(), DefaultConfig(), rng)
+		sharedExamples(), DefaultConfig(), seed)
 	if err != nil {
 		t.Fatalf("Train: %v", err)
 	}
@@ -109,14 +108,14 @@ func TestTrainWeightsFavorGoodLearner(t *testing.T) {
 }
 
 func TestCombineUsesWeights(t *testing.T) {
-	rng := rand.New(rand.NewSource(2))
+	var seed int64 = 2
 	st, err := Train(labels,
 		[]string{"oracle", "anti"},
 		[]learn.Factory{
 			func() learn.Learner { return &oracle{} },
 			func() learn.Learner { return &antiOracle{} },
 		},
-		sharedExamples(), DefaultConfig(), rng)
+		sharedExamples(), DefaultConfig(), seed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,14 +130,14 @@ func TestCombineUsesWeights(t *testing.T) {
 }
 
 func TestCombinedBeatsUninformativeLearner(t *testing.T) {
-	rng := rand.New(rand.NewSource(3))
+	var seed int64 = 3
 	st, err := Train(labels,
 		[]string{"oracle", "coin"},
 		[]learn.Factory{
 			func() learn.Learner { return &oracle{} },
 			func() learn.Learner { return &coin{} },
 		},
-		sharedExamples(), DefaultConfig(), rng)
+		sharedExamples(), DefaultConfig(), seed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +155,7 @@ func TestUniformWeightsConfig(t *testing.T) {
 			func() learn.Learner { return &coin{} },
 			func() learn.Learner { return &coin{} },
 		},
-		sharedExamples(), cfg, rand.New(rand.NewSource(4)))
+		sharedExamples(), cfg, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +169,7 @@ func TestUniformWeightsConfig(t *testing.T) {
 func TestTrainNoExamples(t *testing.T) {
 	st, err := Train(labels, []string{"a"},
 		[]learn.Factory{func() learn.Learner { return &coin{} }},
-		nil, DefaultConfig(), rand.New(rand.NewSource(5)))
+		nil, DefaultConfig(), 5)
 	if err != nil {
 		t.Fatalf("Train with no examples: %v", err)
 	}
@@ -180,10 +179,10 @@ func TestTrainNoExamples(t *testing.T) {
 }
 
 func TestTrainErrors(t *testing.T) {
-	if _, err := Train(labels, []string{"a"}, nil, nil, DefaultConfig(), nil); err == nil {
+	if _, err := Train(labels, []string{"a"}, nil, nil, DefaultConfig(), 0); err == nil {
 		t.Error("mismatched names/factories should error")
 	}
-	if _, err := Train(labels, nil, nil, nil, DefaultConfig(), nil); err == nil {
+	if _, err := Train(labels, nil, nil, nil, DefaultConfig(), 0); err == nil {
 		t.Error("no learners should error")
 	}
 }
@@ -191,7 +190,7 @@ func TestTrainErrors(t *testing.T) {
 func TestCombinePanicsOnArity(t *testing.T) {
 	st, _ := Train(labels, []string{"a"},
 		[]learn.Factory{func() learn.Learner { return &coin{} }},
-		nil, DefaultConfig(), rand.New(rand.NewSource(6)))
+		nil, DefaultConfig(), 6)
 	defer func() {
 		if recover() == nil {
 			t.Error("Combine with wrong arity did not panic")
@@ -207,7 +206,7 @@ func TestCombineIsNormalized(t *testing.T) {
 			func() learn.Learner { return &oracle{} },
 			func() learn.Learner { return &antiOracle{} },
 		},
-		sharedExamples(), DefaultConfig(), rand.New(rand.NewSource(7)))
+		sharedExamples(), DefaultConfig(), 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +228,7 @@ func TestCombineIsNormalized(t *testing.T) {
 func TestStringMentionsWeights(t *testing.T) {
 	st, _ := Train(labels, []string{"a"},
 		[]learn.Factory{func() learn.Learner { return &coin{} }},
-		nil, DefaultConfig(), rand.New(rand.NewSource(8)))
+		nil, DefaultConfig(), 8)
 	s := st.String()
 	if !strings.Contains(s, "ADDRESS") || !strings.Contains(s, "a=") {
 		t.Errorf("String() = %q", s)

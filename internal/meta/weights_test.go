@@ -2,7 +2,6 @@ package meta
 
 import (
 	"math"
-	"math/rand"
 	"testing"
 
 	"repro/internal/learn"
@@ -29,7 +28,7 @@ func TestNormalizedWeightsSumToOne(t *testing.T) {
 			func() learn.Learner { return &antiOracle{} },
 			func() learn.Learner { return &coin{} },
 		},
-		sharedExamples(), DefaultConfig(), rand.New(rand.NewSource(9)))
+		sharedExamples(), DefaultConfig(), 9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +56,7 @@ func TestRawWeightsConfig(t *testing.T) {
 			func() learn.Learner { return &oracle{} },
 			func() learn.Learner { return &coin{} },
 		},
-		sharedExamples(), cfg, rand.New(rand.NewSource(10)))
+		sharedExamples(), cfg, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +81,7 @@ func TestAllowNegativeWeightsConfig(t *testing.T) {
 			func() learn.Learner { return &oracle{} },
 			func() learn.Learner { return &antiOracle{} },
 		},
-		sharedExamples(), cfg, rand.New(rand.NewSource(11)))
+		sharedExamples(), cfg, 11)
 	if err != nil {
 		t.Fatalf("unconstrained regression config: %v", err)
 	}
@@ -91,7 +90,7 @@ func TestAllowNegativeWeightsConfig(t *testing.T) {
 func TestWeightUnknownLearner(t *testing.T) {
 	st, _ := Train(labels, []string{"a"},
 		[]learn.Factory{func() learn.Learner { return &coin{} }},
-		nil, DefaultConfig(), rand.New(rand.NewSource(12)))
+		nil, DefaultConfig(), 12)
 	if st.Weight("ADDRESS", "nope") != 0 {
 		t.Error("unknown learner weight should be 0")
 	}

@@ -1,0 +1,135 @@
+// Package parallel provides the bounded worker pool the LSD pipeline
+// fans out on. Tasks are indexed 0..n-1 and results are collected
+// positionally, so merging parallel output in task order yields results
+// identical to the serial loop regardless of scheduling or GOMAXPROCS.
+// The pool honours context cancellation and converts worker panics into
+// returned errors instead of crashing the process.
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Workers normalizes a worker-count knob: n >= 1 means exactly n
+// workers (1 = serial); 0 or negative means one worker per available
+// CPU (runtime.GOMAXPROCS).
+func Workers(n int) int {
+	if n >= 1 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// PanicError wraps a panic recovered from a worker goroutine.
+type PanicError struct {
+	// Value is the value the worker panicked with.
+	Value any
+	// Stack is the worker's stack at the point of the panic.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: worker panic: %v\n%s", e.Value, e.Stack)
+}
+
+// Map runs fn(ctx, i) for every i in [0, n) on at most workers
+// goroutines (normalized by Workers) and returns the n results in
+// index order. The first error cancels the remaining tasks and is
+// returned; a panicking fn is recovered into a *PanicError. When the
+// context is cancelled mid-batch, undispatched tasks are dropped and
+// the context error is returned.
+func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, ctx.Err()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	results := make([]T, n)
+	if workers == 1 {
+		// Serial fast path: identical semantics (cancellation checks,
+		// panic capture) without goroutines.
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			v, err := call(ctx, i, fn)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = v
+		}
+		return results, nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	tasks := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range tasks {
+				v, err := call(ctx, i, fn)
+				if err != nil {
+					fail(err)
+					return
+				}
+				// Each slot is written by exactly one task, so the
+				// results slice needs no lock.
+				results[i] = v
+			}
+		}()
+	}
+dispatch:
+	for i := 0; i < n; i++ {
+		select {
+		case tasks <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(tasks)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// ForEach is Map for tasks without results.
+func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	_, err := Map(ctx, workers, n, func(ctx context.Context, i int) (struct{}, error) {
+		return struct{}{}, fn(ctx, i)
+	})
+	return err
+}
+
+// call invokes fn with panic capture.
+func call[T any](ctx context.Context, i int, fn func(context.Context, int) (T, error)) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(ctx, i)
+}

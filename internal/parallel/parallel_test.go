@@ -1,0 +1,200 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkersNormalization(t *testing.T) {
+	if got := Workers(1); got != 1 {
+		t.Errorf("Workers(1) = %d", got)
+	}
+	if got := Workers(7); got != 7 {
+		t.Errorf("Workers(7) = %d", got)
+	}
+	procs := runtime.GOMAXPROCS(0)
+	if got := Workers(0); got != procs {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, procs)
+	}
+	if got := Workers(-3); got != procs {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, procs)
+	}
+}
+
+// TestMapOrderedUnderRandomDurations is the ordered-result invariant:
+// tasks completing in scrambled order must still land at their own
+// index.
+func TestMapOrderedUnderRandomDurations(t *testing.T) {
+	const n = 64
+	rng := rand.New(rand.NewSource(1))
+	delays := make([]time.Duration, n)
+	for i := range delays {
+		delays[i] = time.Duration(rng.Intn(3)) * time.Millisecond
+	}
+	for _, workers := range []int{1, 2, 8, n} {
+		got, err := Map(context.Background(), workers, n, func(_ context.Context, i int) (int, error) {
+			time.Sleep(delays[i])
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestMapSaturation checks the pool bound: in-flight tasks never exceed
+// the worker count.
+func TestMapSaturation(t *testing.T) {
+	const workers, n = 3, 40
+	var inFlight, maxSeen atomic.Int64
+	_, err := Map(context.Background(), workers, n, func(_ context.Context, i int) (struct{}, error) {
+		cur := inFlight.Add(1)
+		defer inFlight.Add(-1)
+		for {
+			prev := maxSeen.Load()
+			if cur <= prev || maxSeen.CompareAndSwap(prev, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := maxSeen.Load(); got > workers {
+		t.Errorf("saw %d concurrent tasks, pool bound is %d", got, workers)
+	}
+}
+
+// TestMapCancellationMidBatch cancels the context partway through and
+// checks that the pool stops dispatching and reports the context error.
+func TestMapCancellationMidBatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	const n = 1000
+	var started atomic.Int64
+	_, err := Map(ctx, 2, n, func(_ context.Context, i int) (struct{}, error) {
+		if started.Add(1) == 5 {
+			cancel()
+		}
+		time.Sleep(100 * time.Microsecond)
+		return struct{}{}, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := started.Load(); got >= n {
+		t.Errorf("all %d tasks ran despite mid-batch cancellation", n)
+	}
+}
+
+// TestMapSerialCancellation covers the workers=1 fast path.
+func TestMapSerialCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := 0
+	_, err := Map(ctx, 1, 100, func(_ context.Context, i int) (struct{}, error) {
+		ran++
+		if i == 3 {
+			cancel()
+		}
+		return struct{}{}, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 4 {
+		t.Errorf("ran %d tasks, want 4 (cancel checked before each dispatch)", ran)
+	}
+}
+
+// TestMapWorkerPanic checks that a panicking task surfaces as a
+// *PanicError instead of crashing the process, at every pool size.
+func TestMapWorkerPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		_, err := Map(context.Background(), workers, 16, func(_ context.Context, i int) (int, error) {
+			if i == 7 {
+				panic("boom 7")
+			}
+			return i, nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if fmt.Sprint(pe.Value) != "boom 7" {
+			t.Errorf("workers=%d: panic value = %v", workers, pe.Value)
+		}
+		if !strings.Contains(pe.Error(), "boom 7") || len(pe.Stack) == 0 {
+			t.Errorf("workers=%d: PanicError missing message or stack", workers)
+		}
+	}
+}
+
+// TestMapFirstErrorCancelsRest checks that an error stops the batch
+// early.
+func TestMapFirstErrorCancelsRest(t *testing.T) {
+	var ran atomic.Int64
+	wantErr := errors.New("task failed")
+	const n = 10000
+	_, err := Map(context.Background(), 2, n, func(_ context.Context, i int) (struct{}, error) {
+		ran.Add(1)
+		if i == 2 {
+			return struct{}{}, wantErr
+		}
+		time.Sleep(50 * time.Microsecond)
+		return struct{}{}, nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	if got := ran.Load(); got >= n {
+		t.Errorf("all %d tasks ran despite early error", n)
+	}
+}
+
+func TestMapEmptyAndSingle(t *testing.T) {
+	got, err := Map(context.Background(), 4, 0, func(_ context.Context, i int) (int, error) {
+		t.Error("task ran for n=0")
+		return 0, nil
+	})
+	if err != nil || len(got) != 0 {
+		t.Errorf("n=0: got %v, %v", got, err)
+	}
+	got, err = Map(context.Background(), 4, 1, func(_ context.Context, i int) (int, error) {
+		return 42, nil
+	})
+	if err != nil || len(got) != 1 || got[0] != 42 {
+		t.Errorf("n=1: got %v, %v", got, err)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var sum atomic.Int64
+	if err := ForEach(context.Background(), 4, 10, func(_ context.Context, i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 45 {
+		t.Errorf("sum = %d, want 45", sum.Load())
+	}
+	wantErr := errors.New("nope")
+	if err := ForEach(context.Background(), 4, 10, func(_ context.Context, i int) error {
+		return wantErr
+	}); !errors.Is(err, wantErr) {
+		t.Errorf("ForEach err = %v", err)
+	}
+}

@@ -49,14 +49,22 @@ func (b Bag) Tokens() []string {
 type Vector map[string]float64
 
 // Dot returns the dot product (cosine similarity for unit vectors) of v
-// and u.
+// and u. Terms are summed in sorted-value order so the result does not
+// depend on map iteration order (float addition is not associative).
 func (v Vector) Dot(u Vector) float64 {
 	if len(u) < len(v) {
 		v, u = u, v
 	}
-	s := 0.0
+	terms := make([]float64, 0, len(v))
 	for t, w := range v {
-		s += w * u[t]
+		if x := w * u[t]; x != 0 {
+			terms = append(terms, x)
+		}
+	}
+	sort.Float64s(terms)
+	s := 0.0
+	for _, x := range terms {
+		s += x
 	}
 	return s
 }
@@ -126,11 +134,18 @@ func (c *Corpus) Vectorize(b Bag) Vector {
 		c.Freeze()
 	}
 	v := make(Vector, len(b))
-	norm := 0.0
+	sq := make([]float64, 0, len(b))
 	for t, cnt := range b {
 		w := (1 + math.Log(float64(cnt))) * c.IDF(t)
 		v[t] = w
-		norm += w * w
+		sq = append(sq, w*w)
+	}
+	// Sum the squared weights in sorted order so the norm (and thus
+	// every vector component) is independent of map iteration order.
+	sort.Float64s(sq)
+	norm := 0.0
+	for _, s := range sq {
+		norm += s
 	}
 	if norm == 0 {
 		return v
