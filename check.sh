@@ -1,0 +1,21 @@
+#!/bin/sh
+# check.sh runs the exact static gate CI enforces (the "static" job in
+# .github/workflows/ci.yml), so contributors can verify locally with
+# one command:
+#
+#	./check.sh
+#
+# It fails on unformatted files, go vet findings, or lsdlint findings.
+set -e
+cd "$(dirname "$0")"
+
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+	echo "gofmt: the following files need formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+go vet ./...
+go run ./cmd/lsdlint ./...
+echo "check.sh: all static checks passed"

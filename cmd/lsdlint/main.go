@@ -1,0 +1,133 @@
+// Command lsdlint runs the repo's custom static-analysis suite over
+// the module: project-specific analyzers that machine-check the
+// pipeline's determinism and concurrency invariants (see
+// internal/analysis). It is built on the Go standard library only.
+//
+// Usage:
+//
+//	lsdlint [-root dir] [patterns...]
+//
+// Patterns follow go-tool conventions relative to the module root:
+// "./..." (the default) lints every package, "./internal/..." a
+// subtree, and "./internal/learn" a single package. Findings print as
+// file:line:col: check: message; the exit status is 1 when there are
+// findings, 2 on usage or load errors, and 0 on a clean tree.
+// Individual findings can be suppressed, with a mandatory reason, by
+// a "//lint:ignore <check> <reason>" comment on or directly above the
+// offending line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lsdlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rootFlag := fs.String("root", "", "module root directory (default: found from the working directory)")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: lsdlint [-root dir] [patterns...]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	dir := *rootFlag
+	if dir == "" {
+		var err error
+		if dir, err = os.Getwd(); err != nil {
+			fmt.Fprintln(stderr, "lsdlint:", err)
+			return 2
+		}
+	}
+	root, modpath, err := analysis.FindModule(dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "lsdlint:", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	paths, err := resolvePatterns(root, modpath, patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "lsdlint:", err)
+		return 2
+	}
+
+	diags, err := analysis.Lint(root, modpath, paths, analysis.DefaultAnalyzers())
+	if err != nil {
+		fmt.Fprintln(stderr, "lsdlint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "lsdlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// resolvePatterns expands go-style package patterns into the module's
+// import paths. Patterns are interpreted relative to the module root.
+func resolvePatterns(root, modpath string, patterns []string) ([]string, error) {
+	all, err := analysis.NewLoader(root, modpath).ModulePackages()
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	var out []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, pat := range patterns {
+		// Normalize "./x", "x", and "repro/x" to the import path.
+		p := strings.TrimPrefix(strings.TrimSuffix(pat, "/"), "./")
+		p = strings.TrimSuffix(p, "/")
+		recursive := false
+		if rest, ok := strings.CutSuffix(p, "..."); ok {
+			recursive = true
+			p = strings.TrimSuffix(rest, "/")
+		}
+		var want string
+		switch {
+		case p == "" || p == ".":
+			want = modpath
+		case p == modpath || strings.HasPrefix(p, modpath+"/"):
+			want = p
+		default:
+			want = modpath + "/" + p
+		}
+		matched := false
+		for _, path := range all {
+			if path == want || (recursive && strings.HasPrefix(path, want+"/")) {
+				add(path)
+				matched = true
+			}
+		}
+		if recursive && want == modpath {
+			matched = true // "./..." on a rootless module dir still matches subpackages
+		}
+		if !matched {
+			return nil, fmt.Errorf("pattern %q matched no packages", pat)
+		}
+	}
+	return out, nil
+}

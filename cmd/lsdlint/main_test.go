@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module example.com/m\n\ngo 1.22\n"
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const cleanSrc = `package m
+
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+`
+
+func TestRunCleanTreeExitsZero(t *testing.T) {
+	dir := writeModule(t, map[string]string{"a.go": cleanSrc})
+	var out, errb bytes.Buffer
+	if code := run([]string{"-root", dir, "./..."}, &out, &errb); code != 0 {
+		t.Errorf("exit %d on clean tree, want 0; stderr: %s", code, errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("unexpected output on clean tree: %s", out.String())
+	}
+}
+
+// TestRunFixtureInRealPackageExitsNonZero drops a real analyzer
+// testdata fixture into a module package and asserts the driver exits
+// non-zero with findings — the acceptance check that fixtures are true
+// positives outside testdata.
+func TestRunFixtureInRealPackageExitsNonZero(t *testing.T) {
+	fixture, err := os.ReadFile(filepath.Join("..", "..", "internal", "analysis",
+		"testdata", "src", "maprangefloat", "a.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := writeModule(t, map[string]string{"a.go": string(fixture)})
+	var out, errb bytes.Buffer
+	if code := run([]string{"-root", dir, "./..."}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d with fixture findings, want 1; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "maprangefloat") {
+		t.Errorf("findings output missing maprangefloat:\n%s", out.String())
+	}
+	if !strings.Contains(errb.String(), "finding(s)") {
+		t.Errorf("stderr missing findings summary: %s", errb.String())
+	}
+}
+
+func TestRunSinglePackagePattern(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"a.go":     cleanSrc,
+		"sub/b.go": "package sub\n\nfunc Bad(m map[string]float64) {\n\ts := 0.0\n\tfor _, v := range m {\n\t\ts += v\n\t}\n\t_ = s\n}\n",
+	})
+	var out, errb bytes.Buffer
+	// Linting only the clean package must not surface sub's finding.
+	if code := run([]string{"-root", dir, "."}, &out, &errb); code != 0 {
+		t.Errorf("exit %d linting clean package, want 0; out: %s", code, out.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-root", dir, "./sub"}, &out, &errb); code != 1 {
+		t.Errorf("exit %d linting dirty package, want 1", code)
+	}
+}
+
+func TestRunNoModuleExitsTwo(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-root", t.TempDir(), "./..."}, &out, &errb); code != 2 {
+		t.Errorf("exit %d without go.mod, want 2", code)
+	}
+}
+
+func TestRunUnmatchedPatternExitsTwo(t *testing.T) {
+	dir := writeModule(t, map[string]string{"a.go": cleanSrc})
+	var out, errb bytes.Buffer
+	if code := run([]string{"-root", dir, "./nope/..."}, &out, &errb); code != 2 {
+		t.Errorf("exit %d for unmatched pattern, want 2", code)
+	}
+}

@@ -18,9 +18,21 @@ import (
 )
 
 // workerSettings are the pool sizes every determinism test compares:
-// serial, a fixed small pool, and one worker per CPU (0).
+// serial, a fixed small pool, and one worker per CPU (0). The list is
+// deduplicated because GOMAXPROCS can collapse settings into each
+// other (on a 4-CPU machine GOMAXPROCS(0) == 4; with GOMAXPROCS=1 it
+// equals the serial setting), and a duplicated entry would silently
+// re-run the same comparison instead of exercising a distinct pool.
 func workerSettings() []int {
-	return []int{1, 4, runtime.GOMAXPROCS(0), 0}
+	seen := make(map[int]bool)
+	var out []int
+	for _, w := range []int{1, 4, runtime.GOMAXPROCS(0), 0} {
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	return out
 }
 
 // trainDomain builds the standard 3-train/1-test scenario on Real

@@ -1,0 +1,154 @@
+// Package analysis is lsdlint's stdlib-only static-analysis engine.
+// It loads every package in the module with go/parser, type-checks it
+// with go/types (resolving the standard library from source via
+// go/importer, so the repo keeps its no-external-dependency rule), and
+// runs a suite of project-specific analyzers that machine-check the
+// pipeline's determinism and concurrency invariants:
+//
+//   - maprangefloat: no floating-point accumulation in Go map
+//     iteration order (the PR 1 nondeterminism class).
+//   - seedflow: every rand.NewSource seed is a constant or derived via
+//     learn.DeriveSeed, and no *rand.Rand is captured by a go-launched
+//     function literal.
+//   - guardedby: fields tagged `// guarded by <mutex>` are only
+//     touched while that mutex is held on a syntactic lock path.
+//   - normalizedpred: learn.Prediction values built in an exported
+//     function are normalized before they cross the package boundary.
+//
+// Findings can be suppressed with a justified directive on (or
+// immediately above) the offending line:
+//
+//	//lint:ignore <check> <reason>
+//
+// A directive without a reason is itself a diagnostic.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one analyzer finding, resolved to a file position.
+type Diagnostic struct {
+	// Position locates the finding.
+	Position token.Position
+	// Check names the analyzer (or "ignore" for malformed
+	// suppression directives).
+	Check string
+	// Message explains the finding and how to fix it.
+	Message string
+}
+
+// String renders the diagnostic in the conventional
+// file:line:col: check: message form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s",
+		d.Position.Filename, d.Position.Line, d.Position.Column, d.Check, d.Message)
+}
+
+// Analyzer is one lint check: a name (used in diagnostics and in
+// //lint:ignore directives), a one-line doc string, and a Run function
+// invoked once per loaded package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one (analyzer, package) unit of work. Analyzers read
+// the syntax and type information and report findings via Reportf.
+type Pass struct {
+	Fset  *token.FileSet
+	Pkg   *types.Package
+	Info  *types.Info
+	Files []*ast.File
+
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos under the running analyzer's name.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Position: p.Fset.Position(pos),
+		Check:    p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// DefaultAnalyzers returns the full lsdlint suite.
+func DefaultAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		MapRangeFloat,
+		SeedFlow,
+		GuardedBy,
+		NormalizedPred,
+	}
+}
+
+// RunAnalyzers runs the analyzers over a loaded package, applies the
+// package's //lint:ignore directives, and returns the surviving
+// diagnostics (plus any directive-syntax diagnostics) sorted by
+// position.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Fset:     pkg.Fset,
+			Pkg:      pkg.Pkg,
+			Info:     pkg.Info,
+			Files:    pkg.Files,
+			analyzer: a,
+			diags:    &diags,
+		}
+		a.Run(pass)
+	}
+	diags = applyIgnores(pkg, diags)
+	sortDiagnostics(diags)
+	return diags
+}
+
+// Lint loads the packages at the given module-relative import paths
+// (every package in the module when paths is nil) and runs the
+// analyzers over each. The returned diagnostics are sorted by
+// position. A package that fails to parse or type-check is a hard
+// error, not a diagnostic.
+func Lint(root, modpath string, paths []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	loader := NewLoader(root, modpath)
+	if paths == nil {
+		var err error
+		paths, err = loader.ModulePackages()
+		if err != nil {
+			return nil, err
+		}
+	}
+	var diags []Diagnostic
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: loading %s: %w", path, err)
+		}
+		diags = append(diags, RunAnalyzers(pkg, analyzers)...)
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Check < b.Check
+	})
+}

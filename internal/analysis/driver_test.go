@@ -1,0 +1,160 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// writeModule materializes a throwaway module (go.mod plus files) and
+// returns its root. Keys are slash-separated relative paths.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module example.com/m\n\ngo 1.22\n"
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const cleanSrc = `package m
+
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+`
+
+const dirtySrc = `package m
+
+func Sum(m map[string]float64) float64 {
+	s := 0.0
+	for _, x := range m {
+		s += x
+	}
+	return s
+}
+`
+
+func lint(t *testing.T, dir string) []analysis.Diagnostic {
+	t.Helper()
+	diags, err := analysis.Lint(dir, "example.com/m", nil, analysis.DefaultAnalyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+func TestLintCleanTree(t *testing.T) {
+	dir := writeModule(t, map[string]string{"a.go": cleanSrc})
+	if diags := lint(t, dir); len(diags) != 0 {
+		t.Errorf("clean tree produced diagnostics: %v", diags)
+	}
+}
+
+func TestLintFinding(t *testing.T) {
+	dir := writeModule(t, map[string]string{"a.go": dirtySrc})
+	diags := lint(t, dir)
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Check != "maprangefloat" || d.Position.Line != 6 {
+		t.Errorf("got %v, want maprangefloat at line 6", d)
+	}
+}
+
+func TestLintIgnoreStandalone(t *testing.T) {
+	src := strings.Replace(dirtySrc, "\t\ts += x",
+		"\t\t//lint:ignore maprangefloat the values are integral in practice\n\t\ts += x", 1)
+	dir := writeModule(t, map[string]string{"a.go": src})
+	if diags := lint(t, dir); len(diags) != 0 {
+		t.Errorf("standalone directive did not suppress: %v", diags)
+	}
+}
+
+func TestLintIgnoreTrailing(t *testing.T) {
+	src := strings.Replace(dirtySrc, "\t\ts += x",
+		"\t\ts += x //lint:ignore maprangefloat the values are integral in practice", 1)
+	dir := writeModule(t, map[string]string{"a.go": src})
+	if diags := lint(t, dir); len(diags) != 0 {
+		t.Errorf("trailing directive did not suppress: %v", diags)
+	}
+}
+
+func TestLintIgnoreWrongCheckDoesNotSuppress(t *testing.T) {
+	src := strings.Replace(dirtySrc, "\t\ts += x",
+		"\t\t//lint:ignore seedflow wrong check name\n\t\ts += x", 1)
+	dir := writeModule(t, map[string]string{"a.go": src})
+	diags := lint(t, dir)
+	if len(diags) != 1 || diags[0].Check != "maprangefloat" {
+		t.Errorf("directive for another check suppressed the finding: %v", diags)
+	}
+}
+
+// TestLintIgnoreWithoutReason: a bare //lint:ignore <check> is itself a
+// diagnostic, and it does not suppress the finding it annotates.
+func TestLintIgnoreWithoutReason(t *testing.T) {
+	src := strings.Replace(dirtySrc, "\t\ts += x",
+		"\t\t//lint:ignore maprangefloat\n\t\ts += x", 1)
+	dir := writeModule(t, map[string]string{"a.go": src})
+	diags := lint(t, dir)
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (malformed directive + unsuppressed finding): %v", len(diags), diags)
+	}
+	checks := []string{diags[0].Check, diags[1].Check}
+	if !(checks[0] == "ignore" && checks[1] == "maprangefloat") {
+		t.Errorf("got checks %v, want [ignore maprangefloat]", checks)
+	}
+}
+
+func TestLintSyntaxErrorIsHardError(t *testing.T) {
+	dir := writeModule(t, map[string]string{"a.go": "package m\n\nfunc broken( {\n"})
+	if _, err := analysis.Lint(dir, "example.com/m", nil, analysis.DefaultAnalyzers()); err == nil {
+		t.Error("Lint succeeded on a package that does not parse")
+	}
+}
+
+func TestModulePackagesSkipsTestdata(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"a.go":              cleanSrc,
+		"sub/b.go":          "package sub\n",
+		"testdata/src/x.go": "package x\n",
+		"_skip/c.go":        "package c\n",
+	})
+	paths, err := analysis.NewLoader(dir, "example.com/m").ModulePackages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"example.com/m", "example.com/m/sub"}
+	if len(paths) != len(want) || paths[0] != want[0] || paths[1] != want[1] {
+		t.Errorf("got %v, want %v", paths, want)
+	}
+}
+
+func TestFindModule(t *testing.T) {
+	dir := writeModule(t, map[string]string{"sub/b.go": "package sub\n"})
+	root, modpath, err := analysis.FindModule(filepath.Join(dir, "sub"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TempDir may come back through a symlink; compare resolved paths.
+	wantRoot, _ := filepath.EvalSymlinks(dir)
+	gotRoot, _ := filepath.EvalSymlinks(root)
+	if gotRoot != wantRoot || modpath != "example.com/m" {
+		t.Errorf("got (%s, %s), want (%s, example.com/m)", root, modpath, dir)
+	}
+}

@@ -1,0 +1,240 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+)
+
+// GuardedBy enforces `// guarded by <mutex>` struct-field tags: every
+// method of the struct that reads or writes a tagged field must hold
+// the named sync.Mutex/RWMutex on a syntactic lock path — a
+// Lock/RLock call strictly before the access with no intervening
+// non-deferred Unlock/RUnlock, in source order within the method body.
+// This is the predict-path cache class PR 1 fixed by hand in whirl and
+// the ensemble labeler: unsynchronized reads of a lazily filled cache
+// race under the parallel match/CV fan-out.
+//
+// The check is deliberately syntactic (per-method, source order,
+// function literals skipped): it cannot prove lock correctness, but it
+// makes "touched the cache without taking the lock" impossible to
+// reintroduce silently.
+var GuardedBy = &Analyzer{
+	Name: "guardedby",
+	Doc:  "enforces `// guarded by <mutex>` field tags on a syntactic lock path",
+	Run:  runGuardedBy,
+}
+
+var guardedByRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+// guardedField records one tagged field of a struct.
+type guardedField struct {
+	structName string
+	field      string
+	mutex      string
+}
+
+func runGuardedBy(pass *Pass) {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			recvName, structName := receiverInfo(fd)
+			if recvName == nil {
+				continue
+			}
+			for _, g := range guards[structName] {
+				checkMethod(pass, fd, recvName, g)
+			}
+		}
+	}
+}
+
+// collectGuards scans struct declarations for tagged fields, validates
+// the named mutex, and returns the guards per struct name.
+func collectGuards(pass *Pass) map[string][]guardedField {
+	guards := make(map[string][]guardedField)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			fieldNames := make(map[string]*ast.Field)
+			for _, f := range st.Fields.List {
+				for _, name := range f.Names {
+					fieldNames[name.Name] = f
+				}
+			}
+			for _, f := range st.Fields.List {
+				mutex := guardTag(f)
+				if mutex == "" {
+					continue
+				}
+				mf, ok := fieldNames[mutex]
+				if !ok || !isMutexField(pass, mf) {
+					pass.Reportf(f.Pos(),
+						"guarded-by tag names %q, which is not a sync.Mutex/RWMutex field of %s", mutex, ts.Name.Name)
+					continue
+				}
+				for _, name := range f.Names {
+					guards[ts.Name.Name] = append(guards[ts.Name.Name], guardedField{
+						structName: ts.Name.Name,
+						field:      name.Name,
+						mutex:      mutex,
+					})
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// guardTag extracts the mutex name from a field's doc or trailing
+// comment, or returns "".
+func guardTag(f *ast.Field) string {
+	for _, group := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if group == nil {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(group.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// isMutexField reports whether the field's type is sync.Mutex or
+// sync.RWMutex (directly or behind one pointer).
+func isMutexField(pass *Pass, f *ast.Field) bool {
+	t := pass.Info.TypeOf(f.Type)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// receiverInfo returns the receiver identifier and the base struct
+// type name of a method, or (nil, "").
+func receiverInfo(fd *ast.FuncDecl) (*ast.Ident, string) {
+	if len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+		return nil, ""
+	}
+	recv := fd.Recv.List[0].Names[0]
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	// Generic receivers (Name[T]) do not occur in this repo; a plain
+	// identifier is the only supported shape.
+	id, ok := t.(*ast.Ident)
+	if !ok {
+		return nil, ""
+	}
+	return recv, id.Name
+}
+
+// lockEvent is one ordered lock/unlock/access occurrence in a method.
+type lockEvent struct {
+	pos  token.Pos
+	kind int // +1 lock, -1 unlock, 0 access
+}
+
+// checkMethod replays the method's lock/unlock/access events in source
+// order and reports accesses made while the guard depth is zero.
+func checkMethod(pass *Pass, fd *ast.FuncDecl, recv *ast.Ident, g guardedField) {
+	recvObj := pass.Info.Defs[recv]
+	if recvObj == nil {
+		return
+	}
+	var events []lockEvent
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Lock state inside closures is not tracked; skipping keeps
+			// the check syntactic rather than wrong.
+			return false
+		case *ast.DeferStmt:
+			// A deferred Unlock releases at function exit, not at its
+			// syntactic position, so it must not clear the guard depth:
+			// skip the deferred mutex call entirely.
+			if mutexCallKind(pass, n.Call, recvObj, g.mutex) != 0 {
+				return false
+			}
+			return true
+		case *ast.CallExpr:
+			if kind := mutexCallKind(pass, n, recvObj, g.mutex); kind != 0 {
+				events = append(events, lockEvent{n.Pos(), kind})
+				return false
+			}
+			return true
+		case *ast.SelectorExpr:
+			if n.Sel.Name == g.field {
+				if obj := identObj(pass, n.X); obj != nil && obj == recvObj {
+					events = append(events, lockEvent{n.Pos(), 0})
+				}
+			}
+			return true
+		}
+		return true
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	depth := 0
+	for _, e := range events {
+		switch {
+		case e.kind != 0:
+			depth += e.kind
+		case depth <= 0:
+			pass.Reportf(e.pos,
+				"%s.%s is tagged `// guarded by %s` but is accessed without %s held on this path",
+				g.structName, g.field, g.mutex, g.mutex)
+		}
+	}
+}
+
+// mutexCallKind classifies a call as +1 (recv.mutex.Lock/RLock),
+// -1 (recv.mutex.Unlock/RUnlock), or 0 (anything else).
+func mutexCallKind(pass *Pass, call *ast.CallExpr, recvObj types.Object, mutex string) int {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return 0
+	}
+	inner, ok := sel.X.(*ast.SelectorExpr)
+	if !ok || inner.Sel.Name != mutex {
+		return 0
+	}
+	if obj := identObj(pass, inner.X); obj == nil || obj != recvObj {
+		return 0
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		return 1
+	case "Unlock", "RUnlock":
+		return -1
+	}
+	return 0
+}

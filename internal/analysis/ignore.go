@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression directive:
+//
+//	//lint:ignore <check> <reason>
+//
+// The directive suppresses diagnostics of the named check on its own
+// line (trailing comment) or, when the comment stands alone on a line,
+// on the line directly below it. The reason is mandatory: a directive
+// without one is reported as an "ignore" diagnostic so unjustified
+// suppressions cannot accumulate silently.
+const ignorePrefix = "lint:ignore"
+
+type ignoreKey struct {
+	file  string
+	line  int
+	check string
+}
+
+// applyIgnores filters diags through the package's //lint:ignore
+// directives and appends a diagnostic for every malformed directive.
+func applyIgnores(pkg *Package, diags []Diagnostic) []Diagnostic {
+	ignored := make(map[ignoreKey]bool)
+	var out []Diagnostic
+	for _, file := range pkg.Files {
+		filename := pkg.Fset.Position(file.Pos()).Filename
+		src := pkg.Sources[filename]
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				text, ok := strings.CutPrefix(strings.TrimPrefix(c.Text, "//"), ignorePrefix)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Slash)
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					out = append(out, Diagnostic{
+						Position: pos,
+						Check:    "ignore",
+						Message:  "malformed directive: want //lint:ignore <check> <reason>",
+					})
+					continue
+				}
+				line := pos.Line
+				if standaloneComment(src, pos) {
+					line++
+				}
+				ignored[ignoreKey{pos.Filename, line, fields[0]}] = true
+			}
+		}
+	}
+	for _, d := range diags {
+		if ignored[ignoreKey{d.Position.Filename, d.Position.Line, d.Check}] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// standaloneComment reports whether only whitespace precedes the
+// comment starting at pos on its line — i.e. the directive annotates
+// the line below rather than its own.
+func standaloneComment(src []byte, pos token.Position) bool {
+	if src == nil {
+		return false
+	}
+	start := pos.Offset - (pos.Column - 1)
+	if start < 0 || pos.Offset > len(src) {
+		return false
+	}
+	return strings.TrimSpace(string(src[start:pos.Offset])) == ""
+}

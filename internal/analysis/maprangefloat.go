@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapRangeFloat flags floating-point compound assignments
+// (+=, -=, *=, /=) that accumulate across iterations of a range over a
+// map. Go randomizes map iteration order per run, and float arithmetic
+// is not associative, so such accumulation differs between otherwise
+// identical runs in the last bits — the exact nondeterminism class
+// PR 1 hand-fixed in Normalize, TF/IDF, Naive Bayes, and whirl. Safe
+// shapes are not flagged: integer accumulation (exact, so
+// order-independent), accumulators declared inside the loop body (no
+// cross-iteration state), and writes indexed by the range key itself
+// (each iteration touches a distinct element).
+var MapRangeFloat = &Analyzer{
+	Name: "maprangefloat",
+	Doc:  "flags floating-point accumulation in map iteration order",
+	Run:  runMapRangeFloat,
+}
+
+func runMapRangeFloat(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !isMapExpr(pass, rs.X) {
+				return true
+			}
+			checkMapRangeBody(pass, rs)
+			return true
+		})
+	}
+}
+
+func checkMapRangeBody(pass *Pass, rs *ast.RangeStmt) {
+	keyObj := identObj(pass, rs.Key)
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		// A nested range over another map is visited on its own; its
+		// body's accumulators are reported once, against the inner
+		// (innermost-map) loop.
+		if inner, ok := n.(*ast.RangeStmt); ok && inner != rs && isMapExpr(pass, inner.X) {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		default:
+			return true
+		}
+		lhs := as.Lhs[0]
+		if !isFloatExpr(pass, lhs) {
+			return true
+		}
+		// m[k] op= v with k the range key writes one distinct slot per
+		// iteration: no cross-iteration accumulation.
+		if ix, ok := lhs.(*ast.IndexExpr); ok && keyObj != nil {
+			if obj := identObj(pass, ix.Index); obj != nil && obj == keyObj {
+				return true
+			}
+		}
+		// A loop-local accumulator resets every iteration.
+		if obj := identObj(pass, lhs); obj != nil &&
+			obj.Pos() >= rs.Body.Pos() && obj.Pos() < rs.Body.End() {
+			return true
+		}
+		pass.Reportf(as.Pos(),
+			"floating-point %s accumulates in map iteration order, which varies between runs; iterate sorted keys instead", as.Tok)
+		return true
+	})
+}
+
+// isMapExpr reports whether e has map underlying type.
+func isMapExpr(pass *Pass, e ast.Expr) bool {
+	t := pass.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// isFloatExpr reports whether e has floating-point underlying type.
+func isFloatExpr(pass *Pass, e ast.Expr) bool {
+	t := pass.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// identObj resolves e to the object of a plain identifier, or nil.
+func identObj(pass *Pass, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := pass.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return pass.Info.Defs[id]
+}

@@ -1,0 +1,192 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// NormalizedPred enforces the learn.Prediction contract (§2.2: scores
+// sum to 1): an exported function or method that returns a Prediction
+// it built itself — via make or a composite literal — must call
+// Normalize on it before the value crosses the package boundary.
+// Returned call expressions are trusted (the callee owns the
+// invariant, and is itself checked when it lives in this module), and
+// predictions the function merely passes through are not re-checked.
+// The meta-learner's regression and the constraint handler both
+// consume raw scores arithmetically, so one unnormalized distribution
+// silently skews weights instead of failing loudly.
+var NormalizedPred = &Analyzer{
+	Name: "normalizedpred",
+	Doc:  "flags learn.Prediction values built and returned by exported functions without Normalize",
+	Run:  runNormalizedPred,
+}
+
+func runNormalizedPred(pass *Pass) {
+	pred := predictionType(pass)
+	if pred == nil {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			checkPredReturns(pass, fd, pred)
+		}
+	}
+}
+
+// predictionType finds the learn.Prediction named type visible to this
+// package: the package's own Prediction when it is the learn package,
+// or the one of an imported */internal/learn package. Matching by
+// path suffix lets analyzer fixtures under testdata import the type
+// through their own path.
+func predictionType(pass *Pass) *types.TypeName {
+	lookup := func(pkg *types.Package) *types.TypeName {
+		if !strings.HasSuffix(pkg.Path(), "/internal/learn") && pkg.Path() != "repro/internal/learn" {
+			return nil
+		}
+		if tn, ok := pkg.Scope().Lookup("Prediction").(*types.TypeName); ok {
+			return tn
+		}
+		return nil
+	}
+	if tn := lookup(pass.Pkg); tn != nil {
+		return tn
+	}
+	for _, imp := range pass.Pkg.Imports() {
+		if tn := lookup(imp); tn != nil {
+			return tn
+		}
+	}
+	return nil
+}
+
+// isPredType reports whether t is the Prediction named type.
+func isPredType(t types.Type, pred *types.TypeName) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj() == pred
+}
+
+// checkPredReturns inspects every return of a Prediction-typed result
+// in fd. Function literals are skipped: their returns do not leave the
+// enclosing function directly.
+func checkPredReturns(pass *Pass, fd *ast.FuncDecl, pred *types.TypeName) {
+	fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	results := fn.Type().(*types.Signature).Results()
+	hasPred := false
+	for i := 0; i < results.Len(); i++ {
+		if isPredType(results.At(i).Type(), pred) {
+			hasPred = true
+		}
+	}
+	if !hasPred {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != results.Len() {
+			return true
+		}
+		for i := 0; i < results.Len(); i++ {
+			if isPredType(results.At(i).Type(), pred) {
+				checkReturnedPred(pass, fd, ret.Results[i], ret.Pos(), pred)
+			}
+		}
+		return true
+	})
+}
+
+func checkReturnedPred(pass *Pass, fd *ast.FuncDecl, e ast.Expr, retPos token.Pos, pred *types.TypeName) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		// Normalize itself, a constructor, or another learner's
+		// Predict: the callee owns the invariant.
+	case *ast.CompositeLit:
+		pass.Reportf(e.Pos(),
+			"learn.Prediction literal returned from exported %s without Normalize", fd.Name.Name)
+	case *ast.Ident:
+		obj := identObj(pass, e)
+		if obj == nil || !builtInFunc(pass, fd, obj, pred) {
+			return // passed through, not built here
+		}
+		if !normalizedBefore(pass, fd, obj, retPos) {
+			pass.Reportf(e.Pos(),
+				"learn.Prediction %q is built in exported %s and returned without a Normalize call on every path", obj.Name(), fd.Name.Name)
+		}
+	}
+}
+
+// builtInFunc reports whether obj is initialized inside fd by make or
+// a composite literal — i.e. the function constructs the prediction
+// rather than receiving it.
+func builtInFunc(pass *Pass, fd *ast.FuncDecl, obj types.Object, pred *types.TypeName) bool {
+	if obj.Pos() < fd.Body.Pos() || obj.Pos() >= fd.Body.End() {
+		return false
+	}
+	built := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || built {
+			return !built
+		}
+		for i, lhs := range as.Lhs {
+			if identObj(pass, lhs) != obj || i >= len(as.Rhs) {
+				continue
+			}
+			switch rhs := ast.Unparen(as.Rhs[i]).(type) {
+			case *ast.CompositeLit:
+				built = true
+			case *ast.CallExpr:
+				if id, ok := rhs.Fun.(*ast.Ident); ok && id.Name == "make" {
+					if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); !isBuiltin {
+						continue
+					}
+					// Confirm the made type is Prediction.
+					if len(rhs.Args) > 0 {
+						if t := pass.Info.TypeOf(rhs.Args[0]); t != nil && isPredType(t, pred) {
+							built = true
+						}
+					}
+				}
+			}
+		}
+		return !built
+	})
+	return built
+}
+
+// normalizedBefore reports whether obj.Normalize() is called anywhere
+// in fd before retPos (source order — the same syntactic
+// approximation the rest of the suite uses).
+func normalizedBefore(pass *Pass, fd *ast.FuncDecl, obj types.Object, retPos token.Pos) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() > retPos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Normalize" {
+			return true
+		}
+		if identObj(pass, sel.X) == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,49 @@
+// Package fixtures exercises the guardedby analyzer: true positives
+// in the Bad* methods and badTag, true negatives in the Good* methods.
+package fixtures
+
+import "sync"
+
+type cacheBox struct {
+	mu   sync.RWMutex
+	data map[string]string // guarded by mu
+	n    int               // untagged: never checked
+}
+
+func (b *cacheBox) Good(k string) string {
+	b.mu.RLock()
+	v := b.data[k]
+	b.mu.RUnlock()
+	return v
+}
+
+func (b *cacheBox) GoodDefer(k, v string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.data[k] = v
+}
+
+func (b *cacheBox) Bad(k string) string {
+	return b.data[k] // no lock at all
+}
+
+func (b *cacheBox) BadAfterUnlock(k string) string {
+	b.mu.Lock()
+	b.mu.Unlock()
+	return b.data[k] // lock already released
+}
+
+func (b *cacheBox) Untagged() int {
+	return b.n // untagged fields are not checked
+}
+
+func (b *cacheBox) Suppressed(k string) string {
+	//lint:ignore guardedby fixture demonstrating a justified suppression
+	return b.data[k]
+}
+
+type badTag struct {
+	data map[string]string // guarded by lock
+}
+
+func (t *badTag) Get(k string) string { return t.data[k] }

@@ -1,0 +1,60 @@
+// Package fixtures exercises the maprangefloat analyzer: true
+// positives in positives, true negatives in negatives.
+package fixtures
+
+func positives(m map[string]float64, weights map[string]float64, groups map[string][]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v // accumulates in map order
+	}
+	prod := 1.0
+	for _, v := range m {
+		prod *= v // multiplication is not associative either
+	}
+	for k := range m {
+		weights["total"] -= weights[k] // index is not the range key
+	}
+	outer := 0.0
+	for _, vs := range groups {
+		for _, v := range vs {
+			outer += v // inner slice is ordered, but the outer map is not
+		}
+	}
+	return sum + prod + outer
+}
+
+func negatives(m map[string]float64, counts map[string]int, xs []float64, groups map[string][]float64) float64 {
+	// Integer accumulation is exact, so order cannot matter.
+	n := 0
+	for _, c := range counts {
+		n += c
+	}
+	// Slice iteration order is fixed.
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	// A write indexed by the range key touches a distinct slot per
+	// iteration: no cross-iteration accumulation.
+	for k := range m {
+		m[k] /= 2
+	}
+	// A loop-local accumulator resets every iteration.
+	for _, vs := range groups {
+		local := 0.0
+		for _, v := range vs {
+			local += v
+		}
+		_ = local
+	}
+	return s + float64(n)
+}
+
+func suppressed(m map[string]float64) float64 {
+	ignored := 0.0
+	for _, v := range m {
+		//lint:ignore maprangefloat fixture demonstrating a justified suppression
+		ignored += v
+	}
+	return ignored
+}

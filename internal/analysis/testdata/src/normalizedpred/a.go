@@ -1,0 +1,54 @@
+// Package fixtures exercises the normalizedpred analyzer: true
+// positives in Literal and BuiltNoNormalize, true negatives in the
+// rest.
+package fixtures
+
+import "repro/internal/learn"
+
+func Literal() learn.Prediction {
+	return learn.Prediction{"a": 1} // raw literal crosses the boundary
+}
+
+func BuiltNoNormalize(labels []string) learn.Prediction {
+	p := make(learn.Prediction, len(labels))
+	for _, c := range labels {
+		p[c] = 1
+	}
+	return p // built here, never normalized
+}
+
+func BuiltNormalized(labels []string) learn.Prediction {
+	p := make(learn.Prediction, len(labels))
+	for _, c := range labels {
+		p[c] = 1
+	}
+	return p.Normalize()
+}
+
+func NormalizedEarlier(labels []string) learn.Prediction {
+	p := make(learn.Prediction, len(labels))
+	for _, c := range labels {
+		p[c] = 1
+	}
+	p.Normalize()
+	return p
+}
+
+func Delegates(labels []string) learn.Prediction {
+	return learn.Uniform(labels) // the callee owns the invariant
+}
+
+func PassThrough(p learn.Prediction) learn.Prediction {
+	return p // not built here; the producer already normalized it
+}
+
+func unexportedLiteral() learn.Prediction {
+	return learn.Prediction{"a": 1} // package-internal values are not checked
+}
+
+func Suppressed() learn.Prediction {
+	//lint:ignore normalizedpred fixture demonstrating a justified suppression
+	return learn.Prediction{"a": 1}
+}
+
+var _ = unexportedLiteral

@@ -1,0 +1,37 @@
+// Package fixtures exercises the seedflow analyzer: true positives in
+// positives, true negatives in negatives.
+package fixtures
+
+import (
+	"math/rand"
+
+	"repro/internal/learn"
+)
+
+const baseSeed = 17
+
+func positives(seed int64) {
+	_ = rand.NewSource(seed)                // bare variable seed
+	_ = rand.New(rand.NewSource(seed * 31)) // ad-hoc affine arithmetic
+	shared := rand.New(rand.NewSource(1))
+	go func() {
+		_ = shared.Int63() // *rand.Rand captured by a goroutine
+	}()
+}
+
+func negatives(seed int64) {
+	_ = rand.NewSource(42)       // literal constant
+	_ = rand.NewSource(baseSeed) // named constant
+	_ = rand.NewSource(int64(baseSeed * 3))
+	_ = rand.New(rand.NewSource(learn.DeriveSeed(seed, 3)))
+	go func() {
+		// A goroutine-local Rand with a derived seed shares no state.
+		local := rand.New(rand.NewSource(learn.DeriveSeed(seed, 4)))
+		_ = local.Int63()
+	}()
+}
+
+func suppressed(seed int64) {
+	//lint:ignore seedflow fixture demonstrating a justified suppression
+	_ = rand.NewSource(seed + 99)
+}

@@ -16,6 +16,7 @@ package constraint
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/dtd"
 	"repro/internal/learn"
@@ -105,9 +106,17 @@ func Cost(constraints []Constraint, src *Source, m Assignment, complete bool) fl
 // remains finite, keeping A* able to compare mappings.
 func ProbCost(preds map[string]learn.Prediction, m Assignment) float64 {
 	const eps = 1e-6
+	// Sum in sorted tag order, not map order: float addition is not
+	// associative, so a map-order sum would give A* node costs that
+	// differ in the last bits between runs and could flip tie-breaks.
+	tags := make([]string, 0, len(m))
+	for tag := range m {
+		tags = append(tags, tag)
+	}
+	sort.Strings(tags)
 	cost := 0.0
-	for tag, label := range m {
-		s := preds[tag][label]
+	for _, tag := range tags {
+		s := preds[tag][m[tag]]
 		if s < eps {
 			s = eps
 		}

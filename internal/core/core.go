@@ -282,7 +282,7 @@ type ensembleLabeler struct {
 	// trained ensemble, so racing workers that both miss compute the
 	// same value and determinism is preserved.
 	mu        sync.Mutex
-	nodeCache map[*xmltree.Node]string
+	nodeCache map[*xmltree.Node]string // guarded by mu
 }
 
 // LabelNode implements xmllearner.NodeLabeler.

@@ -41,6 +41,7 @@ func RunFeedback(d *datagen.Domain, runs, listings int, seed int64) (*FeedbackRe
 func RunFeedbackWorkers(d *datagen.Domain, runs, listings int, seed int64, workers int) (*FeedbackResult, error) {
 	med := d.Mediated()
 	specs := d.Sources()
+	//lint:ignore seedflow this is the experiment's root stream: the caller-provided seed IS the base seed, drawn serially before the fan-out; per-run streams derive from it below
 	rng := rand.New(rand.NewSource(seed))
 	res := &FeedbackResult{Domain: d.Name, Runs: runs}
 

@@ -144,6 +144,7 @@ func (p Prediction) Clone() Prediction {
 	for c, s := range p {
 		q[c] = s
 	}
+	//lint:ignore normalizedpred a clone is exactly as normalized as its input; renormalizing would perturb stored cache entries bit-for-bit
 	return q
 }
 
@@ -151,12 +152,13 @@ func (p Prediction) Clone() Prediction {
 func Uniform(labels []string) Prediction {
 	p := make(Prediction, len(labels))
 	if len(labels) == 0 {
-		return p
+		return p.Normalize() // no-op on the empty prediction
 	}
 	u := 1 / float64(len(labels))
 	for _, c := range labels {
 		p[c] = u
 	}
+	//lint:ignore normalizedpred uniform scores sum to 1 by construction; renormalizing would divide by a float sum of 1/n terms and perturb the last bits
 	return p
 }
 

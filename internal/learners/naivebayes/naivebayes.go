@@ -95,7 +95,12 @@ func (l *Learner) TrainBags(labels []string, bags []text.Bag, bagLabels []string
 			return fmt.Errorf("naivebayes: bag labelled %q outside label set", c)
 		}
 		l.docCount[c]++
-		for w, n := range bag {
+		// Sorted token order: totalCount accumulates float64 across the
+		// bag, and map-order summation would depend on iteration order.
+		// (The counts are integral, so today the sums are exact either
+		// way; sorting keeps that true if the weighting ever changes.)
+		for _, w := range bag.Tokens() {
+			n := bag[w]
 			counts[w] += float64(n)
 			l.totalCount[c] += float64(n)
 			l.vocab[w] = true

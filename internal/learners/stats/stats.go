@@ -158,7 +158,9 @@ func (l *Learner) Train(labels []string, examples []learn.Example) error {
 // instance's feature vector.
 func (l *Learner) Predict(in learn.Instance) learn.Prediction {
 	if len(l.labels) == 0 {
-		return learn.Prediction{}
+		// Normalize is a no-op on the empty prediction; calling it keeps
+		// the every-return-is-normalized invariant machine-checkable.
+		return learn.Prediction{}.Normalize()
 	}
 	if l.numDocs == 0 {
 		return learn.Uniform(l.labels)

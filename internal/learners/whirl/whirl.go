@@ -65,7 +65,7 @@ type Classifier struct {
 	// entries are pure functions of the frozen model, so losing a
 	// concurrent insert only costs a recomputation, never determinism.
 	cacheMu sync.RWMutex
-	cache   map[string]learn.Prediction
+	cache   map[string]learn.Prediction // guarded by cacheMu
 }
 
 // maxCacheEntries bounds the prediction cache.
@@ -111,7 +111,12 @@ func (c *Classifier) Train(labels []string, examples []learn.Example) error {
 		c.corpus.AddDocument(bags[i])
 	}
 	c.corpus.Freeze()
+	// Train is documented as happening-before any concurrent Predict,
+	// but the cache reset still takes the lock: it is free here and
+	// keeps the guarded-by invariant unconditional.
+	c.cacheMu.Lock()
 	c.cache = nil
+	c.cacheMu.Unlock()
 	c.store = make([]stored, 0, len(texts))
 	c.index = make(map[string][]int32)
 	for i := range texts {
