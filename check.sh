@@ -5,7 +5,8 @@
 #
 #	./check.sh
 #
-# It fails on unformatted files, go vet findings, or lsdlint findings.
+# It fails on unformatted files, go vet findings, failing lsdlint
+# self-tests, or lsdlint findings.
 set -e
 cd "$(dirname "$0")"
 
@@ -17,5 +18,11 @@ if [ -n "$unformatted" ]; then
 fi
 
 go vet ./...
+
+# The linter's own tests run before the tree-wide lint: a broken
+# analyzer or driver must fail loudly here, not pass vacuously by
+# reporting nothing.
+go test ./internal/analysis/... ./cmd/lsdlint/...
+
 go run ./cmd/lsdlint ./...
 echo "check.sh: all static checks passed"

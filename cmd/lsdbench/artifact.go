@@ -1,0 +1,61 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+)
+
+// benchRecord is one experiment measurement in a BENCH_<n>.json
+// artifact: which experiment ran, how long the run took, how much it
+// allocated, and the worker count it fanned out on. CI uploads these
+// so the repo's performance trajectory is recorded run over run.
+type benchRecord struct {
+	Op          string `json:"op"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp uint64 `json:"allocs_per_op"`
+	Workers     int    `json:"workers"`
+}
+
+var benchSeqRe = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// nextBenchPath returns the path of the first unused BENCH_<n>.json in
+// dir, numbering from one past the highest existing artifact so the
+// sequence records history instead of overwriting it.
+func nextBenchPath(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	next := 1
+	for _, e := range entries {
+		m := benchSeqRe.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		if n, err := strconv.Atoi(m[1]); err == nil && n >= next {
+			next = n + 1
+		}
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", next)), nil
+}
+
+// writeBenchArtifact writes records to the next BENCH_<n>.json in dir
+// (created if missing) and returns the path written.
+func writeBenchArtifact(dir string, records []benchRecord) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path, err := nextBenchPath(dir)
+	if err != nil {
+		return "", err
+	}
+	data, err := json.MarshalIndent(records, "", "\t")
+	if err != nil {
+		return "", err
+	}
+	return path, os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestNextBenchPathSequences(t *testing.T) {
+	dir := t.TempDir()
+	path, err := nextBenchPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_1.json" {
+		t.Errorf("empty dir: next = %s, want BENCH_1.json", filepath.Base(path))
+	}
+	// Numbering continues past the highest artifact, gaps included,
+	// so earlier runs are never overwritten.
+	for _, name := range []string{"BENCH_1.json", "BENCH_3.json", "BENCH_x.json", "notes.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("[]\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path, err = nextBenchPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_4.json" {
+		t.Errorf("next = %s, want BENCH_4.json", filepath.Base(path))
+	}
+}
+
+func TestWriteBenchArtifactRoundTrips(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "artifacts") // exercises MkdirAll
+	records := []benchRecord{
+		{Op: "fig8a", NsPerOp: 12345678, AllocsPerOp: 4242, Workers: 8},
+		{Op: "feedback", NsPerOp: 987, AllocsPerOp: 1, Workers: 1},
+	}
+	path, err := writeBenchArtifact(dir, records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_1.json" {
+		t.Errorf("wrote %s, want BENCH_1.json", filepath.Base(path))
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []benchRecord
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("artifact is not JSON: %v\n%s", err, data)
+	}
+	if len(got) != 2 || got[0] != records[0] || got[1] != records[1] {
+		t.Errorf("round trip = %+v, want %+v", got, records)
+	}
+	// The JSON field names are the recorded schema: op, ns_per_op,
+	// allocs_per_op, workers.
+	var raw []map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"op", "ns_per_op", "allocs_per_op", "workers"} {
+		if _, ok := raw[0][key]; !ok {
+			t.Errorf("artifact record missing %q field:\n%s", key, data)
+		}
+	}
+	// A second run appends the next file in the sequence.
+	path2, err := writeBenchArtifact(dir, records[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path2) != "BENCH_2.json" {
+		t.Errorf("second write = %s, want BENCH_2.json", filepath.Base(path2))
+	}
+}

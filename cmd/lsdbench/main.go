@@ -18,10 +18,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
 	"time"
 
 	"repro/internal/datagen"
 	"repro/internal/eval"
+	"repro/internal/parallel"
 )
 
 func main() {
@@ -31,16 +33,29 @@ func main() {
 	maxSplits := flag.Int("splits", 10, "train/test splits per sample (max 10)")
 	seed := flag.Int64("seed", 7, "experiment seed")
 	workers := flag.Int("workers", 0, "worker goroutines per experiment (0 = one per CPU, 1 = serial)")
+	benchOut := flag.String("bench-out", "", "directory to write a BENCH_<n>.json artifact recording each experiment's duration and allocations (empty = off)")
 	flag.Parse()
 
 	p := eval.Protocol{Listings: *listings, Samples: *samples, Seed: *seed, MaxSplits: *maxSplits, Workers: *workers}
+	var records []benchRecord
 	run := func(name string, fn func()) {
 		if *exp != "all" && *exp != name {
 			return
 		}
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
 		start := time.Now()
 		fn()
-		fmt.Printf("[%s took %s]\n\n", name, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		fmt.Printf("[%s took %s]\n\n", name, elapsed.Round(time.Millisecond))
+		records = append(records, benchRecord{
+			Op:          name,
+			NsPerOp:     elapsed.Nanoseconds(),
+			AllocsPerOp: after.Mallocs - before.Mallocs,
+			Workers:     parallel.Workers(*workers),
+		})
 	}
 
 	run("table3", func() { table3() })
@@ -50,6 +65,14 @@ func main() {
 	run("fig9a", func() { fig9a(p) })
 	run("fig9b", func() { fig9b(p) })
 	run("feedback", func() { feedback(p) })
+
+	if *benchOut != "" && len(records) > 0 {
+		path, err := writeBenchArtifact(*benchOut, records)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
 }
 
 func table3() {

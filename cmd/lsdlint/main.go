@@ -5,16 +5,22 @@
 //
 // Usage:
 //
-//	lsdlint [-root dir] [patterns...]
+//	lsdlint [-root dir] [-format text|json|sarif] [-suppressions] [patterns...]
 //
 // Patterns follow go-tool conventions relative to the module root:
 // "./..." (the default) lints every package, "./internal/..." a
 // subtree, and "./internal/learn" a single package. Findings print as
-// file:line:col: check: message; the exit status is 1 when there are
-// findings, 2 on usage or load errors, and 0 on a clean tree.
-// Individual findings can be suppressed, with a mandatory reason, by
-// a "//lint:ignore <check> <reason>" comment on or directly above the
-// offending line.
+// file:line:col: check: message in the default text format; -format
+// json emits a JSON array and -format sarif a SARIF 2.1.0 log (for CI
+// code-scanning upload). The exit status is the same in every format:
+// 1 when there are findings, 2 on usage or load errors, and 0 on a
+// clean tree.
+//
+// Individual findings can be suppressed, with a mandatory reason, by a
+// "//lint:ignore <check> <reason>" comment on or directly above the
+// offending line. -suppressions inventories every such directive (text
+// or json format) instead of linting, so suppressed findings stay
+// auditable; its exit status is 0 unless loading fails.
 package main
 
 import (
@@ -35,11 +41,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("lsdlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	rootFlag := fs.String("root", "", "module root directory (default: found from the working directory)")
+	formatFlag := fs.String("format", "text", "output format: text, json, or sarif")
+	supFlag := fs.Bool("suppressions", false, "report every //lint:ignore directive instead of linting")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: lsdlint [-root dir] [patterns...]")
+		fmt.Fprintln(stderr, "usage: lsdlint [-root dir] [-format text|json|sarif] [-suppressions] [patterns...]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	switch *formatFlag {
+	case "text", "json", "sarif":
+	default:
+		fmt.Fprintf(stderr, "lsdlint: unknown format %q (want text, json, or sarif)\n", *formatFlag)
+		return 2
+	}
+	if *supFlag && *formatFlag == "sarif" {
+		fmt.Fprintln(stderr, "lsdlint: -suppressions supports text and json formats only")
 		return 2
 	}
 
@@ -67,18 +85,63 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	diags, err := analysis.Lint(root, modpath, paths, analysis.DefaultAnalyzers())
+	if *supFlag {
+		return runSuppressions(root, modpath, paths, *formatFlag, stdout, stderr)
+	}
+
+	analyzers := analysis.DefaultAnalyzers()
+	diags, err := analysis.Lint(root, modpath, paths, analyzers)
 	if err != nil {
 		fmt.Fprintln(stderr, "lsdlint:", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Fprintln(stdout, d)
+	switch *formatFlag {
+	case "json":
+		if err := writeJSON(stdout, root, diags); err != nil {
+			fmt.Fprintln(stderr, "lsdlint:", err)
+			return 2
+		}
+	case "sarif":
+		if err := writeSARIF(stdout, root, analyzers, diags); err != nil {
+			fmt.Fprintln(stderr, "lsdlint:", err)
+			return 2
+		}
+	default:
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "lsdlint: %d finding(s)\n", len(diags))
 		return 1
 	}
+	return 0
+}
+
+// runSuppressions prints the //lint:ignore inventory. The report is
+// informational: the exit status is 0 even when directives exist
+// (malformed ones are ordinary findings of a normal lint run).
+func runSuppressions(root, modpath string, paths []string, format string, stdout, stderr io.Writer) int {
+	sups, err := analysis.Suppressions(root, modpath, paths)
+	if err != nil {
+		fmt.Fprintln(stderr, "lsdlint:", err)
+		return 2
+	}
+	if format == "json" {
+		if err := writeSuppressionsJSON(stdout, root, sups); err != nil {
+			fmt.Fprintln(stderr, "lsdlint:", err)
+			return 2
+		}
+		return 0
+	}
+	for _, s := range sups {
+		reason := s.Reason
+		if reason == "" {
+			reason = "(missing reason)"
+		}
+		fmt.Fprintf(stdout, "%s:%d: %s: %s\n", relPath(root, s.Position.Filename), s.Position.Line, s.Check, reason)
+	}
+	fmt.Fprintf(stderr, "lsdlint: %d suppression(s)\n", len(sups))
 	return 0
 }
 

@@ -1,19 +1,30 @@
 // Package analysis is lsdlint's stdlib-only static-analysis engine.
 // It loads every package in the module with go/parser, type-checks it
 // with go/types (resolving the standard library from source via
-// go/importer, so the repo keeps its no-external-dependency rule), and
-// runs a suite of project-specific analyzers that machine-check the
-// pipeline's determinism and concurrency invariants:
+// go/importer, so the repo keeps its no-external-dependency rule),
+// builds a whole-program view — a static call graph plus a
+// function-summary dataflow substrate (see Program and FixpointUnion)
+// — and runs a suite of project-specific analyzers that machine-check
+// the pipeline's determinism and concurrency invariants:
 //
 //   - maprangefloat: no floating-point accumulation in Go map
-//     iteration order (the PR 1 nondeterminism class).
+//     iteration order (the PR 1 nondeterminism class), including
+//     accumulation through a helper's pointer parameter one summary
+//     level deep.
 //   - seedflow: every rand.NewSource seed is a constant or derived via
 //     learn.DeriveSeed, and no *rand.Rand is captured by a go-launched
 //     function literal.
 //   - guardedby: fields tagged `// guarded by <mutex>` are only
 //     touched while that mutex is held on a syntactic lock path.
 //   - normalizedpred: learn.Prediction values built in an exported
-//     function are normalized before they cross the package boundary.
+//     function are normalized before they cross the package boundary;
+//     returns through unexported helpers are followed one summary
+//     level deep.
+//   - lockorder: no mutex acquisition-order cycles and no same-mutex
+//     re-entry anywhere in the call graph (potential deadlocks).
+//   - workerpure: closures handed to parallel.Map/ForEach write
+//     nothing but their own result slot, transitively through their
+//     callees, unless the target is tagged `// guarded by`.
 //
 // Findings can be suppressed with a justified directive on (or
 // immediately above) the offending line:
@@ -60,11 +71,16 @@ type Analyzer struct {
 
 // Pass carries one (analyzer, package) unit of work. Analyzers read
 // the syntax and type information and report findings via Reportf.
+// Prog is the whole-program view shared by every pass of one lint
+// run: interprocedural analyzers query its call graph and function
+// summaries, and stash program-wide results in its cache so they are
+// computed once, not once per package.
 type Pass struct {
 	Fset  *token.FileSet
 	Pkg   *types.Package
 	Info  *types.Info
 	Files []*ast.File
+	Prog  *Program
 
 	analyzer *Analyzer
 	diags    *[]Diagnostic
@@ -86,14 +102,27 @@ func DefaultAnalyzers() []*Analyzer {
 		SeedFlow,
 		GuardedBy,
 		NormalizedPred,
+		LockOrder,
+		WorkerPure,
 	}
 }
 
-// RunAnalyzers runs the analyzers over a loaded package, applies the
-// package's //lint:ignore directives, and returns the surviving
-// diagnostics (plus any directive-syntax diagnostics) sorted by
-// position.
+// RunAnalyzers runs the analyzers over a single loaded package,
+// wrapping it in a one-package Program (interprocedural analyzers see
+// only this package's functions), applies the package's //lint:ignore
+// directives, and returns the surviving diagnostics (plus any
+// directive-syntax diagnostics) sorted by position.
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	return AnalyzePackage(NewProgram([]*Package{pkg}), pkg, analyzers)
+}
+
+// AnalyzePackage runs the analyzers over one package of a program,
+// applies the package's //lint:ignore directives, and returns the
+// surviving diagnostics sorted by position. Interprocedural analyzers
+// resolve calls and summaries through prog, so findings that depend on
+// other packages' code are still reported against this package's
+// positions.
+func AnalyzePackage(prog *Program, pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -101,6 +130,7 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			Pkg:      pkg.Pkg,
 			Info:     pkg.Info,
 			Files:    pkg.Files,
+			Prog:     prog,
 			analyzer: a,
 			diags:    &diags,
 		}
@@ -112,29 +142,47 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 }
 
 // Lint loads the packages at the given module-relative import paths
-// (every package in the module when paths is nil) and runs the
-// analyzers over each. The returned diagnostics are sorted by
-// position. A package that fails to parse or type-check is a hard
-// error, not a diagnostic.
+// (every package in the module when paths is nil), builds the
+// whole-program view over everything the loader touched (requested
+// packages plus their module-local dependencies, so interprocedural
+// summaries see call targets outside the requested set), and runs the
+// analyzers over each requested package. The returned diagnostics are
+// sorted by position. A package that fails to parse or type-check is a
+// hard error, not a diagnostic.
 func Lint(root, modpath string, paths []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	pkgs, prog, err := loadProgram(root, modpath, paths)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		diags = append(diags, AnalyzePackage(prog, pkg, analyzers)...)
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// loadProgram loads the requested packages (all module packages when
+// paths is nil) and builds the Program spanning every module package
+// the loads pulled in.
+func loadProgram(root, modpath string, paths []string) ([]*Package, *Program, error) {
 	loader := NewLoader(root, modpath)
 	if paths == nil {
 		var err error
 		paths, err = loader.ModulePackages()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	var diags []Diagnostic
+	pkgs := make([]*Package, 0, len(paths))
 	for _, path := range paths {
 		pkg, err := loader.Load(path)
 		if err != nil {
-			return nil, fmt.Errorf("analysis: loading %s: %w", path, err)
+			return nil, nil, fmt.Errorf("analysis: loading %s: %w", path, err)
 		}
-		diags = append(diags, RunAnalyzers(pkg, analyzers)...)
+		pkgs = append(pkgs, pkg)
 	}
-	sortDiagnostics(diags)
-	return diags, nil
+	return pkgs, NewProgram(loader.Packages()), nil
 }
 
 func sortDiagnostics(diags []Diagnostic) {

@@ -30,6 +30,8 @@ func TestGolden(t *testing.T) {
 		{"seedflow", analysis.SeedFlow},
 		{"guardedby", analysis.GuardedBy},
 		{"normalizedpred", analysis.NormalizedPred},
+		{"lockorder", analysis.LockOrder},
+		{"workerpure", analysis.WorkerPure},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -22,11 +23,19 @@ type ignoreKey struct {
 	check string
 }
 
-// applyIgnores filters diags through the package's //lint:ignore
-// directives and appends a diagnostic for every malformed directive.
-func applyIgnores(pkg *Package, diags []Diagnostic) []Diagnostic {
-	ignored := make(map[ignoreKey]bool)
-	var out []Diagnostic
+// ignoreDirective is one parsed //lint:ignore comment: where it is,
+// what it names, and which line it applies to.
+type ignoreDirective struct {
+	pos    token.Position
+	check  string // "" when the directive names nothing
+	reason string // "" when the mandatory reason is missing
+	target int    // the line the directive suppresses
+}
+
+// ignoreDirectives collects every //lint:ignore comment of the package
+// in source order, including malformed ones.
+func ignoreDirectives(pkg *Package) []ignoreDirective {
+	var out []ignoreDirective
 	for _, file := range pkg.Files {
 		filename := pkg.Fset.Position(file.Pos()).Filename
 		src := pkg.Sources[filename]
@@ -38,21 +47,38 @@ func applyIgnores(pkg *Package, diags []Diagnostic) []Diagnostic {
 				}
 				pos := pkg.Fset.Position(c.Slash)
 				fields := strings.Fields(text)
-				if len(fields) < 2 {
-					out = append(out, Diagnostic{
-						Position: pos,
-						Check:    "ignore",
-						Message:  "malformed directive: want //lint:ignore <check> <reason>",
-					})
-					continue
+				d := ignoreDirective{pos: pos, target: pos.Line}
+				if len(fields) > 0 {
+					d.check = fields[0]
 				}
-				line := pos.Line
+				if len(fields) >= 2 {
+					d.reason = strings.Join(fields[1:], " ")
+				}
 				if standaloneComment(src, pos) {
-					line++
+					d.target++
 				}
-				ignored[ignoreKey{pos.Filename, line, fields[0]}] = true
+				out = append(out, d)
 			}
 		}
+	}
+	return out
+}
+
+// applyIgnores filters diags through the package's //lint:ignore
+// directives and appends a diagnostic for every malformed directive.
+func applyIgnores(pkg *Package, diags []Diagnostic) []Diagnostic {
+	ignored := make(map[ignoreKey]bool)
+	var out []Diagnostic
+	for _, d := range ignoreDirectives(pkg) {
+		if d.check == "" || d.reason == "" {
+			out = append(out, Diagnostic{
+				Position: d.pos,
+				Check:    "ignore",
+				Message:  "malformed directive: want //lint:ignore <check> <reason>",
+			})
+			continue
+		}
+		ignored[ignoreKey{d.pos.Filename, d.target, d.check}] = true
 	}
 	for _, d := range diags {
 		if ignored[ignoreKey{d.Position.Filename, d.Position.Line, d.Check}] {
@@ -75,4 +101,45 @@ func standaloneComment(src []byte, pos token.Position) bool {
 		return false
 	}
 	return strings.TrimSpace(string(src[start:pos.Offset])) == ""
+}
+
+// Suppression is one //lint:ignore directive found in linted source,
+// for the audit report: every live suppression carries its written
+// justification, and a malformed one shows up with an empty Reason.
+type Suppression struct {
+	Position token.Position
+	Check    string
+	Reason   string
+}
+
+// Suppressions loads the packages at the given module-relative import
+// paths (every package in the module when paths is nil) and inventories
+// their //lint:ignore directives, sorted by position.
+func Suppressions(root, modpath string, paths []string) ([]Suppression, error) {
+	loader := NewLoader(root, modpath)
+	if paths == nil {
+		var err error
+		paths, err = loader.ModulePackages()
+		if err != nil {
+			return nil, err
+		}
+	}
+	var out []Suppression
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range ignoreDirectives(pkg) {
+			out = append(out, Suppression{Position: d.pos, Check: d.check, Reason: d.reason})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Position, out[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return out, nil
 }

@@ -158,6 +158,18 @@ func goFilesIn(dir string) ([]string, error) {
 	return names, nil
 }
 
+// Packages returns every module package the loader has loaded so far
+// (requested packages and their module-local dependencies), sorted by
+// import path so program construction is deterministic.
+func (l *Loader) Packages() []*Package {
+	out := make([]*Package, 0, len(l.pkgs))
+	for _, pkg := range l.pkgs {
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
 // Load parses and type-checks the package at the given import path,
 // which must be the module path or below it. Results are cached.
 func (l *Loader) Load(path string) (*Package, error) {

@@ -1,0 +1,447 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder detects potential deadlocks whole-program: it summarizes,
+// per function, which mutexes the function (and everything it
+// statically calls) can acquire, replays each function body in source
+// order tracking the held lock set, and builds a global mutex
+// acquisition-order graph. Two findings come out of it:
+//
+//   - same-mutex re-entry: acquiring a mutex that is already held —
+//     directly, or by calling a function whose summary acquires it —
+//     is a guaranteed self-deadlock, because sync.Mutex and
+//     sync.RWMutex are not reentrant.
+//   - acquisition-order cycles: if one code path acquires A then B
+//     while another acquires B then A (possibly through call chains),
+//     two goroutines can each hold one and wait forever on the other.
+//     Every acquisition edge that participates in a cycle of the
+//     global graph is reported.
+//
+// Mutexes are identified by class, not instance: a struct field mutex
+// is "Type.field" (all instances merged — the standard approximation,
+// since instances of one type are locked by the same code paths) and a
+// package-level mutex is "pkg.var". Unkeyable mutexes (map elements,
+// results of calls) and lock operations inside function literals or
+// defer statements are skipped, keeping the analysis syntactic rather
+// than wrong; dynamic calls contribute no summary, conservatively.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "detects mutex acquisition-order cycles and same-mutex re-entry across the call graph",
+	Run:  runLockOrder,
+}
+
+// lockSym is one mutex class: key is globally unique (package path
+// qualified), display is the short human-readable form.
+type lockSym struct {
+	key     string
+	display string
+}
+
+// lockEvent is one ordered lock-relevant occurrence in a function
+// body: an acquisition, a release, or a call into a summarized
+// function.
+type lockOpEvent struct {
+	pos    token.Pos
+	kind   int         // +1 acquire, -1 release, 0 call
+	sym    lockSym     // valid when kind != 0
+	callee *types.Func // valid when kind == 0
+}
+
+// lockReentry is a same-mutex re-entry finding.
+type lockReentry struct {
+	pos token.Pos
+	sym lockSym
+	via *types.Func // nil for a direct re-acquisition
+}
+
+// lockEdge records "to was acquired while from was held" at pos,
+// possibly through a call to via.
+type lockEdge struct {
+	from, to lockSym
+	pos      token.Pos
+	via      *types.Func // nil for a direct acquisition
+}
+
+// lockOrderFacts is the program-wide result, computed once and
+// filtered per package at reporting time.
+type lockOrderFacts struct {
+	reentries []lockReentry
+	// cycleEdges are the edges participating in acquisition-order
+	// cycles, with the rendered cycle they belong to.
+	cycleEdges []lockEdge
+	cycleDesc  map[string]string // SCC id -> rendered cycle
+	edgeCycle  []string          // aligned with cycleEdges: rendered cycle
+}
+
+func runLockOrder(pass *Pass) {
+	facts := pass.Prog.Cache("lockorder", func() any {
+		return computeLockOrder(pass.Prog)
+	}).(*lockOrderFacts)
+
+	inPass := passFilenames(pass)
+	for _, r := range facts.reentries {
+		if !inPass[pass.Fset.Position(r.pos).Filename] {
+			continue
+		}
+		if r.via == nil {
+			pass.Reportf(r.pos,
+				"mutex %s is acquired while already held; sync mutexes are not reentrant, so this self-deadlocks", r.sym.display)
+		} else {
+			pass.Reportf(r.pos,
+				"call to %s acquires %s, which is already held here; sync mutexes are not reentrant, so this self-deadlocks",
+				r.via.Name(), r.sym.display)
+		}
+	}
+	for i, e := range facts.cycleEdges {
+		if !inPass[pass.Fset.Position(e.pos).Filename] {
+			continue
+		}
+		how := ""
+		if e.via != nil {
+			how = fmt.Sprintf(" (via call to %s)", e.via.Name())
+		}
+		pass.Reportf(e.pos,
+			"acquiring %s while holding %s%s participates in a lock-order cycle [%s]; acquire mutexes in one global order",
+			e.to.display, e.from.display, how, facts.edgeCycle[i])
+	}
+}
+
+// passFilenames returns the set of file names belonging to the pass's
+// package, used to attribute program-wide findings to the package that
+// owns their position (so //lint:ignore directives apply and nothing
+// is reported twice).
+func passFilenames(pass *Pass) map[string]bool {
+	out := make(map[string]bool, len(pass.Files))
+	for _, f := range pass.Files {
+		out[pass.Fset.Position(f.Pos()).Filename] = true
+	}
+	return out
+}
+
+func computeLockOrder(prog *Program) *lockOrderFacts {
+	decls := prog.Decls()
+	events := make(map[*types.Func][]lockOpEvent, len(decls))
+	for _, d := range decls {
+		events[d.Fn] = collectLockEvents(d)
+	}
+
+	// Per-function transitive acquire sets over the call graph.
+	acquires := FixpointUnion(prog, func(d *FuncDecl) map[lockSym]bool {
+		local := make(map[lockSym]bool)
+		for _, e := range events[d.Fn] {
+			if e.kind == 1 {
+				local[e.sym] = true
+			}
+		}
+		return local
+	})
+
+	facts := &lockOrderFacts{}
+	var edges []lockEdge
+	for _, d := range decls {
+		re, ed := replayLockEvents(events[d.Fn], acquires)
+		facts.reentries = append(facts.reentries, re...)
+		edges = append(edges, ed...)
+	}
+
+	// Cycle detection on the acquisition-order graph: an edge is part
+	// of a potential deadlock iff both endpoints are in one strongly
+	// connected component.
+	scc := lockSCC(edges)
+	for _, e := range edges {
+		cf, okf := scc[e.from.key]
+		ct, okt := scc[e.to.key]
+		if !okf || !okt || cf.id != ct.id || len(cf.members) < 2 {
+			continue
+		}
+		facts.cycleEdges = append(facts.cycleEdges, e)
+		facts.edgeCycle = append(facts.edgeCycle, cf.rendered)
+	}
+	return facts
+}
+
+// collectLockEvents walks a function body in source order, recording
+// mutex acquisitions/releases and calls to summarized functions.
+// Function literals and defer statements are skipped: closures run at
+// times the syntactic order cannot place, and deferred releases hold
+// to function exit.
+func collectLockEvents(d *FuncDecl) []lockOpEvent {
+	var events []lockOpEvent
+	info := d.Pkg.Info
+	ast.Inspect(d.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			if sym, kind, ok := mutexOp(d.Pkg, n); ok {
+				events = append(events, lockOpEvent{pos: n.Pos(), kind: kind, sym: sym})
+				return false
+			}
+			if fn := CalleeOf(info, n); fn != nil {
+				events = append(events, lockOpEvent{pos: n.Pos(), kind: 0, callee: fn})
+			}
+			return true
+		}
+		return true
+	})
+	sort.SliceStable(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	return events
+}
+
+// replayLockEvents replays a function's events in source order,
+// maintaining the held multiset, and emits re-entry findings and
+// acquisition-order edges.
+func replayLockEvents(events []lockOpEvent, acquires map[*types.Func]map[lockSym]bool) ([]lockReentry, []lockEdge) {
+	var re []lockReentry
+	var edges []lockEdge
+	held := make(map[lockSym]int)
+	heldSorted := func() []lockSym {
+		out := make([]lockSym, 0, len(held))
+		for s, n := range held {
+			if n > 0 {
+				out = append(out, s)
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+		return out
+	}
+	for _, e := range events {
+		switch e.kind {
+		case 1:
+			for _, h := range heldSorted() {
+				if h == e.sym {
+					re = append(re, lockReentry{pos: e.pos, sym: e.sym})
+				} else {
+					edges = append(edges, lockEdge{from: h, to: e.sym, pos: e.pos})
+				}
+			}
+			held[e.sym]++
+		case -1:
+			if held[e.sym] > 0 {
+				held[e.sym]--
+			}
+		case 0:
+			acq := acquires[e.callee]
+			if len(acq) == 0 {
+				continue
+			}
+			acqSorted := make([]lockSym, 0, len(acq))
+			for s := range acq {
+				acqSorted = append(acqSorted, s)
+			}
+			sort.Slice(acqSorted, func(i, j int) bool { return acqSorted[i].key < acqSorted[j].key })
+			for _, h := range heldSorted() {
+				for _, a := range acqSorted {
+					if a == h {
+						re = append(re, lockReentry{pos: e.pos, sym: a, via: e.callee})
+					} else {
+						edges = append(edges, lockEdge{from: h, to: a, pos: e.pos, via: e.callee})
+					}
+				}
+			}
+		}
+	}
+	return re, edges
+}
+
+// mutexOp classifies a call as a mutex acquisition (+1) or release
+// (-1) and identifies the mutex class, or reports ok=false.
+func mutexOp(pkg *Package, call *ast.CallExpr) (lockSym, int, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockSym{}, 0, false
+	}
+	var kind int
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		kind = 1
+	case "Unlock", "RUnlock":
+		kind = -1
+	default:
+		return lockSym{}, 0, false
+	}
+	fn, _ := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockSym{}, 0, false
+	}
+	sym, ok := lockSymOf(pkg, sel.X)
+	if !ok {
+		return lockSym{}, 0, false
+	}
+	return sym, kind, true
+}
+
+// lockSymOf derives the mutex class of the expression a Lock/Unlock
+// method was selected from.
+func lockSymOf(pkg *Package, expr ast.Expr) (lockSym, bool) {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		// x.mu where mu is a struct field: key by the named type of x.
+		if sel, ok := pkg.Info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			if named := namedOf(pkg.Info.TypeOf(e.X)); named != nil {
+				obj := named.Obj()
+				return lockSym{
+					key:     obj.Pkg().Path() + "." + obj.Name() + "." + e.Sel.Name,
+					display: obj.Name() + "." + e.Sel.Name,
+				}, true
+			}
+			return lockSym{}, false
+		}
+		// pkg.mu: a package-qualified package-level mutex.
+		if v, ok := pkg.Info.Uses[e.Sel].(*types.Var); ok && isPackageLevel(v) {
+			return packageVarSym(v), true
+		}
+		return lockSym{}, false
+	case *ast.Ident:
+		v, ok := pkg.Info.Uses[e].(*types.Var)
+		if !ok {
+			return lockSym{}, false
+		}
+		if isPackageLevel(v) {
+			return packageVarSym(v), true
+		}
+		// A local mutex: key by declaration site. Instances created in
+		// different functions never merge, which is the right
+		// granularity for a function-scoped lock.
+		p := pkg.Fset.Position(v.Pos())
+		return lockSym{
+			key:     fmt.Sprintf("%s:%d.%s", p.Filename, p.Line, v.Name()),
+			display: v.Name(),
+		}, true
+	}
+	return lockSym{}, false
+}
+
+// isPackageLevel reports whether v is a package-scope variable.
+func isPackageLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+func packageVarSym(v *types.Var) lockSym {
+	return lockSym{
+		key:     v.Pkg().Path() + "." + v.Name(),
+		display: v.Pkg().Name() + "." + v.Name(),
+	}
+}
+
+// namedOf unwraps t (through one pointer) to its named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// sccInfo describes the strongly connected component a lock belongs
+// to.
+type sccInfo struct {
+	id       int
+	members  []string
+	rendered string
+}
+
+// lockSCC computes strongly connected components of the acquisition
+// graph (Tarjan, iterative) and pre-renders each multi-member
+// component's cycle description. Node and neighbour order is sorted,
+// so component ids and renderings are deterministic.
+func lockSCC(edges []lockEdge) map[string]*sccInfo {
+	adj := make(map[string]map[string]bool)
+	display := make(map[string]string)
+	nodeSet := make(map[string]bool)
+	for _, e := range edges {
+		if adj[e.from.key] == nil {
+			adj[e.from.key] = make(map[string]bool)
+		}
+		adj[e.from.key][e.to.key] = true
+		nodeSet[e.from.key] = true
+		nodeSet[e.to.key] = true
+		display[e.from.key] = e.from.display
+		display[e.to.key] = e.to.display
+	}
+	nodes := make([]string, 0, len(nodeSet))
+	for n := range nodeSet {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	neighbours := func(n string) []string {
+		out := make([]string, 0, len(adj[n]))
+		for m := range adj[n] {
+			out = append(out, m)
+		}
+		sort.Strings(out)
+		return out
+	}
+
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	next := 0
+	out := make(map[string]*sccInfo)
+	sccID := 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range neighbours(v) {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var members []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				members = append(members, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Strings(members)
+			info := &sccInfo{id: sccID, members: members}
+			sccID++
+			if len(members) >= 2 {
+				parts := make([]string, 0, len(members)+1)
+				for _, m := range members {
+					parts = append(parts, display[m])
+				}
+				parts = append(parts, display[members[0]])
+				info.rendered = strings.Join(parts, " -> ")
+			}
+			for _, m := range members {
+				out[m] = info
+			}
+		}
+	}
+	for _, n := range nodes {
+		if _, seen := index[n]; !seen {
+			strongconnect(n)
+		}
+	}
+	return out
+}

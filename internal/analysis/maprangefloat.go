@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
 )
 
 // MapRangeFloat flags floating-point compound assignments
@@ -16,6 +17,12 @@ import (
 // order-independent), accumulators declared inside the loop body (no
 // cross-iteration state), and writes indexed by the range key itself
 // (each iteration touches a distinct element).
+//
+// The check is interprocedural one summary level deep: a call inside
+// the map-range body that passes a pointer to an accumulator declared
+// outside the loop, where the callee's summary says it
+// compound-assigns a float through that pointer parameter, is the same
+// bug hidden behind a helper and is reported at the call site.
 var MapRangeFloat = &Analyzer{
 	Name: "maprangefloat",
 	Doc:  "flags floating-point accumulation in map iteration order",
@@ -43,6 +50,10 @@ func checkMapRangeBody(pass *Pass, rs *ast.RangeStmt) {
 		// (innermost-map) loop.
 		if inner, ok := n.(*ast.RangeStmt); ok && inner != rs && isMapExpr(pass, inner.X) {
 			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			checkAccumCall(pass, rs, call)
+			return true
 		}
 		as, ok := n.(*ast.AssignStmt)
 		if !ok {
@@ -73,6 +84,119 @@ func checkMapRangeBody(pass *Pass, rs *ast.RangeStmt) {
 			"floating-point %s accumulates in map iteration order, which varies between runs; iterate sorted keys instead", as.Tok)
 		return true
 	})
+}
+
+// checkAccumCall reports calls inside a map-range body that pass a
+// pointer to an out-of-loop float accumulator to a callee whose
+// summary compound-assigns through that parameter.
+func checkAccumCall(pass *Pass, rs *ast.RangeStmt, call *ast.CallExpr) {
+	callee := CalleeOf(pass.Info, call)
+	if callee == nil {
+		return
+	}
+	accum := accumParams(pass.Prog, callee)
+	if len(accum) == 0 {
+		return
+	}
+	for _, idx := range accum {
+		if idx >= len(call.Args) {
+			continue
+		}
+		arg := ast.Unparen(call.Args[idx])
+		var target types.Object
+		if un, ok := arg.(*ast.UnaryExpr); ok && un.Op == token.AND {
+			target = identObj(pass, un.X)
+		} else {
+			target = identObj(pass, arg)
+		}
+		if target == nil {
+			continue
+		}
+		// Pointers to loop-local accumulators reset every iteration.
+		if target.Pos() >= rs.Body.Pos() && target.Pos() < rs.Body.End() {
+			continue
+		}
+		pass.Reportf(call.Pos(),
+			"call to %s compound-assigns a float through %q in map iteration order, which varies between runs; iterate sorted keys instead", callee.Name(), target.Name())
+	}
+}
+
+// accumParams computes (once per program, one summary level deep)
+// which pointer-to-float parameters of fn are compound-assigned
+// through a dereference in its body, returning their indices.
+func accumParams(prog *Program, fn *types.Func) []int {
+	summaries := prog.Cache("maprangefloat.accum", func() any {
+		out := make(map[*types.Func][]int)
+		for _, d := range prog.Decls() {
+			if idxs := accumParamsOf(d); len(idxs) > 0 {
+				out[d.Fn] = idxs
+			}
+		}
+		return out
+	}).(map[*types.Func][]int)
+	return summaries[fn]
+}
+
+// accumParamsOf inspects one declaration for `*p op= x` where p is a
+// pointer-to-float parameter.
+func accumParamsOf(d *FuncDecl) []int {
+	sig, ok := d.Fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	paramIdx := make(map[types.Object]int, sig.Params().Len())
+	i := 0
+	if d.Decl.Type.Params != nil {
+		for _, field := range d.Decl.Type.Params.List {
+			for _, name := range field.Names {
+				if obj := d.Pkg.Info.Defs[name]; obj != nil {
+					if p, ok := obj.Type().Underlying().(*types.Pointer); ok {
+						if b, ok := p.Elem().Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+							paramIdx[obj] = i
+						}
+					}
+				}
+				i++
+			}
+		}
+	}
+	if len(paramIdx) == 0 {
+		return nil
+	}
+	found := make(map[int]bool)
+	ast.Inspect(d.Decl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		default:
+			return true
+		}
+		star, ok := ast.Unparen(as.Lhs[0]).(*ast.StarExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(star.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := d.Pkg.Info.Uses[id]
+		if idx, ok := paramIdx[obj]; ok {
+			found[idx] = true
+		}
+		return true
+	})
+	if len(found) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(found))
+	for idx := range found {
+		out = append(out, idx)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // isMapExpr reports whether e has map underlying type.

@@ -11,16 +11,31 @@ import (
 // sum to 1): an exported function or method that returns a Prediction
 // it built itself — via make or a composite literal — must call
 // Normalize on it before the value crosses the package boundary.
-// Returned call expressions are trusted (the callee owns the
-// invariant, and is itself checked when it lives in this module), and
-// predictions the function merely passes through are not re-checked.
+// Predictions the function merely passes through are not re-checked.
 // The meta-learner's regression and the constraint handler both
 // consume raw scores arithmetically, so one unnormalized distribution
 // silently skews weights instead of failing loudly.
+//
+// Returned call expressions to exported callees are trusted (the
+// callee owns the invariant and is itself checked where it is
+// declared). A returned call to an *unexported* helper is followed one
+// summary level deep: if the helper builds a Prediction and returns it
+// without Normalize, the raw distribution escapes through the exported
+// caller even though no exported function built it — the finding is
+// reported at the helper's offending return so a justified
+// //lint:ignore there covers every caller.
 var NormalizedPred = &Analyzer{
 	Name: "normalizedpred",
 	Doc:  "flags learn.Prediction values built and returned by exported functions without Normalize",
 	Run:  runNormalizedPred,
+}
+
+// npState carries per-run interprocedural state: memoized helper
+// summaries and a dedupe set so a helper shared by several exported
+// callers is reported once.
+type npState struct {
+	helperReturns map[*types.Func][]token.Pos
+	reported      map[token.Pos]bool
 }
 
 func runNormalizedPred(pass *Pass) {
@@ -28,13 +43,17 @@ func runNormalizedPred(pass *Pass) {
 	if pred == nil {
 		return
 	}
+	st := &npState{
+		helperReturns: make(map[*types.Func][]token.Pos),
+		reported:      make(map[token.Pos]bool),
+	}
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil || !fd.Name.IsExported() {
 				continue
 			}
-			checkPredReturns(pass, fd, pred)
+			checkPredReturns(pass, fd, pred, st)
 		}
 	}
 }
@@ -74,7 +93,7 @@ func isPredType(t types.Type, pred *types.TypeName) bool {
 // checkPredReturns inspects every return of a Prediction-typed result
 // in fd. Function literals are skipped: their returns do not leave the
 // enclosing function directly.
-func checkPredReturns(pass *Pass, fd *ast.FuncDecl, pred *types.TypeName) {
+func checkPredReturns(pass *Pass, fd *ast.FuncDecl, pred *types.TypeName, st *npState) {
 	fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
 	if !ok {
 		return
@@ -99,18 +118,21 @@ func checkPredReturns(pass *Pass, fd *ast.FuncDecl, pred *types.TypeName) {
 		}
 		for i := 0; i < results.Len(); i++ {
 			if isPredType(results.At(i).Type(), pred) {
-				checkReturnedPred(pass, fd, ret.Results[i], ret.Pos(), pred)
+				checkReturnedPred(pass, fd, ret.Results[i], ret.Pos(), pred, st)
 			}
 		}
 		return true
 	})
 }
 
-func checkReturnedPred(pass *Pass, fd *ast.FuncDecl, e ast.Expr, retPos token.Pos, pred *types.TypeName) {
+func checkReturnedPred(pass *Pass, fd *ast.FuncDecl, e ast.Expr, retPos token.Pos, pred *types.TypeName, st *npState) {
 	switch e := ast.Unparen(e).(type) {
 	case *ast.CallExpr:
-		// Normalize itself, a constructor, or another learner's
-		// Predict: the callee owns the invariant.
+		// An exported callee owns the invariant and is checked where
+		// it is declared (Normalize itself, constructors, another
+		// learner's Predict). An unexported helper is nobody's
+		// responsibility unless we follow it one summary level deep.
+		checkHelperCall(pass, fd, e, pred, st)
 	case *ast.CompositeLit:
 		pass.Reportf(e.Pos(),
 			"learn.Prediction literal returned from exported %s without Normalize", fd.Name.Name)
@@ -124,6 +146,78 @@ func checkReturnedPred(pass *Pass, fd *ast.FuncDecl, e ast.Expr, retPos token.Po
 				"learn.Prediction %q is built in exported %s and returned without a Normalize call on every path", obj.Name(), fd.Name.Name)
 		}
 	}
+}
+
+// checkHelperCall follows a returned call one summary level deep: when
+// the callee is an unexported function declared in the program whose
+// body builds and returns an unnormalized Prediction, the raw
+// distribution escapes through the exported caller fd.
+func checkHelperCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, pred *types.TypeName, st *npState) {
+	callee := CalleeOf(pass.Info, call)
+	if callee == nil || callee.Exported() {
+		return
+	}
+	offending, ok := st.helperReturns[callee]
+	if !ok {
+		offending = helperUnnormReturns(pass, callee, pred)
+		st.helperReturns[callee] = offending
+	}
+	for _, pos := range offending {
+		if st.reported[pos] {
+			continue
+		}
+		st.reported[pos] = true
+		pass.Reportf(pos,
+			"learn.Prediction built in %s escapes through exported %s without Normalize", callee.Name(), fd.Name.Name)
+	}
+}
+
+// helperUnnormReturns summarizes an unexported helper: the positions
+// of returns where it hands back a Prediction it built (composite
+// literal, or make without a preceding Normalize). Returned calls are
+// trusted — the summary is one level deep by design.
+func helperUnnormReturns(pass *Pass, fn *types.Func, pred *types.TypeName) []token.Pos {
+	d := pass.Prog.DeclOf(fn)
+	if d == nil {
+		return nil
+	}
+	// The helper lives in some loaded package; summarize with that
+	// package's type info, not the reporting pass's.
+	hp := &Pass{Fset: d.Pkg.Fset, Pkg: d.Pkg.Pkg, Info: d.Pkg.Info, Files: d.Pkg.Files, Prog: pass.Prog}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	results := sig.Results()
+	var out []token.Pos
+	ast.Inspect(d.Decl.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != results.Len() {
+			return true
+		}
+		for i := 0; i < results.Len(); i++ {
+			if !isPredType(results.At(i).Type(), pred) {
+				continue
+			}
+			switch e := ast.Unparen(ret.Results[i]).(type) {
+			case *ast.CompositeLit:
+				out = append(out, e.Pos())
+			case *ast.Ident:
+				obj := identObj(hp, e)
+				if obj == nil || !builtInFunc(hp, d.Decl, obj, pred) {
+					continue
+				}
+				if !normalizedBefore(hp, d.Decl, obj, ret.Pos()) {
+					out = append(out, e.Pos())
+				}
+			}
+		}
+		return true
+	})
+	return out
 }
 
 // builtInFunc reports whether obj is initialized inside fd by make or

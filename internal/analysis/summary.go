@@ -1,0 +1,40 @@
+package analysis
+
+import "go/types"
+
+// FixpointUnion is the program's function-summary dataflow substrate:
+// it computes, for every declared function, the union of a locally
+// derived fact set and the sets of all statically resolved callees,
+// iterated to a fixpoint so mutual recursion and call cycles converge
+// instead of recursing. local is invoked once per declaration; E is
+// whatever fact the analyzer propagates (a mutex key, a written
+// package-level variable, …). Facts only ever grow, so the iteration
+// terminates at the least fixpoint regardless of visit order.
+//
+// Dynamic calls contribute nothing here; analyzers that must be sound
+// in their presence should consult Program.HasUnresolvedCalls and
+// degrade conservatively.
+func FixpointUnion[E comparable](p *Program, local func(*FuncDecl) map[E]bool) map[*types.Func]map[E]bool {
+	out := make(map[*types.Func]map[E]bool, len(p.decls))
+	for fn, d := range p.decls {
+		set := make(map[E]bool)
+		for e := range local(d) {
+			set[e] = true
+		}
+		out[fn] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, set := range out {
+			for _, callee := range p.Callees(fn) {
+				for e := range out[callee] {
+					if !set[e] {
+						set[e] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}

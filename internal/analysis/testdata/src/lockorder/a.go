@@ -1,0 +1,111 @@
+// Package fixtures exercises the lockorder analyzer: same-mutex
+// re-entry (direct, and through a call — the case a per-function pass
+// cannot see) and ABBA acquisition-order cycles are true positives;
+// consistent ordering, disjoint holds, deferred releases, and
+// function literals are negatives.
+package fixtures
+
+import "sync"
+
+type registry struct {
+	a sync.Mutex
+	b sync.Mutex
+	c sync.Mutex
+	d sync.Mutex
+}
+
+// True positive: acquiring a mutex already held self-deadlocks.
+func reenterDirect(r *registry) {
+	r.a.Lock()
+	r.a.Lock()
+	r.a.Unlock()
+	r.a.Unlock()
+}
+
+func lockA(r *registry) {
+	r.a.Lock()
+	defer r.a.Unlock()
+}
+
+// True positive the intraprocedural pass missed: the callee's summary
+// acquires r.a, which the caller already holds.
+func reenterViaCall(r *registry) {
+	r.a.Lock()
+	lockA(r)
+	r.a.Unlock()
+}
+
+// True positives: these two functions acquire a and b in opposite
+// orders — the classic ABBA deadlock.
+func abOrder(r *registry) {
+	r.a.Lock()
+	r.b.Lock()
+	r.b.Unlock()
+	r.a.Unlock()
+}
+
+func baOrder(r *registry) {
+	r.b.Lock()
+	r.a.Lock()
+	r.a.Unlock()
+	r.b.Unlock()
+}
+
+// Negative: every function that holds c and d takes them in the same
+// order, so the acquisition graph has no cycle.
+func cdOrderOne(r *registry) {
+	r.c.Lock()
+	r.d.Lock()
+	r.d.Unlock()
+	r.c.Unlock()
+}
+
+func cdOrderTwo(r *registry) {
+	r.c.Lock()
+	defer r.c.Unlock()
+	r.d.Lock()
+	defer r.d.Unlock()
+}
+
+// Negative: the first mutex is released before the second is taken,
+// so holding never overlaps and no ordering edge exists.
+func disjoint(r *registry) {
+	r.d.Lock()
+	r.d.Unlock()
+	r.c.Lock()
+	r.c.Unlock()
+}
+
+// Negative: a function literal runs at a time source order cannot
+// place, so its acquisitions are not replayed against the enclosing
+// function's held set.
+func inLiteral(r *registry) {
+	r.a.Lock()
+	f := func() {
+		r.b.Lock()
+		r.b.Unlock()
+	}
+	r.a.Unlock()
+	f()
+}
+
+// Negative: a fresh local mutex per call cannot be held twice.
+func localMutex() {
+	var mu sync.Mutex
+	mu.Lock()
+	mu.Unlock()
+	mu.Lock()
+	mu.Unlock()
+}
+
+// Suppressed: //lint:ignore applies to program-wide findings too.
+func suppressed(r *registry) {
+	r.c.Lock()
+	//lint:ignore lockorder fixture demonstrating a justified suppression
+	r.c.Lock()
+	r.c.Unlock()
+	r.c.Unlock()
+}
+
+var _ = []any{reenterDirect, reenterViaCall, abOrder, baOrder,
+	cdOrderOne, cdOrderTwo, disjoint, inLiteral, localMutex, suppressed}

@@ -50,6 +50,41 @@ func negatives(m map[string]float64, counts map[string]int, xs []float64, groups
 	return s + float64(n)
 }
 
+// addTo compound-assigns a float through its pointer parameter; its
+// summary marks parameter 0 as an accumulator.
+func addTo(acc *float64, v float64) {
+	*acc += v
+}
+
+// scale multiplies through its pointer parameter.
+func scale(acc *float64, v float64) {
+	*acc *= v
+}
+
+func helperPositives(m map[string]float64) float64 {
+	// The same order-dependent accumulation, hidden one call deep —
+	// the true positive the intraprocedural pass missed.
+	total := 0.0
+	prod := 1.0
+	for _, v := range m {
+		addTo(&total, v)
+		scale(&prod, v)
+	}
+	return total + prod
+}
+
+func helperNegatives(m map[string]float64) float64 {
+	last := 0.0
+	for _, v := range m {
+		// A pointer to a loop-local accumulator resets every
+		// iteration.
+		local := 0.0
+		addTo(&local, v)
+		last = local
+	}
+	return last
+}
+
 func suppressed(m map[string]float64) float64 {
 	ignored := 0.0
 	for _, v := range m {

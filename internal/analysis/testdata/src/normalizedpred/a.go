@@ -51,4 +51,34 @@ func Suppressed() learn.Prediction {
 	return learn.Prediction{"a": 1}
 }
 
+// rawScores builds a Prediction and returns it raw. Package-internal
+// on its own — but Escapes hands it straight across the boundary, so
+// the finding lands on the return below.
+func rawScores(labels []string) learn.Prediction {
+	p := make(learn.Prediction, len(labels))
+	for _, c := range labels {
+		p[c] = 1
+	}
+	return p
+}
+
+// Escapes returns the helper's raw distribution: the interprocedural
+// true positive the intraprocedural pass missed.
+func Escapes(labels []string) learn.Prediction {
+	return rawScores(labels)
+}
+
+// normalizedScores normalizes before returning, so Clean is fine.
+func normalizedScores(labels []string) learn.Prediction {
+	p := make(learn.Prediction, len(labels))
+	for _, c := range labels {
+		p[c] = 1
+	}
+	return p.Normalize()
+}
+
+func Clean(labels []string) learn.Prediction {
+	return normalizedScores(labels)
+}
+
 var _ = unexportedLiteral

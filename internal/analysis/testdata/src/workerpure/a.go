@@ -1,0 +1,107 @@
+// Package fixtures exercises the workerpure analyzer: worker closures
+// writing package-level state (directly or through a helper — the
+// interprocedural case), captured variables, and unguarded captured
+// struct fields are true positives; own-result-slot writes,
+// closure-local state, and `// guarded by`-tagged targets are
+// negatives.
+package fixtures
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/parallel"
+)
+
+var hits int
+
+var statsMu sync.Mutex
+
+// stats is protected: workers may write it under statsMu.
+var stats = map[string]int{} // guarded by statsMu
+
+type collector struct {
+	mu sync.Mutex
+	// seen is written under mu. guarded by mu
+	seen  []string
+	total int
+}
+
+// bump mutates package state; any worker that calls it is impure.
+func bump() {
+	hits++
+}
+
+func positives(ctx context.Context, xs []float64, c *collector) {
+	// Direct package-level write.
+	_ = parallel.ForEach(ctx, 4, len(xs), func(ctx context.Context, i int) error {
+		hits++
+		return nil
+	})
+	// Captured scalar accumulated across tasks: a data race and an
+	// order dependence.
+	var sum float64
+	_ = parallel.ForEach(ctx, 4, len(xs), func(ctx context.Context, i int) error {
+		sum += xs[i]
+		return nil
+	})
+	// Unguarded captured struct field.
+	_ = parallel.ForEach(ctx, 4, len(xs), func(ctx context.Context, i int) error {
+		c.total++
+		return nil
+	})
+	// Package-level write hidden behind a helper: the true positive a
+	// closure-body-only pass missed.
+	_ = parallel.ForEach(ctx, 4, len(xs), func(ctx context.Context, i int) error {
+		bump()
+		return nil
+	})
+	_ = sum
+}
+
+func negatives(ctx context.Context, xs []float64, c *collector) ([]float64, error) {
+	// Map's own positional result collection.
+	doubled, err := parallel.Map(ctx, 4, len(xs), func(ctx context.Context, i int) (float64, error) {
+		return xs[i] * 2, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Writing the task's own slot of a captured slice.
+	out := make([]float64, len(xs))
+	_ = parallel.ForEach(ctx, 4, len(xs), func(ctx context.Context, i int) error {
+		out[i] = doubled[i] + 1
+		return nil
+	})
+	// Closure-local state is private to the task.
+	_ = parallel.ForEach(ctx, 4, len(xs), func(ctx context.Context, i int) error {
+		acc := 0.0
+		for _, x := range xs {
+			acc += x
+		}
+		out[i] = acc
+		return nil
+	})
+	// Guarded targets: the guardedby analyzer owns their locking
+	// discipline.
+	_ = parallel.ForEach(ctx, 4, len(xs), func(ctx context.Context, i int) error {
+		statsMu.Lock()
+		stats["tasks"]++
+		statsMu.Unlock()
+		c.mu.Lock()
+		c.seen = append(c.seen, "x")
+		c.mu.Unlock()
+		return nil
+	})
+	return out, nil
+}
+
+func suppressed(ctx context.Context, xs []float64) {
+	_ = parallel.ForEach(ctx, 4, len(xs), func(ctx context.Context, i int) error {
+		//lint:ignore workerpure fixture demonstrating a justified suppression
+		hits++
+		return nil
+	})
+}
+
+var _ = []any{positives, negatives, suppressed}

@@ -1,0 +1,323 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// WorkerPure enforces purity of the closures handed to the worker
+// pool: a function literal passed to parallel.Map or parallel.ForEach
+// runs concurrently on many goroutines, so the only state it may
+// write is (a) variables it declares itself, (b) its own result slot —
+// an element of a captured slice or map indexed by the closure's task
+// index parameter (each task owns a distinct slot, the pattern every
+// fan-out in this repo uses), and (c) targets that carry a
+// `// guarded by <mutex>` tag, whose locking discipline the guardedby
+// analyzer enforces separately. Anything else — a captured scalar, a
+// shared map, package-level state — is a data race under the fan-out
+// and breaks the bit-identical-at-every-worker-count guarantee.
+//
+// The check is interprocedural for package-level state: the closure's
+// statically resolved callees are summarized over the call graph, so a
+// worker that mutates a package-level variable through a helper chain
+// is caught, not just a direct assignment. Captured-variable writes
+// are checked in the closure body itself (callees cannot reach the
+// closure's captures except through pointers, which the summary does
+// not chase).
+var WorkerPure = &Analyzer{
+	Name: "workerpure",
+	Doc:  "closures passed to parallel.Map/ForEach must only write their own result slot",
+	Run:  runWorkerPure,
+}
+
+// pkgWriteFact records a write to a package-level variable inside some
+// function: the variable's key and how to describe the write.
+type pkgWriteFact struct {
+	key     string // pkgpath.var
+	display string // pkgname.var
+}
+
+func runWorkerPure(pass *Pass) {
+	guards := workerPureGuards(pass.Prog)
+	writes := workerPureWrites(pass.Prog, guards)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := parallelPoolCall(pass, call)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[len(call.Args)-1]).(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			checkWorkerClosure(pass, name, lit, guards, writes)
+			return true
+		})
+	}
+}
+
+// parallelPoolCall reports whether call invokes the worker pool's Map
+// or ForEach (matched by package-path suffix so analyzer fixtures can
+// import the pool through their own path), returning the callee name.
+func parallelPoolCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	fn := CalleeOf(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	if fn.Name() != "Map" && fn.Name() != "ForEach" {
+		return "", false
+	}
+	path := fn.Pkg().Path()
+	if path != "repro/internal/parallel" && !strings.HasSuffix(path, "/internal/parallel") {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// checkWorkerClosure verifies one worker literal: direct writes in the
+// body (captured variables and package-level state) and transitive
+// package-level writes through its statically resolved callees.
+func checkWorkerClosure(pass *Pass, pool string, lit *ast.FuncLit, guards map[string]bool, writes map[*types.Func]map[pkgWriteFact]bool) {
+	idxParams := intParamObjs(pass, lit)
+	ast.Inspect(lit, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkWorkerWrite(pass, pool, lit, lhs, idxParams, guards)
+			}
+		case *ast.IncDecStmt:
+			checkWorkerWrite(pass, pool, lit, n.X, idxParams, guards)
+		}
+		return true
+	})
+	callees, _ := callsIn(pass.Info, lit, true)
+	reported := make(map[pkgWriteFact]bool)
+	for _, callee := range callees {
+		facts := writes[callee]
+		if len(facts) == 0 {
+			continue
+		}
+		sorted := make([]pkgWriteFact, 0, len(facts))
+		for f := range facts {
+			if !reported[f] {
+				reported[f] = true
+				sorted = append(sorted, f)
+			}
+		}
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].key < sorted[j].key })
+		// Report at the closure's call sites of the offending callee so
+		// the finding (and any suppression) sits on the worker code.
+		pos := lit.Pos()
+		ast.Inspect(lit, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && CalleeOf(pass.Info, call) == callee && pos == lit.Pos() {
+				pos = call.Pos()
+			}
+			return true
+		})
+		for _, f := range sorted {
+			pass.Reportf(pos,
+				"worker closure passed to parallel.%s calls %s, which writes package-level %s; workers must be pure apart from their own result slot",
+				pool, callee.Name(), f.display)
+		}
+	}
+}
+
+// checkWorkerWrite validates one assignment target inside a worker
+// closure.
+func checkWorkerWrite(pass *Pass, pool string, lit *ast.FuncLit, lhs ast.Expr, idxParams map[types.Object]bool, guards map[string]bool) {
+	t := resolveWriteTarget(pass.Info, lhs, idxParams, guards)
+	if t.root == nil || t.guarded {
+		return
+	}
+	if t.root.Pos() >= lit.Pos() && t.root.Pos() < lit.End() {
+		return // declared by the closure itself (including its params)
+	}
+	if t.slotIndexed {
+		return // the task's own result slot
+	}
+	if v, ok := t.root.(*types.Var); ok && isPackageLevel(v) {
+		pass.Reportf(lhs.Pos(),
+			"worker closure passed to parallel.%s writes package-level %s; workers must be pure apart from their own result slot",
+			pool, packageVarSym(v).display)
+		return
+	}
+	pass.Reportf(lhs.Pos(),
+		"worker closure passed to parallel.%s writes captured %q outside its own result slot; index it by the task index or tag the target `// guarded by <mutex>`",
+		pool, t.root.Name())
+}
+
+// writeTarget describes an assignment LHS after peeling selectors,
+// indexes, and dereferences.
+type writeTarget struct {
+	root        types.Object
+	slotIndexed bool // an index step used a task-index parameter
+	guarded     bool // a selected field or root carries a guard tag
+}
+
+// resolveWriteTarget peels lhs down to its root object, noting whether
+// the path goes through an element indexed by one of idxParams or a
+// `// guarded by`-tagged target.
+func resolveWriteTarget(info *types.Info, lhs ast.Expr, idxParams map[types.Object]bool, guards map[string]bool) writeTarget {
+	var t writeTarget
+	e := lhs
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			obj := info.Uses[x]
+			if obj == nil {
+				obj = info.Defs[x]
+			}
+			t.root = obj
+			if v, ok := obj.(*types.Var); ok && isPackageLevel(v) && guards[packageVarSym(v).key] {
+				t.guarded = true
+			}
+			return t
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			if idx := ast.Unparen(x.Index); idx != nil {
+				if id, ok := idx.(*ast.Ident); ok && idxParams[info.Uses[id]] {
+					t.slotIndexed = true
+				}
+			}
+			e = x.X
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+				if named := namedOf(info.TypeOf(x.X)); named != nil {
+					key := named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + x.Sel.Name
+					if guards[key] {
+						t.guarded = true
+					}
+				}
+			} else if v, ok := info.Uses[x.Sel].(*types.Var); ok && isPackageLevel(v) {
+				// Qualified reference to another package's variable.
+				t.root = v
+				if guards[packageVarSym(v).key] {
+					t.guarded = true
+				}
+				return t
+			}
+			e = x.X
+		default:
+			return t
+		}
+	}
+}
+
+// intParamObjs collects the closure's int-typed parameters — the task
+// index in the parallel.Map/ForEach signature.
+func intParamObjs(pass *Pass, lit *ast.FuncLit) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	if lit.Type.Params == nil {
+		return out
+	}
+	for _, field := range lit.Type.Params.List {
+		for _, name := range field.Names {
+			obj := pass.Info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if b, ok := obj.Type().Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// workerPureGuards computes, once per program, the set of guarded
+// targets: struct fields and package-level variables whose declaration
+// carries a `// guarded by <mutex>` tag. Keys are
+// "pkgpath.Type.field" and "pkgpath.var".
+func workerPureGuards(prog *Program) map[string]bool {
+	return prog.Cache("workerpure.guards", func() any {
+		guards := make(map[string]bool)
+		for _, pkg := range prog.Pkgs {
+			for _, file := range pkg.Files {
+				ast.Inspect(file, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.TypeSpec:
+						st, ok := n.Type.(*ast.StructType)
+						if !ok {
+							return true
+						}
+						for _, f := range st.Fields.List {
+							if guardTag(f) == "" {
+								continue
+							}
+							for _, name := range f.Names {
+								guards[pkg.Pkg.Path()+"."+n.Name.Name+"."+name.Name] = true
+							}
+						}
+					case *ast.GenDecl:
+						for _, spec := range n.Specs {
+							vs, ok := spec.(*ast.ValueSpec)
+							if !ok {
+								continue
+							}
+							if !specHasGuardTag(n, vs) {
+								continue
+							}
+							for _, name := range vs.Names {
+								guards[pkg.Pkg.Path()+"."+name.Name] = true
+							}
+						}
+					}
+					return true
+				})
+			}
+		}
+		return guards
+	}).(map[string]bool)
+}
+
+// specHasGuardTag reports whether a var spec (or its enclosing decl)
+// is documented as guarded by a mutex.
+func specHasGuardTag(decl *ast.GenDecl, vs *ast.ValueSpec) bool {
+	for _, group := range []*ast.CommentGroup{vs.Doc, vs.Comment, decl.Doc} {
+		if group != nil && guardedByRe.MatchString(group.Text()) {
+			return true
+		}
+	}
+	return false
+}
+
+// workerPureWrites computes, once per program, the transitive
+// package-level-write summary: for each declared function, every
+// unguarded package-level variable it (or any statically resolved
+// callee) assigns to.
+func workerPureWrites(prog *Program, guards map[string]bool) map[*types.Func]map[pkgWriteFact]bool {
+	return prog.Cache("workerpure.writes", func() any {
+		return FixpointUnion(prog, func(d *FuncDecl) map[pkgWriteFact]bool {
+			local := make(map[pkgWriteFact]bool)
+			record := func(lhs ast.Expr) {
+				t := resolveWriteTarget(d.Pkg.Info, lhs, nil, guards)
+				if t.guarded {
+					return
+				}
+				if v, ok := t.root.(*types.Var); ok && isPackageLevel(v) {
+					sym := packageVarSym(v)
+					local[pkgWriteFact{key: sym.key, display: sym.display}] = true
+				}
+			}
+			ast.Inspect(d.Decl.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						record(lhs)
+					}
+				case *ast.IncDecStmt:
+					record(n.X)
+				}
+				return true
+			})
+			return local
+		})
+	}).(map[*types.Func]map[pkgWriteFact]bool)
+}

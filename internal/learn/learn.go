@@ -158,7 +158,8 @@ func Uniform(labels []string) Prediction {
 	for _, c := range labels {
 		p[c] = u
 	}
-	//lint:ignore normalizedpred uniform scores sum to 1 by construction; renormalizing would divide by a float sum of 1/n terms and perturb the last bits
+	// Uniform scores sum to 1 by construction; renormalizing would
+	// divide by a float sum of 1/n terms and perturb the last bits.
 	return p
 }
 
@@ -272,6 +273,7 @@ func crossValidateFolds(factory Factory, labels []string, examples []Example, fo
 		}
 		for i, ex := range examples {
 			if fold[i] == f {
+				//lint:ignore workerpure fold[i] == f partitions the indices, so each preds slot is written by exactly one task
 				preds[i] = l.Predict(ex.Instance)
 			}
 		}

@@ -1,0 +1,133 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachErrorPropagation pins down which error ForEach returns:
+// the first one in dispatch order on the serial path, and exactly one
+// of the task errors (wrapped nowhere) under a concurrent pool.
+func TestForEachErrorPropagation(t *testing.T) {
+	errOf := func(i int) error { return fmt.Errorf("task %d failed", i) }
+
+	// Serial path: dispatch order is index order, so task 2's error is
+	// the first and must be returned verbatim.
+	err := ForEach(context.Background(), 1, 10, func(_ context.Context, i int) error {
+		if i >= 2 {
+			return errOf(i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "task 2 failed" {
+		t.Errorf("serial ForEach err = %v, want task 2's error", err)
+	}
+
+	// Concurrent pool: scheduling decides which failure is first, but
+	// the result must be one of the task errors, not a context error
+	// or an aggregate.
+	err = ForEach(context.Background(), 4, 10, func(_ context.Context, i int) error {
+		return errOf(i)
+	})
+	if err == nil || !strings.HasSuffix(err.Error(), "failed") {
+		t.Errorf("concurrent ForEach err = %v, want a task error", err)
+	}
+
+	// A panicking task propagates through ForEach as *PanicError, same
+	// as through Map.
+	err = ForEach(context.Background(), 4, 8, func(_ context.Context, i int) error {
+		if i == 3 {
+			panic("foreach boom")
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || fmt.Sprint(pe.Value) != "foreach boom" {
+		t.Errorf("ForEach panic err = %v, want *PanicError with the panic value", err)
+	}
+}
+
+// panickyTask exists to put a recognizable frame on the worker's stack.
+func panickyTask(i int) (int, error) {
+	panic(fmt.Sprintf("stack probe %d", i))
+}
+
+// TestPanicErrorStackCapture asserts the captured stack is the
+// panicking worker's own: it must contain the frame of the function
+// that panicked, so the error is debuggable without re-running.
+func TestPanicErrorStackCapture(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		_, err := Map(context.Background(), workers, 4, func(_ context.Context, i int) (int, error) {
+			if i == 1 {
+				return panickyTask(i)
+			}
+			return i, nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if !strings.Contains(string(pe.Stack), "panickyTask") {
+			t.Errorf("workers=%d: stack does not contain the panicking frame:\n%s", workers, pe.Stack)
+		}
+		if !strings.Contains(pe.Error(), "stack probe 1") || !strings.Contains(pe.Error(), "panickyTask") {
+			t.Errorf("workers=%d: Error() omits panic value or stack: %s", workers, pe.Error())
+		}
+	}
+}
+
+// TestCancellationMidDispatchDropsUndispatched saturates the pool,
+// cancels while the dispatch loop is blocked handing out the next
+// task, and asserts the remaining tasks are dropped rather than run:
+// the context error comes back, no results are returned, and far
+// fewer than n tasks ever started.
+func TestCancellationMidDispatchDropsUndispatched(t *testing.T) {
+	const workers, n = 3, 100
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	occupied := make(chan struct{}, n)
+	release := make(chan struct{})
+
+	done := make(chan struct{})
+	var res []int
+	var err error
+	go func() {
+		defer close(done)
+		res, err = Map(ctx, workers, n, func(_ context.Context, i int) (int, error) {
+			started.Add(1)
+			occupied <- struct{}{}
+			<-release
+			return i, nil
+		})
+	}()
+
+	// Wait until every worker is mid-task; the dispatcher is now
+	// blocked trying to hand out the next index.
+	for i := 0; i < workers; i++ {
+		<-occupied
+	}
+	cancel()
+	close(release)
+	<-done
+
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Errorf("cancelled Map returned results: %v", res)
+	}
+	got := started.Load()
+	if got < workers {
+		t.Errorf("started %d tasks, want at least the %d in flight", got, workers)
+	}
+	// After cancellation the dispatcher may lose a couple of races
+	// between "send next task" and "context done", but the bulk of the
+	// batch must never start.
+	if got >= n {
+		t.Errorf("all %d tasks started despite mid-dispatch cancellation", n)
+	}
+}
