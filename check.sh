@@ -5,8 +5,9 @@
 #
 #	./check.sh
 #
-# It fails on unformatted files, go vet findings, failing lsdlint
-# self-tests, or lsdlint findings.
+# It fails on unformatted files, go vet findings, failing lsdlint or
+# lsdschema self-tests, lsdlint findings in the Go tree, or lsdschema
+# findings in the domain schemas and constraint sets.
 set -e
 cd "$(dirname "$0")"
 
@@ -19,10 +20,14 @@ fi
 
 go vet ./...
 
-# The linter's own tests run before the tree-wide lint: a broken
+# The linters' own tests run before the tree-wide lint: a broken
 # analyzer or driver must fail loudly here, not pass vacuously by
 # reporting nothing.
-go test ./internal/analysis/... ./cmd/lsdlint/...
+go test ./internal/analysis/... ./cmd/lsdlint/... ./internal/schemacheck/... ./cmd/lsdschema/...
 
 go run ./cmd/lsdlint ./...
+
+# lsdschema with no arguments checks every built-in datagen domain:
+# mediated schemas, constraint sets, and synthesized source schemas.
+go run ./cmd/lsdschema
 echo "check.sh: all static checks passed"

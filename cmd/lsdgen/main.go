@@ -6,12 +6,18 @@
 //
 // Usage:
 //
-//	lsdgen -out ./data -listings 300 [-domain "Real Estate I"] [-seed 1]
+//	lsdgen -out ./data -listings 300 [-domain "Real Estate I"] [-seed 1] [-check]
+//
+// -check re-reads every DTD just written and runs the schema checker
+// (internal/schemacheck) over it, plus the domain's constraint set
+// against its mediated schema — the same checks lsdschema runs, here
+// gating the generator's own output. Any finding is fatal.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
@@ -19,6 +25,7 @@ import (
 	"strings"
 
 	"repro/internal/datagen"
+	"repro/internal/schemacheck"
 )
 
 func main() {
@@ -26,6 +33,7 @@ func main() {
 	listings := flag.Int("listings", 300, "listings per source")
 	domainName := flag.String("domain", "", "only this domain (default: all)")
 	seed := flag.Int64("seed", 1, "data sample seed")
+	check := flag.Bool("check", false, "run the schema checker over the artifacts after writing them")
 	flag.Parse()
 
 	domains := datagen.Domains()
@@ -37,39 +45,95 @@ func main() {
 		domains = []*datagen.Domain{d}
 	}
 
+	bad := 0
 	for _, d := range domains {
 		dir := filepath.Join(*out, slug(d.Name))
-		if err := os.MkdirAll(dir, 0o755); err != nil {
+		if err := writeDomain(d, dir, *listings, *seed, os.Stdout); err != nil {
 			log.Fatal(err)
 		}
-		if err := os.WriteFile(filepath.Join(dir, "mediated.dtd"),
-			[]byte(d.MediatedSchema().String()), 0o644); err != nil {
-			log.Fatal(err)
-		}
-		for _, spec := range d.Sources() {
-			n := *listings
-			if n > spec.NominalListings {
-				n = spec.NominalListings
-			}
-			src := spec.Generate(n, *seed)
-			base := filepath.Join(dir, spec.Name)
-			if err := os.WriteFile(base+".dtd", []byte(spec.Schema.String()), 0o644); err != nil {
+		if *check {
+			findings, err := checkDomainFiles(d, dir)
+			if err != nil {
 				log.Fatal(err)
 			}
-			var data strings.Builder
-			for _, l := range src.Listings {
-				data.WriteString(l.String())
+			for _, f := range findings {
+				fmt.Fprintln(os.Stderr, f)
 			}
-			if err := os.WriteFile(base+".xml", []byte(data.String()), 0o644); err != nil {
-				log.Fatal(err)
-			}
-			if err := os.WriteFile(base+".mapping", []byte(mappingText(spec.Mapping)), 0o644); err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf("%s: %d listings, %d tags, %.0f%% matchable\n",
-				spec.Name, n, spec.Schema.NumTags(), spec.MatchablePercent())
+			bad += len(findings)
 		}
 	}
+	if bad > 0 {
+		log.Fatalf("%d finding(s) in generated artifacts", bad)
+	}
+}
+
+// writeDomain materializes one domain under dir: the mediated DTD and,
+// per source, the DTD, the sampled listings, and the ground-truth
+// mapping.
+func writeDomain(d *datagen.Domain, dir string, listings int, seed int64, progress io.Writer) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "mediated.dtd"),
+		[]byte(d.MediatedSchema().String()), 0o644); err != nil {
+		return err
+	}
+	for _, spec := range d.Sources() {
+		n := listings
+		if n > spec.NominalListings {
+			n = spec.NominalListings
+		}
+		src := spec.Generate(n, seed)
+		base := filepath.Join(dir, spec.Name)
+		if err := os.WriteFile(base+".dtd", []byte(spec.Schema.String()), 0o644); err != nil {
+			return err
+		}
+		var data strings.Builder
+		for _, l := range src.Listings {
+			data.WriteString(l.String())
+		}
+		if err := os.WriteFile(base+".xml", []byte(data.String()), 0o644); err != nil {
+			return err
+		}
+		if err := os.WriteFile(base+".mapping", []byte(mappingText(spec.Mapping)), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(progress, "%s: %d listings, %d tags, %.0f%% matchable\n",
+			spec.Name, n, spec.Schema.NumTags(), spec.MatchablePercent())
+	}
+	return nil
+}
+
+// checkDomainFiles runs the schema checker over the domain's artifacts
+// as written: every .dtd file under dir is re-read from disk (so a
+// serialization defect in Schema.String would surface here, not just
+// in-memory state), and the domain's constraint set is checked against
+// its mediated schema.
+func checkDomainFiles(d *datagen.Domain, dir string) ([]schemacheck.Finding, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var findings []schemacheck.Finding
+	for _, entry := range entries {
+		if entry.IsDir() || !strings.HasSuffix(entry.Name(), ".dtd") {
+			continue
+		}
+		path := filepath.Join(dir, entry.Name())
+		text, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		fs, err := schemacheck.CheckDTD(path, string(text))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		findings = append(findings, fs...)
+	}
+	med := d.Mediated()
+	findings = append(findings,
+		schemacheck.CheckConstraints(filepath.Join(dir, "constraints"), med.Schema, med.Constraints)...)
+	return findings, nil
 }
 
 func slug(s string) string {

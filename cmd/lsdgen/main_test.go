@@ -1,6 +1,12 @@
 package main
 
 import (
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/datagen"
+
 	"strings"
 	"testing"
 )
@@ -27,5 +33,54 @@ func TestMappingText(t *testing.T) {
 	// Sorted by tag for deterministic files.
 	if lines[0] != "a\tX" || lines[1] != "b\tY" {
 		t.Errorf("mappingText = %q", out)
+	}
+}
+
+// TestWriteAndCheckDomain pins the -check contract: the artifacts
+// lsdgen writes must come back clean from the schema checker, with the
+// DTDs re-read from disk so the serialize-reparse round trip is part
+// of what is checked.
+func TestWriteAndCheckDomain(t *testing.T) {
+	d := datagen.Domains()[0]
+	dir := filepath.Join(t.TempDir(), slug(d.Name))
+	if err := writeDomain(d, dir, 5, 1, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	findings, err := checkDomainFiles(d, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("generated artifact has finding: %s", f)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "mediated.dtd")); err != nil {
+		t.Errorf("mediated.dtd not written: %v", err)
+	}
+}
+
+// TestCheckDomainFilesCatchesCorruption pins that -check reads what is
+// on disk, not in-memory state: corrupting a written DTD must surface.
+func TestCheckDomainFilesCatchesCorruption(t *testing.T) {
+	d := datagen.Domains()[0]
+	dir := filepath.Join(t.TempDir(), slug(d.Name))
+	if err := writeDomain(d, dir, 5, 1, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	bad := "<!ELEMENT root (a)>\n<!ELEMENT a (#PCDATA)>\n<!ELEMENT orphan (a)>\n"
+	if err := os.WriteFile(filepath.Join(dir, "mediated.dtd"), []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	findings, err := checkDomainFiles(d, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range findings {
+		if f.Check == "unreachable" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("corrupted mediated.dtd not flagged; findings = %v", findings)
 	}
 }

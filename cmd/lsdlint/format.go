@@ -1,180 +1,62 @@
 package main
 
 import (
-	"encoding/json"
 	"io"
-	"path/filepath"
-	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/report"
 )
 
-// relPath rewrites an absolute diagnostic path to a slash-separated
-// path relative to the module root, so json/sarif output is stable
-// across checkouts. Paths outside the root pass through unchanged.
-func relPath(root, name string) string {
-	if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
-		return filepath.ToSlash(rel)
-	}
-	return filepath.ToSlash(name)
-}
-
-// jsonDiag is one finding in -format json output.
-type jsonDiag struct {
-	File    string `json:"file"`
-	Line    int    `json:"line"`
-	Column  int    `json:"column"`
-	Check   string `json:"check"`
-	Message string `json:"message"`
-}
-
-func writeJSON(w io.Writer, root string, diags []analysis.Diagnostic) error {
-	out := make([]jsonDiag, 0, len(diags))
+// findings converts analyzer diagnostics to the shared report shape.
+func findings(diags []analysis.Diagnostic) []report.Finding {
+	out := make([]report.Finding, 0, len(diags))
 	for _, d := range diags {
-		out = append(out, jsonDiag{
-			File:    relPath(root, d.Position.Filename),
+		out = append(out, report.Finding{
+			File:    d.Position.Filename,
 			Line:    d.Position.Line,
 			Column:  d.Position.Column,
 			Check:   d.Check,
 			Message: d.Message,
 		})
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "\t")
-	return enc.Encode(out)
+	return out
 }
 
-// jsonSuppression is one directive in -suppressions -format json
-// output.
-type jsonSuppression struct {
-	File   string `json:"file"`
-	Line   int    `json:"line"`
-	Check  string `json:"check"`
-	Reason string `json:"reason"`
-}
-
-func writeSuppressionsJSON(w io.Writer, root string, sups []analysis.Suppression) error {
-	out := make([]jsonSuppression, 0, len(sups))
+// suppressions converts directive inventory entries to the shared
+// report shape.
+func suppressions(sups []analysis.Suppression) []report.Suppression {
+	out := make([]report.Suppression, 0, len(sups))
 	for _, s := range sups {
-		out = append(out, jsonSuppression{
-			File:   relPath(root, s.Position.Filename),
+		out = append(out, report.Suppression{
+			File:   s.Position.Filename,
 			Line:   s.Position.Line,
 			Check:  s.Check,
 			Reason: s.Reason,
 		})
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "\t")
-	return enc.Encode(out)
+	return out
 }
 
-// SARIF 2.1.0 (the subset lsdlint emits). Results reference rules by
-// id and index; every analyzer of the suite plus the "ignore"
-// directive check is a rule, so consumers can render documentation
+// rules builds the SARIF rule table: every analyzer of the suite plus
+// the "ignore" directive check, so consumers can render documentation
 // even for checks with no findings in this run.
-type sarifLog struct {
-	Schema  string     `json:"$schema"`
-	Version string     `json:"version"`
-	Runs    []sarifRun `json:"runs"`
+func rules(analyzers []*analysis.Analyzer) []report.Rule {
+	out := make([]report.Rule, 0, len(analyzers)+1)
+	for _, a := range analyzers {
+		out = append(out, report.Rule{ID: a.Name, Doc: a.Doc})
+	}
+	out = append(out, report.Rule{ID: "ignore", Doc: "lint:ignore directives must name a check and a reason"})
+	return out
 }
 
-type sarifRun struct {
-	Tool    sarifTool     `json:"tool"`
-	Results []sarifResult `json:"results"`
-}
-
-type sarifTool struct {
-	Driver sarifDriver `json:"driver"`
-}
-
-type sarifDriver struct {
-	Name  string      `json:"name"`
-	Rules []sarifRule `json:"rules"`
-}
-
-type sarifRule struct {
-	ID               string    `json:"id"`
-	ShortDescription sarifText `json:"shortDescription"`
-}
-
-type sarifText struct {
-	Text string `json:"text"`
-}
-
-type sarifResult struct {
-	RuleID    string          `json:"ruleId"`
-	RuleIndex int             `json:"ruleIndex"`
-	Level     string          `json:"level"`
-	Message   sarifText       `json:"message"`
-	Locations []sarifLocation `json:"locations"`
-}
-
-type sarifLocation struct {
-	PhysicalLocation sarifPhysical `json:"physicalLocation"`
-}
-
-type sarifPhysical struct {
-	ArtifactLocation sarifArtifact `json:"artifactLocation"`
-	Region           sarifRegion   `json:"region"`
-}
-
-type sarifArtifact struct {
-	URI string `json:"uri"`
-}
-
-type sarifRegion struct {
-	StartLine   int `json:"startLine"`
-	StartColumn int `json:"startColumn"`
+func writeJSON(w io.Writer, root string, diags []analysis.Diagnostic) error {
+	return report.WriteJSON(w, root, findings(diags))
 }
 
 func writeSARIF(w io.Writer, root string, analyzers []*analysis.Analyzer, diags []analysis.Diagnostic) error {
-	rules := make([]sarifRule, 0, len(analyzers)+1)
-	ruleIndex := make(map[string]int)
-	addRule := func(id, doc string) {
-		ruleIndex[id] = len(rules)
-		rules = append(rules, sarifRule{ID: id, ShortDescription: sarifText{Text: doc}})
-	}
-	for _, a := range analyzers {
-		addRule(a.Name, a.Doc)
-	}
-	addRule("ignore", "lint:ignore directives must name a check and a reason")
+	return report.WriteSARIF(w, root, "lsdlint", rules(analyzers), findings(diags))
+}
 
-	results := make([]sarifResult, 0, len(diags))
-	for _, d := range diags {
-		idx, ok := ruleIndex[d.Check]
-		if !ok {
-			addRule(d.Check, "")
-			idx = ruleIndex[d.Check]
-		}
-		results = append(results, sarifResult{
-			RuleID:    d.Check,
-			RuleIndex: idx,
-			Level:     "error",
-			Message:   sarifText{Text: d.Message},
-			Locations: []sarifLocation{{
-				PhysicalLocation: sarifPhysical{
-					ArtifactLocation: sarifArtifact{URI: relPath(root, d.Position.Filename)},
-					Region: sarifRegion{
-						StartLine:   d.Position.Line,
-						StartColumn: d.Position.Column,
-					},
-				},
-			}},
-		})
-	}
-
-	log := sarifLog{
-		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
-		Version: "2.1.0",
-		Runs: []sarifRun{{
-			Tool: sarifTool{Driver: sarifDriver{
-				Name:  "lsdlint",
-				Rules: rules,
-			}},
-			Results: results,
-		}},
-	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "\t")
-	return enc.Encode(log)
+func writeSuppressionsJSON(w io.Writer, root string, sups []analysis.Suppression) error {
+	return report.WriteSuppressionsJSON(w, root, suppressions(sups))
 }

@@ -31,6 +31,7 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/report"
 )
 
 func main() {
@@ -134,12 +135,9 @@ func runSuppressions(root, modpath string, paths []string, format string, stdout
 		}
 		return 0
 	}
-	for _, s := range sups {
-		reason := s.Reason
-		if reason == "" {
-			reason = "(missing reason)"
-		}
-		fmt.Fprintf(stdout, "%s:%d: %s: %s\n", relPath(root, s.Position.Filename), s.Position.Line, s.Check, reason)
+	if err := report.WriteSuppressionsText(stdout, root, suppressions(sups)); err != nil {
+		fmt.Fprintln(stderr, "lsdlint:", err)
+		return 2
 	}
 	fmt.Fprintf(stderr, "lsdlint: %d suppression(s)\n", len(sups))
 	return 0

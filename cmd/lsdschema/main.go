@@ -1,0 +1,186 @@
+// Command lsdschema runs the repo's schema and constraint static
+// analyzer (internal/schemacheck) over LSD's domain artifacts. It is
+// lsdlint's counterpart for the data the pipeline runs on: where
+// lsdlint checks the Go code, lsdschema checks DTD content models
+// (1-unambiguity, reachability, termination, duplicate declarations,
+// degenerate repetitions) and domain constraint sets (unknown labels,
+// contradictions, leafness against the mediated schema,
+// satisfiability). It is built on the Go standard library only.
+//
+// Usage:
+//
+//	lsdschema [-root dir] [-format text|json|sarif] [-suppressions] [files.dtd...]
+//
+// With file arguments, each file is parsed as a DTD and checked; with
+// none, the built-in datagen domains are checked instead — every
+// mediated schema, constraint set, and synthesized source schema, with
+// findings attributed to virtual internal/datagen/<domain>/ paths.
+// Findings print as file:line:col: check: message in the default text
+// format; -format json emits a JSON array and -format sarif a SARIF
+// 2.1.0 log (for CI code-scanning upload). The exit status is the same
+// in every format: 1 when there are findings, 2 on usage, read, or
+// parse errors, and 0 when everything checks clean.
+//
+// Individual findings in DTD files can be suppressed, with a mandatory
+// reason, by a comment on (or directly above) the offending line:
+//
+//	<!-- lint:ignore <check> <reason> -->
+//
+// -suppressions inventories every such directive (text or json format)
+// instead of checking, so suppressed findings stay auditable; its exit
+// status is 0 unless reading fails.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/analysis/report"
+	"repro/internal/schemacheck"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lsdschema", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rootFlag := fs.String("root", "", "directory findings are reported relative to (default: the working directory)")
+	formatFlag := fs.String("format", "text", "output format: text, json, or sarif")
+	supFlag := fs.Bool("suppressions", false, "report every lint:ignore directive instead of checking")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: lsdschema [-root dir] [-format text|json|sarif] [-suppressions] [files.dtd...]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	switch *formatFlag {
+	case "text", "json", "sarif":
+	default:
+		fmt.Fprintf(stderr, "lsdschema: unknown format %q (want text, json, or sarif)\n", *formatFlag)
+		return 2
+	}
+	if *supFlag && *formatFlag == "sarif" {
+		fmt.Fprintln(stderr, "lsdschema: -suppressions supports text and json formats only")
+		return 2
+	}
+
+	root := *rootFlag
+	if root == "" {
+		var err error
+		if root, err = os.Getwd(); err != nil {
+			fmt.Fprintln(stderr, "lsdschema:", err)
+			return 2
+		}
+	}
+
+	files := fs.Args()
+	if *supFlag {
+		return runSuppressions(root, files, *formatFlag, stdout, stderr)
+	}
+
+	var findings []schemacheck.Finding
+	if len(files) == 0 {
+		// The built-in artifacts carry no suppressible text, so every
+		// finding here is a hard failure of the domain definitions.
+		findings = schemacheck.CheckDomains()
+	} else {
+		for _, file := range files {
+			fs, code := checkFile(root, file, stderr)
+			if code != 0 {
+				return code
+			}
+			findings = append(findings, fs...)
+		}
+	}
+
+	switch *formatFlag {
+	case "json":
+		if err := report.WriteJSON(stdout, root, findings); err != nil {
+			fmt.Fprintln(stderr, "lsdschema:", err)
+			return 2
+		}
+	case "sarif":
+		if err := report.WriteSARIF(stdout, root, "lsdschema", rules(), findings); err != nil {
+			fmt.Fprintln(stderr, "lsdschema:", err)
+			return 2
+		}
+	default:
+		for _, f := range findings {
+			fmt.Fprintln(stdout, displayFinding(root, f))
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "lsdschema: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// checkFile checks one DTD file. Findings are attributed to the path
+// as given; an unreadable or unparseable file is a usage-class error
+// (exit 2), matching lsdlint's treatment of unloadable packages.
+func checkFile(root, file string, stderr io.Writer) ([]schemacheck.Finding, int) {
+	text, err := os.ReadFile(file)
+	if err != nil {
+		fmt.Fprintln(stderr, "lsdschema:", err)
+		return nil, 2
+	}
+	findings, err := schemacheck.CheckDTD(file, string(text))
+	if err != nil {
+		fmt.Fprintf(stderr, "lsdschema: %s: %v\n", file, err)
+		return nil, 2
+	}
+	return findings, 0
+}
+
+// runSuppressions prints the lint:ignore inventory of the given files.
+// The report is informational: the exit status is 0 even when
+// directives exist (malformed ones are ordinary findings of a normal
+// run). With no files there is nothing to inventory: the built-in
+// domains are hand-built values without DTD text.
+func runSuppressions(root string, files []string, format string, stdout, stderr io.Writer) int {
+	var sups []schemacheck.Suppression
+	for _, file := range files {
+		text, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintln(stderr, "lsdschema:", err)
+			return 2
+		}
+		sups = append(sups, schemacheck.Suppressions(file, string(text))...)
+	}
+	if format == "json" {
+		if err := report.WriteSuppressionsJSON(stdout, root, sups); err != nil {
+			fmt.Fprintln(stderr, "lsdschema:", err)
+			return 2
+		}
+		return 0
+	}
+	if err := report.WriteSuppressionsText(stdout, root, sups); err != nil {
+		fmt.Fprintln(stderr, "lsdschema:", err)
+		return 2
+	}
+	fmt.Fprintf(stderr, "lsdschema: %d suppression(s)\n", len(sups))
+	return 0
+}
+
+// displayFinding relativizes the finding's path for text output, the
+// same way the json and sarif writers do.
+func displayFinding(root string, f schemacheck.Finding) schemacheck.Finding {
+	f.File = report.RelPath(root, f.File)
+	return f
+}
+
+// rules is the SARIF rule table: the full check suite plus the rule
+// for malformed suppression directives.
+func rules() []report.Rule {
+	var out []report.Rule
+	for _, c := range schemacheck.Checks() {
+		out = append(out, report.Rule{ID: c.Name, Doc: c.Doc})
+	}
+	return append(out, report.Rule{ID: "ignore", Doc: "lint:ignore directives must name a check and a reason"})
+}

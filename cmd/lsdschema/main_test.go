@@ -1,0 +1,336 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// dirtyDTD trips ambiguity once and carries one justified suppression
+// and one malformed directive, mirroring lsdlint's dirtySrc.
+const dirtyDTD = `<!ELEMENT root (bad, quiet)>
+<!ELEMENT bad (a?, a)>
+<!-- lint:ignore ambiguity justified for the driver tests -->
+<!ELEMENT quiet (a?, a)>
+<!-- lint:ignore -->
+<!ELEMENT a (#PCDATA)>
+`
+
+const cleanDTD = `<!ELEMENT root (a, b?)>
+<!ELEMENT a (#PCDATA)>
+<!ELEMENT b (#PCDATA)>
+`
+
+// writeDTD writes a DTD into a fresh directory and returns (dir, path).
+func writeDTD(t *testing.T, name, text string) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir, path
+}
+
+func TestRunTextFindings(t *testing.T) {
+	dir, path := writeDTD(t, "dirty.dtd", dirtyDTD)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-root", dir, path}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d with findings, want 1; stderr: %s", code, errb.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "dirty.dtd:2:1: ambiguity:") {
+		t.Errorf("text output missing the relative-path ambiguity finding:\n%s", text)
+	}
+	if !strings.Contains(text, "dirty.dtd:5:1: ignore: malformed directive") {
+		t.Errorf("text output missing the malformed-directive finding:\n%s", text)
+	}
+	if strings.Contains(text, "quiet") {
+		t.Errorf("suppressed finding leaked into output:\n%s", text)
+	}
+	if !strings.Contains(errb.String(), "2 finding(s)") {
+		t.Errorf("stderr summary = %q, want 2 finding(s)", errb.String())
+	}
+}
+
+func TestRunCleanFile(t *testing.T) {
+	dir, path := writeDTD(t, "clean.dtd", cleanDTD)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-root", dir, path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d on clean file, want 0; stderr: %s", code, errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean run produced output: %s", out.String())
+	}
+}
+
+// TestRunDefaultChecksDomains pins the no-argument mode: the built-in
+// datagen domains must check clean, which is also this repo's own
+// acceptance gate for its real schemas and constraint sets.
+func TestRunDefaultChecksDomains(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 0 {
+		t.Fatalf("exit %d checking built-in domains, want 0; output: %s%s", code, out.String(), errb.String())
+	}
+}
+
+func TestRunJSONFormat(t *testing.T) {
+	dir, path := writeDTD(t, "dirty.dtd", dirtyDTD)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-root", dir, "-format", "json", path}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d with findings, want 1; stderr: %s", code, errb.String())
+	}
+	var diags []struct {
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Column  int    `json:"column"`
+		Check   string `json:"check"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, out.String())
+	}
+	checks := make(map[string]bool)
+	for _, d := range diags {
+		if d.File != "dirty.dtd" {
+			t.Errorf("diagnostic file = %q, want root-relative \"dirty.dtd\"", d.File)
+		}
+		if d.Line < 1 || d.Column < 1 {
+			t.Errorf("diagnostic position %d:%d not 1-based", d.Line, d.Column)
+		}
+		checks[d.Check] = true
+	}
+	if !checks["ambiguity"] || !checks["ignore"] {
+		t.Errorf("json findings missing expected checks, got %v", checks)
+	}
+
+	// A clean file emits an empty array, not null, and exits 0.
+	out.Reset()
+	errb.Reset()
+	cdir, cpath := writeDTD(t, "clean.dtd", cleanDTD)
+	if code := run([]string{"-root", cdir, "-format", "json", cpath}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d on clean file, want 0", code)
+	}
+	if got := strings.TrimSpace(out.String()); got != "[]" {
+		t.Errorf("clean json output = %q, want []", got)
+	}
+}
+
+// TestRunSARIFValid is the driver acceptance test for -format sarif:
+// the emitted log must be well-formed SARIF 2.1.0 with internally
+// consistent rule references — the same validity bar as lsdlint's.
+func TestRunSARIFValid(t *testing.T) {
+	dir, path := writeDTD(t, "dirty.dtd", dirtyDTD)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-root", dir, "-format", "sarif", path}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d with findings, want 1; stderr: %s", code, errb.String())
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID               string `json:"id"`
+						ShortDescription struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Level     string `json:"level"`
+				Message   struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &log); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-2.1.0") {
+		t.Errorf("version %q schema %q, want SARIF 2.1.0", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	run0 := log.Runs[0]
+	if run0.Tool.Driver.Name != "lsdschema" {
+		t.Errorf("driver name %q, want lsdschema", run0.Tool.Driver.Name)
+	}
+	ruleIdx := make(map[string]int)
+	for i, r := range run0.Tool.Driver.Rules {
+		if r.ID == "" {
+			t.Errorf("rule %d has empty id", i)
+		}
+		ruleIdx[r.ID] = i
+	}
+	if len(run0.Results) == 0 {
+		t.Fatal("no results despite findings")
+	}
+	for _, res := range run0.Results {
+		idx, ok := ruleIdx[res.RuleID]
+		if !ok {
+			t.Errorf("result rule %q not declared in rules", res.RuleID)
+		} else if idx != res.RuleIndex {
+			t.Errorf("result %q ruleIndex %d, want %d", res.RuleID, res.RuleIndex, idx)
+		}
+		if res.Level != "error" {
+			t.Errorf("result level %q, want error", res.Level)
+		}
+		if res.Message.Text == "" {
+			t.Errorf("result %q has empty message", res.RuleID)
+		}
+		if len(res.Locations) != 1 {
+			t.Fatalf("result %q has %d locations, want 1", res.RuleID, len(res.Locations))
+		}
+		loc := res.Locations[0].PhysicalLocation
+		if loc.ArtifactLocation.URI != "dirty.dtd" {
+			t.Errorf("result uri %q, want relative dirty.dtd", loc.ArtifactLocation.URI)
+		}
+		if loc.Region.StartLine < 1 || loc.Region.StartColumn < 1 {
+			t.Errorf("result %q region %d:%d not 1-based", res.RuleID, loc.Region.StartLine, loc.Region.StartColumn)
+		}
+	}
+
+	// Clean file: still one run, empty results array, exit 0.
+	out.Reset()
+	errb.Reset()
+	cdir, cpath := writeDTD(t, "clean.dtd", cleanDTD)
+	if code := run([]string{"-root", cdir, "-format", "sarif", cpath}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d on clean file, want 0", code)
+	}
+	if !strings.Contains(out.String(), `"results": []`) {
+		t.Errorf("clean sarif output must contain an empty results array:\n%s", out.String())
+	}
+}
+
+// TestRunExitCodesAcrossFormats pins the 0/1/2 contract for every
+// output format.
+func TestRunExitCodesAcrossFormats(t *testing.T) {
+	cdir, cpath := writeDTD(t, "clean.dtd", cleanDTD)
+	ddir, dpath := writeDTD(t, "dirty.dtd", dirtyDTD)
+	for _, format := range []string{"text", "json", "sarif"} {
+		var out, errb bytes.Buffer
+		if code := run([]string{"-root", cdir, "-format", format, cpath}, &out, &errb); code != 0 {
+			t.Errorf("format %s: exit %d on clean file, want 0", format, code)
+		}
+		if code := run([]string{"-root", ddir, "-format", format, dpath}, &out, &errb); code != 1 {
+			t.Errorf("format %s: exit %d with findings, want 1", format, code)
+		}
+		if code := run([]string{"-root", cdir, "-format", format, filepath.Join(cdir, "missing.dtd")}, &out, &errb); code != 2 {
+			t.Errorf("format %s: exit %d for missing file, want 2", format, code)
+		}
+	}
+}
+
+func TestRunUnparseableFileExitsTwo(t *testing.T) {
+	dir, path := writeDTD(t, "broken.dtd", "<!ELEMENT root (a>")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-root", dir, path}, &out, &errb); code != 2 {
+		t.Errorf("exit %d for unparseable DTD, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "broken.dtd") {
+		t.Errorf("stderr %q does not name the broken file", errb.String())
+	}
+}
+
+func TestRunUnknownFormatExitsTwo(t *testing.T) {
+	dir, path := writeDTD(t, "clean.dtd", cleanDTD)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-root", dir, "-format", "xml", path}, &out, &errb); code != 2 {
+		t.Errorf("exit %d for unknown format, want 2", code)
+	}
+}
+
+func TestRunSuppressionsReport(t *testing.T) {
+	dir, path := writeDTD(t, "dirty.dtd", dirtyDTD)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-root", dir, "-suppressions", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d for suppressions report, want 0; stderr: %s", code, errb.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "ambiguity: justified for the driver tests") {
+		t.Errorf("report missing the justified directive:\n%s", text)
+	}
+	if !strings.Contains(text, "(missing reason)") {
+		t.Errorf("report missing the malformed directive:\n%s", text)
+	}
+	if !strings.Contains(errb.String(), "2 suppression(s)") {
+		t.Errorf("stderr summary = %q, want 2 suppression(s)", errb.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-root", dir, "-suppressions", "-format", "json", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d for json suppressions report, want 0", code)
+	}
+	var sups []struct {
+		File   string `json:"file"`
+		Line   int    `json:"line"`
+		Check  string `json:"check"`
+		Reason string `json:"reason"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &sups); err != nil {
+		t.Fatalf("json report does not parse: %v\n%s", err, out.String())
+	}
+	if len(sups) != 2 {
+		t.Fatalf("json report has %d entries, want 2:\n%s", len(sups), out.String())
+	}
+	if sups[0].Check != "ambiguity" || sups[0].Reason == "" {
+		t.Errorf("first entry = %+v, want the justified ambiguity directive", sups[0])
+	}
+	if sups[1].Reason != "" {
+		t.Errorf("malformed directive reason = %q, want empty", sups[1].Reason)
+	}
+
+	// SARIF has no notion of a suppression inventory; reject it.
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-root", dir, "-suppressions", "-format", "sarif", path}, &out, &errb); code != 2 {
+		t.Errorf("exit %d for -suppressions -format sarif, want 2", code)
+	}
+}
+
+// TestRunMultipleFiles pins that findings from several files are
+// concatenated in argument order and counted together.
+func TestRunMultipleFiles(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.dtd")
+	b := filepath.Join(dir, "b.dtd")
+	if err := os.WriteFile(a, []byte("<!ELEMENT r (x?, x)>\n<!ELEMENT x EMPTY>\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(b, []byte("<!ELEMENT r (y)>\n<!ELEMENT y EMPTY>\n<!ELEMENT stray (y)>\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-root", dir, a, b}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, errb.String())
+	}
+	text := out.String()
+	ia := strings.Index(text, "a.dtd:1:1: ambiguity:")
+	ib := strings.Index(text, "b.dtd:3:1: unreachable:")
+	if ia < 0 || ib < 0 || ia > ib {
+		t.Errorf("findings missing or out of argument order:\n%s", text)
+	}
+}

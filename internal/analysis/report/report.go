@@ -1,0 +1,262 @@
+// Package report renders static-analysis findings in the formats the
+// repo's lint commands share: plain text, a JSON array, and SARIF
+// 2.1.0 for CI code-scanning upload. lsdlint (Go-source invariants,
+// internal/analysis) and lsdschema (DTD/constraint invariants,
+// internal/schemacheck) both emit through this package so their
+// outputs are byte-for-byte the same shape and their SARIF passes the
+// same validity tests.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// Finding is one diagnostic to render: a file position, the check that
+// fired, and the message. File may be absolute (rewritten relative to
+// the root for json/sarif) or already relative/virtual (passed
+// through).
+type Finding struct {
+	File    string
+	Line    int
+	Column  int
+	Check   string
+	Message string
+}
+
+// String renders the finding in the conventional
+// file:line:col: check: message form used by the text format.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Column, f.Check, f.Message)
+}
+
+// Rule describes one check for the SARIF rule table, so consumers can
+// render documentation even for checks with no findings in a run.
+type Rule struct {
+	ID  string
+	Doc string
+}
+
+// RelPath rewrites an absolute path to a slash-separated path relative
+// to the module root, so json/sarif output is stable across checkouts.
+// Paths outside the root (including virtual paths) pass through
+// unchanged.
+func RelPath(root, name string) string {
+	if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(name)
+}
+
+// WriteText prints one finding per line in file:line:col form. Paths
+// print as given: the text format is for humans at a terminal, where
+// absolute paths stay clickable.
+func WriteText(w io.Writer, findings []Finding) error {
+	for _, f := range findings {
+		if _, err := fmt.Fprintln(w, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonFinding is one finding in -format json output.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+// WriteJSON emits the findings as a JSON array (an empty array, not
+// null, for a clean run) with root-relative paths.
+func WriteJSON(w io.Writer, root string, findings []Finding) error {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			File:    RelPath(root, f.File),
+			Line:    f.Line,
+			Column:  f.Column,
+			Check:   f.Check,
+			Message: f.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(out)
+}
+
+// Suppression is one justified-ignore directive for the audit report.
+type Suppression struct {
+	File   string
+	Line   int
+	Check  string
+	Reason string
+}
+
+// jsonSuppression is one directive in -suppressions -format json
+// output.
+type jsonSuppression struct {
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Check  string `json:"check"`
+	Reason string `json:"reason"`
+}
+
+// WriteSuppressionsJSON emits the suppression inventory as a JSON
+// array with root-relative paths.
+func WriteSuppressionsJSON(w io.Writer, root string, sups []Suppression) error {
+	out := make([]jsonSuppression, 0, len(sups))
+	for _, s := range sups {
+		out = append(out, jsonSuppression{
+			File:   RelPath(root, s.File),
+			Line:   s.Line,
+			Check:  s.Check,
+			Reason: s.Reason,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(out)
+}
+
+// WriteSuppressionsText prints the suppression inventory one directive
+// per line, flagging directives whose mandatory reason is missing.
+func WriteSuppressionsText(w io.Writer, root string, sups []Suppression) error {
+	for _, s := range sups {
+		reason := s.Reason
+		if reason == "" {
+			reason = "(missing reason)"
+		}
+		if _, err := fmt.Fprintf(w, "%s:%d: %s: %s\n", RelPath(root, s.File), s.Line, s.Check, reason); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SARIF 2.1.0 (the subset the lint commands emit). Results reference
+// rules by id and index; every check of a tool's suite plus its
+// "ignore" directive check is a rule.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// WriteSARIF emits a SARIF 2.1.0 log for the tool: the declared rules
+// first (findings under an undeclared check grow the table), then one
+// result per finding with root-relative artifact URIs. Regions are
+// clamped to the 1-based positions SARIF requires, so findings without
+// a precise position (e.g. whole-constraint-set diagnostics) stay
+// valid.
+func WriteSARIF(w io.Writer, root, tool string, rules []Rule, findings []Finding) error {
+	table := make([]sarifRule, 0, len(rules))
+	ruleIndex := make(map[string]int)
+	addRule := func(id, doc string) {
+		ruleIndex[id] = len(table)
+		table = append(table, sarifRule{ID: id, ShortDescription: sarifText{Text: doc}})
+	}
+	for _, r := range rules {
+		addRule(r.ID, r.Doc)
+	}
+
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		idx, ok := ruleIndex[f.Check]
+		if !ok {
+			addRule(f.Check, "")
+			idx = ruleIndex[f.Check]
+		}
+		line, col := f.Line, f.Column
+		if line < 1 {
+			line = 1
+		}
+		if col < 1 {
+			col = 1
+		}
+		results = append(results, sarifResult{
+			RuleID:    f.Check,
+			RuleIndex: idx,
+			Level:     "error",
+			Message:   sarifText{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: RelPath(root, f.File)},
+					Region: sarifRegion{
+						StartLine:   line,
+						StartColumn: col,
+					},
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:  tool,
+				Rules: table,
+			}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(log)
+}

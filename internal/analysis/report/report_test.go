@@ -1,0 +1,156 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sample() []Finding {
+	return []Finding{
+		{File: "/mod/a.go", Line: 3, Column: 7, Check: "alpha", Message: "first"},
+		{File: "virtual/b.dtd", Line: 0, Column: 0, Check: "beta", Message: "second"},
+	}
+}
+
+func TestRelPath(t *testing.T) {
+	if got := RelPath("/mod", "/mod/sub/a.go"); got != "sub/a.go" {
+		t.Errorf("RelPath inside root = %q, want sub/a.go", got)
+	}
+	if got := RelPath("/mod", "/elsewhere/a.go"); got != "/elsewhere/a.go" {
+		t.Errorf("RelPath outside root = %q, want unchanged", got)
+	}
+	if got := RelPath("/mod", "virtual/b.dtd"); got != "virtual/b.dtd" {
+		t.Errorf("RelPath virtual = %q, want unchanged", got)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteText(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	want := "/mod/a.go:3:7: alpha: first\n"
+	if !strings.HasPrefix(buf.String(), want) {
+		t.Errorf("text output %q does not start with %q", buf.String(), want)
+	}
+}
+
+func TestWriteJSONRelativizesAndNeverNull(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, "/mod", sample()); err != nil {
+		t.Fatal(err)
+	}
+	var got []jsonFinding
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("json output does not parse: %v\n%s", err, buf.String())
+	}
+	if got[0].File != "a.go" || got[1].File != "virtual/b.dtd" {
+		t.Errorf("files = %q, %q; want a.go and virtual/b.dtd", got[0].File, got[1].File)
+	}
+
+	buf.Reset()
+	if err := WriteJSON(&buf, "/mod", nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "[]" {
+		t.Errorf("empty json output = %q, want []", buf.String())
+	}
+}
+
+func TestWriteSARIFClampsRegionsAndIndexesRules(t *testing.T) {
+	var buf bytes.Buffer
+	rules := []Rule{{ID: "alpha", Doc: "doc a"}}
+	if err := WriteSARIF(&buf, "/mod", "toolx", rules, sample()); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("sarif output does not parse: %v\n%s", err, buf.String())
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version %q runs %d, want 2.1.0 with one run", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "toolx" {
+		t.Errorf("driver name %q, want toolx", run.Tool.Driver.Name)
+	}
+	// The undeclared "beta" check must have been appended to the table.
+	ids := make(map[string]int)
+	for i, r := range run.Tool.Driver.Rules {
+		ids[r.ID] = i
+	}
+	if _, ok := ids["beta"]; !ok {
+		t.Errorf("undeclared check beta missing from rule table %v", ids)
+	}
+	for _, res := range run.Results {
+		if ids[res.RuleID] != res.RuleIndex {
+			t.Errorf("result %q ruleIndex %d, want %d", res.RuleID, res.RuleIndex, ids[res.RuleID])
+		}
+		region := res.Locations[0].PhysicalLocation.Region
+		if region.StartLine < 1 || region.StartColumn < 1 {
+			t.Errorf("result %q region %d:%d not clamped to 1-based", res.RuleID, region.StartLine, region.StartColumn)
+		}
+	}
+	if uri := run.Results[0].Locations[0].PhysicalLocation.ArtifactLocation.URI; uri != "a.go" {
+		t.Errorf("first result uri %q, want root-relative a.go", uri)
+	}
+}
+
+func TestWriteSuppressions(t *testing.T) {
+	sups := []Suppression{
+		{File: "/mod/a.go", Line: 4, Check: "alpha", Reason: "because"},
+		{File: "/mod/b.go", Line: 9, Check: "beta"},
+	}
+	var buf bytes.Buffer
+	if err := WriteSuppressionsText(&buf, "/mod", sups); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, "a.go:4: alpha: because") {
+		t.Errorf("text inventory missing justified entry:\n%s", text)
+	}
+	if !strings.Contains(text, "(missing reason)") {
+		t.Errorf("text inventory missing the missing-reason marker:\n%s", text)
+	}
+
+	buf.Reset()
+	if err := WriteSuppressionsJSON(&buf, "/mod", sups); err != nil {
+		t.Fatal(err)
+	}
+	var got []jsonSuppression
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("json inventory does not parse: %v", err)
+	}
+	if len(got) != 2 || got[0].Reason != "because" || got[1].Reason != "" {
+		t.Errorf("json inventory = %+v, want justified then empty reason", got)
+	}
+}

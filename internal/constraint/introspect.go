@@ -1,0 +1,93 @@
+package constraint
+
+// Structured introspection for static analysis. The Constraint
+// interface deliberately exposes only what the A* handler needs
+// (Violations, Labels, hardness); the schema/constraint checker in
+// internal/schemacheck needs to see *inside* the built-in constraint
+// kinds — frequency bounds, nesting direction, feedback tags — to
+// detect contradictions and unsatisfiable sets before any source is
+// matched. Describe projects a constraint onto that structured view.
+
+// Kind identifies a built-in constraint shape for introspection.
+type Kind int
+
+const (
+	// KindOpaque marks a constraint Describe cannot see inside
+	// (user-defined implementations); only Labels/Hard are meaningful.
+	KindOpaque Kind = iota
+	// KindFrequency is AtMostOne/ExactlyOne/Frequency.
+	KindFrequency
+	// KindNesting is NestedIn/NotNestedIn.
+	KindNesting
+	// KindContiguity is Contiguous.
+	KindContiguity
+	// KindExclusivity is Exclusive.
+	KindExclusivity
+	// KindKey is Key.
+	KindKey
+	// KindFunctionalDep is FunctionalDep.
+	KindFunctionalDep
+	// KindLeafness is LeafLabel/NonLeafLabel.
+	KindLeafness
+	// KindMustMatch is the MustMatch/MustNotMatch feedback pair.
+	KindMustMatch
+	// KindBinarySoft is BinarySoft (including AtMostSoft).
+	KindBinarySoft
+	// KindProximity is Near.
+	KindProximity
+)
+
+// Spec is the structured description of one constraint.
+type Spec struct {
+	// Kind classifies the constraint; KindOpaque when unknown.
+	Kind Kind
+	// Hard mirrors Constraint.Hard.
+	Hard bool
+	// Labels are the mediated labels the constraint mentions, in
+	// declaration order. Unlike Constraint.Labels (which returns nil
+	// for constraints that must be re-evaluated on any assignment,
+	// e.g. contiguity and feedback), this always lists the labels
+	// actually named, so the checker can validate them against the
+	// mediated schema.
+	Labels []string
+	// Tag is the source tag a feedback constraint pins; "" otherwise.
+	Tag string
+	// Min and Max are the frequency bounds (Max < 0 means unbounded);
+	// meaningful only for KindFrequency.
+	Min, Max int
+	// Forbid distinguishes NotNestedIn from NestedIn and MustNotMatch
+	// from MustMatch.
+	Forbid bool
+	// NonLeaf distinguishes NonLeafLabel from LeafLabel.
+	NonLeaf bool
+}
+
+// Describe returns the structured view of c. Constraints built outside
+// this package come back as KindOpaque with their advertised Labels.
+func Describe(c Constraint) Spec {
+	switch v := c.(type) {
+	case *frequency:
+		return Spec{Kind: KindFrequency, Hard: true, Labels: []string{v.label}, Min: v.min, Max: v.max}
+	case *nesting:
+		return Spec{Kind: KindNesting, Hard: true, Labels: []string{v.outer, v.inner}, Forbid: v.forbid}
+	case *contiguity:
+		return Spec{Kind: KindContiguity, Hard: true, Labels: []string{v.labelA, v.labelB}}
+	case *exclusivity:
+		return Spec{Kind: KindExclusivity, Hard: true, Labels: []string{v.labelA, v.labelB}}
+	case *key:
+		return Spec{Kind: KindKey, Hard: true, Labels: []string{v.label}}
+	case *functionalDep:
+		labels := append(append([]string{}, v.determinants...), v.dependent)
+		return Spec{Kind: KindFunctionalDep, Hard: true, Labels: labels}
+	case *leafness:
+		return Spec{Kind: KindLeafness, Hard: true, Labels: []string{v.label}, NonLeaf: v.nonLeaf}
+	case *mustMatch:
+		return Spec{Kind: KindMustMatch, Hard: true, Labels: []string{v.label}, Tag: v.tag, Forbid: v.forbid}
+	case *binarySoft:
+		return Spec{Kind: KindBinarySoft, Labels: append([]string{}, v.labels...)}
+	case *proximity:
+		return Spec{Kind: KindProximity, Labels: []string{v.labelA, v.labelB}}
+	default:
+		return Spec{Kind: KindOpaque, Hard: c.Hard(), Labels: append([]string{}, c.Labels()...)}
+	}
+}

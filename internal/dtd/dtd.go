@@ -57,6 +57,9 @@ type Particle struct {
 	Name     string      // for NameParticle
 	Children []*Particle // for Seq/Choice
 	Occurs   Occurs
+	// Line is the 1-based source line the particle starts on, recorded
+	// by Parse for static-analysis reports; 0 for hand-built particles.
+	Line int
 }
 
 func (p *Particle) String() string {
@@ -132,6 +135,12 @@ type Element struct {
 	Name       string
 	Model      *ContentModel
 	Attributes []string
+	// Line is the 1-based source line of the <!ELEMENT declaration and
+	// AttlistLine that of the first <!ATTLIST naming the element; both
+	// are recorded by Parse for static-analysis reports and 0 for
+	// hand-built elements.
+	Line        int
+	AttlistLine int
 }
 
 // Schema is a parsed DTD: a set of element declarations with a root.
@@ -165,6 +174,16 @@ func (s *Schema) Declare(e *Element) error {
 
 // Element returns the declaration of name, or nil.
 func (s *Schema) Element(name string) *Element { return s.elements[name] }
+
+// Decls returns the element declarations in declaration order; the
+// static checker (internal/schemacheck) walks schemas through this.
+func (s *Schema) Decls() []*Element {
+	out := make([]*Element, 0, len(s.order))
+	for _, name := range s.order {
+		out = append(out, s.elements[name])
+	}
+	return out
+}
 
 // Tags returns all declared element names in declaration order,
 // followed by attribute pseudo-tags.

@@ -12,6 +12,8 @@ func Parse(input string) (*Schema, error) {
 	p := &parser{src: input}
 	s := NewSchema()
 	attlists := make(map[string][]string)
+	attlistLine := make(map[string]int)
+	var attOrder []string // first-ATTLIST order, so errors are deterministic
 	for {
 		p.skipSpaceAndComments()
 		if p.eof() {
@@ -33,21 +35,30 @@ func Parse(input string) (*Schema, error) {
 			if err := p.requireSpace(); err != nil {
 				return nil, err
 			}
+			line := p.line()
 			name, attrs, err := p.parseAttlistDecl()
 			if err != nil {
 				return nil, err
+			}
+			if _, seen := attlists[name]; !seen {
+				attOrder = append(attOrder, name)
+				attlistLine[name] = line
 			}
 			attlists[name] = append(attlists[name], attrs...)
 		default:
 			return nil, p.errorf("expected <!ELEMENT or <!ATTLIST")
 		}
 	}
-	for name, attrs := range attlists {
+	// Attach in declaration order, not map order: with several ATTLISTs
+	// naming undeclared elements, the one reported must be the first in
+	// the source, stable run to run.
+	for _, name := range attOrder {
 		e := s.Element(name)
 		if e == nil {
 			return nil, fmt.Errorf("dtd: ATTLIST for undeclared element %q", name)
 		}
-		e.Attributes = append(e.Attributes, attrs...)
+		e.Attributes = append(e.Attributes, attlists[name]...)
+		e.AttlistLine = attlistLine[name]
 	}
 	if len(s.order) == 0 {
 		return nil, fmt.Errorf("dtd: no element declarations")
@@ -71,6 +82,10 @@ type parser struct {
 }
 
 func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+// line returns the 1-based line number of the current position, for
+// the decl-position hooks static analysis reports through.
+func (p *parser) line() int { return 1 + strings.Count(p.src[:p.pos], "\n") }
 
 func (p *parser) errorf(format string, args ...interface{}) error {
 	line := 1 + strings.Count(p.src[:p.pos], "\n")
@@ -137,6 +152,8 @@ func (p *parser) parseName() (string, error) {
 }
 
 func (p *parser) parseElementDecl() (*Element, error) {
+	p.skipSpace()
+	line := p.line()
 	name, err := p.parseName()
 	if err != nil {
 		return nil, err
@@ -150,7 +167,7 @@ func (p *parser) parseElementDecl() (*Element, error) {
 	if !p.consume(">") {
 		return nil, p.errorf("expected > closing ELEMENT %s", name)
 	}
-	return &Element{Name: name, Model: model}, nil
+	return &Element{Name: name, Model: model, Line: line}, nil
 }
 
 func (p *parser) parseContentModel() (*ContentModel, error) {
@@ -160,6 +177,7 @@ func (p *parser) parseContentModel() (*ContentModel, error) {
 	case p.consume("ANY"):
 		return &ContentModel{Kind: Any}, nil
 	}
+	line := p.line()
 	if !p.consume("(") {
 		return nil, p.errorf("expected ( starting content model")
 	}
@@ -169,11 +187,19 @@ func (p *parser) parseContentModel() (*ContentModel, error) {
 	}
 	p.unread(1) // put back nothing; we consumed only "("
 	// Re-enter: parse the group we already opened.
-	particle, err := p.parseGroupBody()
+	particle, err := p.parseGroupBody(line)
 	if err != nil {
 		return nil, err
 	}
-	particle.Occurs = p.parseOccurs()
+	// An already-marked particle (a one-member group like ((a|b)+) that
+	// collapsed to its child) must keep its own marker: wrap instead of
+	// overwrite, since e.g. ((a|b)+)? is (a|b)*, not (a|b)?.
+	if occ := p.parseOccurs(); occ != One {
+		if particle.Occurs != One {
+			particle = &Particle{Kind: SeqParticle, Children: []*Particle{particle}, Line: line}
+		}
+		particle.Occurs = occ
+	}
 	return &ContentModel{Kind: ElementContent, Particle: particle}, nil
 }
 
@@ -211,9 +237,10 @@ func (p *parser) parseMixedTail() (*ContentModel, error) {
 }
 
 // parseGroupBody parses the inside of a ( ... ) group; the opening
-// paren has been consumed. It returns a Seq or Choice particle (or the
-// single inner particle when the group has one member).
-func (p *parser) parseGroupBody() (*Particle, error) {
+// paren (at the given source line) has been consumed. It returns a Seq
+// or Choice particle (or the single inner particle when the group has
+// one member).
+func (p *parser) parseGroupBody(line int) (*Particle, error) {
 	var parts []*Particle
 	var sep byte // 0 unknown, ',' or '|'
 	for {
@@ -248,24 +275,26 @@ func (p *parser) parseGroupBody() (*Particle, error) {
 	if sep == '|' {
 		kind = ChoiceParticle
 	}
-	return &Particle{Kind: kind, Children: parts}, nil
+	return &Particle{Kind: kind, Children: parts, Line: line}, nil
 }
 
 // parseParticle parses a name or parenthesized group with an optional
 // occurrence marker.
 func (p *parser) parseParticle() (*Particle, error) {
 	p.skipSpace()
+	line := p.line()
 	if p.consume("(") {
-		inner, err := p.parseGroupBody()
+		inner, err := p.parseGroupBody(line)
 		if err != nil {
 			return nil, err
 		}
-		// A marked group must keep its grouping even with one child.
-		occ := p.parseOccurs()
-		if occ != One && inner.Occurs != One && inner.Kind == NameParticle {
-			inner = &Particle{Kind: SeqParticle, Children: []*Particle{inner}}
-		}
-		if occ != One {
+		// A marked group must keep its grouping even with one child:
+		// wrap rather than overwrite the inner marker ((a?)* is a*, and
+		// ((a|b)+)? is (a|b)*, not (a|b)?).
+		if occ := p.parseOccurs(); occ != One {
+			if inner.Occurs != One {
+				inner = &Particle{Kind: SeqParticle, Children: []*Particle{inner}, Line: line}
+			}
 			inner.Occurs = occ
 		}
 		return inner, nil
@@ -274,7 +303,7 @@ func (p *parser) parseParticle() (*Particle, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Particle{Kind: NameParticle, Name: name, Occurs: p.parseOccurs()}, nil
+	return &Particle{Kind: NameParticle, Name: name, Occurs: p.parseOccurs(), Line: line}, nil
 }
 
 func (p *parser) parseOccurs() Occurs {

@@ -265,3 +265,73 @@ func TestChildOrder(t *testing.T) {
 		t.Error("undeclared ChildOrder should be nil")
 	}
 }
+
+func TestParseAttlistUndeclaredDeterministic(t *testing.T) {
+	// Two ATTLISTs reference undeclared elements; the error must name
+	// the first one in declaration order on every run, not an arbitrary
+	// map-order pick.
+	const src = `
+<!ELEMENT r (#PCDATA)>
+<!ATTLIST ghost1 a CDATA #IMPLIED>
+<!ATTLIST ghost2 b CDATA #IMPLIED>
+`
+	want := `dtd: ATTLIST for undeclared element "ghost1"`
+	for i := 0; i < 20; i++ {
+		_, err := Parse(src)
+		if err == nil || err.Error() != want {
+			t.Fatalf("run %d: err = %v, want %s", i, err, want)
+		}
+	}
+}
+
+func TestParseRecordsDeclLines(t *testing.T) {
+	s := MustParse(`<!ELEMENT r (a, (b | c)*)>
+<!ELEMENT a (#PCDATA)>
+<!ELEMENT b (#PCDATA)>
+<!ELEMENT c (#PCDATA)>
+<!ATTLIST a id CDATA #IMPLIED>
+`)
+	if got := s.Element("r").Line; got != 1 {
+		t.Errorf("r.Line = %d, want 1", got)
+	}
+	if got := s.Element("b").Line; got != 3 {
+		t.Errorf("b.Line = %d, want 3", got)
+	}
+	if got := s.Element("a").AttlistLine; got != 5 {
+		t.Errorf("a.AttlistLine = %d, want 5", got)
+	}
+	model := s.Element("r").Model.Particle
+	if model.Line != 1 || model.Children[0].Line != 1 || model.Children[1].Line != 1 {
+		t.Errorf("particle lines = %d, %d, %d; want all 1",
+			model.Line, model.Children[0].Line, model.Children[1].Line)
+	}
+	decls := s.Decls()
+	if len(decls) != 4 || decls[0].Name != "r" || decls[3].Name != "c" {
+		t.Errorf("Decls order wrong: %v", decls)
+	}
+}
+
+// TestParseKeepsInnerOccurs pins the wrap-don't-overwrite rule for
+// one-member groups whose child carries its own occurrence marker:
+// ((a|b)+)? is (a|b)*, not (a|b)?, so the inner + must survive under
+// an outer wrapper rather than being clobbered by the outer marker.
+func TestParseKeepsInnerOccurs(t *testing.T) {
+	cases := []struct {
+		model string
+		want  string
+	}{
+		{"((a | b)+)", "(a | b)+"},
+		{"((a | b)+)?", "((a | b)+)?"},
+		{"((a, b)*)+", "((a, b)*)+"},
+		{"(a?)*", "(a?)*"},
+	}
+	for _, tc := range cases {
+		s, err := Parse("<!ELEMENT r " + tc.model + ">\n<!ELEMENT a EMPTY>\n<!ELEMENT b EMPTY>\n")
+		if err != nil {
+			t.Fatalf("%s: %v", tc.model, err)
+		}
+		if got := s.Element("r").Model.String(); got != tc.want {
+			t.Errorf("model %s parsed as %s, want %s", tc.model, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,289 @@
+package schemacheck
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/constraint"
+	"repro/internal/dtd"
+	"repro/internal/learn"
+)
+
+// CheckConstraints runs the constraint checks over a domain's
+// constraint set against its mediated schema. Constraints carry no
+// source positions, so findings are attributed to file with the
+// 1-based index of the constraint in the set as the line: "line 3"
+// means the third constraint passed in.
+func CheckConstraints(file string, med *dtd.Schema, cs []constraint.Constraint) []Finding {
+	c := &checker{file: file}
+	specs := make([]constraint.Spec, len(cs))
+	for i, con := range cs {
+		specs[i] = constraint.Describe(con)
+	}
+	c.unknownLabels(med, cs, specs)
+	c.contradictions(cs, specs)
+	c.leafness(med, cs, specs)
+	c.unsat(cs, specs)
+	sortFindings(c.findings)
+	return c.findings
+}
+
+// unknownLabels flags constraints referencing labels absent from the
+// mediated schema. OTHER is always legal: it is the reserved label for
+// unmatchable tags, not a schema element.
+func (c *checker) unknownLabels(med *dtd.Schema, cs []constraint.Constraint, specs []constraint.Spec) {
+	declared := make(map[string]bool)
+	for _, t := range med.Tags() {
+		declared[t] = true
+	}
+	for i, spec := range specs {
+		seen := make(map[string]bool, len(spec.Labels))
+		for _, label := range spec.Labels {
+			if declared[label] || label == learn.Other || seen[label] {
+				continue
+			}
+			seen[label] = true
+			c.reportf(i+1, "unknownlabel",
+				"constraint %q references label %q, which the mediated schema does not declare", cs[i].Name(), label)
+		}
+	}
+}
+
+// pairKey orders a label pair so (A,B) and (B,A) collide.
+func pairKey(a, b string) string {
+	if a > b {
+		a, b = b, a
+	}
+	return a + "\x00" + b
+}
+
+// contradictions flags directly contradictory constraint pairs.
+func (c *checker) contradictions(cs []constraint.Constraint, specs []constraint.Spec) {
+	nestings := make(map[string]int)  // "outer\x00inner" of first NestedIn → index
+	forbidden := make(map[string]int) // same key of first NotNestedIn → index
+	leaf := make(map[string]int)      // label of first LeafLabel → index
+	nonLeaf := make(map[string]int)   // label of first NonLeafLabel → index
+	must := make(map[string]int)      // "tag\x00label" of first MustMatch → index
+	mustNot := make(map[string]int)   // same key of first MustNotMatch → index
+	mustLabel := make(map[string]int) // tag of first MustMatch → index
+	for i, spec := range specs {
+		switch spec.Kind {
+		case constraint.KindFrequency:
+			if spec.Max >= 0 && spec.Min > spec.Max {
+				c.reportf(i+1, "contradiction",
+					"constraint %q requires at least %d but allows at most %d matches", cs[i].Name(), spec.Min, spec.Max)
+			}
+		case constraint.KindNesting:
+			key := spec.Labels[0] + "\x00" + spec.Labels[1]
+			if spec.Forbid {
+				forbidden[key] = i
+				if j, ok := nestings[key]; ok {
+					c.reportf(i+1, "contradiction",
+						"constraint %q contradicts constraint %d (%q)", cs[i].Name(), j+1, cs[j].Name())
+				}
+			} else {
+				nestings[key] = i
+				if j, ok := forbidden[key]; ok {
+					c.reportf(i+1, "contradiction",
+						"constraint %q contradicts constraint %d (%q)", cs[i].Name(), j+1, cs[j].Name())
+				}
+			}
+		case constraint.KindLeafness:
+			label := spec.Labels[0]
+			if spec.NonLeaf {
+				nonLeaf[label] = i
+				if j, ok := leaf[label]; ok {
+					c.reportf(i+1, "contradiction",
+						"constraint %q contradicts constraint %d (%q): a tag cannot be both atomic and compound", cs[i].Name(), j+1, cs[j].Name())
+				}
+			} else {
+				leaf[label] = i
+				if j, ok := nonLeaf[label]; ok {
+					c.reportf(i+1, "contradiction",
+						"constraint %q contradicts constraint %d (%q): a tag cannot be both atomic and compound", cs[i].Name(), j+1, cs[j].Name())
+				}
+			}
+		case constraint.KindMustMatch:
+			key := spec.Tag + "\x00" + spec.Labels[0]
+			if spec.Forbid {
+				mustNot[key] = i
+				if j, ok := must[key]; ok {
+					c.reportf(i+1, "contradiction",
+						"constraint %q contradicts constraint %d (%q)", cs[i].Name(), j+1, cs[j].Name())
+				}
+			} else {
+				if j, ok := mustNot[key]; ok {
+					c.reportf(i+1, "contradiction",
+						"constraint %q contradicts constraint %d (%q)", cs[i].Name(), j+1, cs[j].Name())
+				}
+				if j, ok := mustLabel[spec.Tag]; ok && specs[j].Labels[0] != spec.Labels[0] {
+					c.reportf(i+1, "contradiction",
+						"constraint %q pins tag %q already pinned to %q by constraint %d", cs[i].Name(), spec.Tag, specs[j].Labels[0], j+1)
+				}
+				must[key] = i
+				if _, ok := mustLabel[spec.Tag]; !ok {
+					mustLabel[spec.Tag] = i
+				}
+			}
+		}
+	}
+}
+
+// leafness flags arity constraints that disagree with the mediated
+// schema's own leaf set: constraining sources to map label L
+// atomically when the mediated schema declares L compound (or the
+// reverse) means the constraint and the schema cannot both describe
+// the designer's intent. Labels the schema does not declare are
+// skipped — unknownlabel already reports them.
+func (c *checker) leafness(med *dtd.Schema, cs []constraint.Constraint, specs []constraint.Spec) {
+	declared := make(map[string]bool)
+	for _, t := range med.Tags() {
+		declared[t] = true
+	}
+	for i, spec := range specs {
+		if spec.Kind != constraint.KindLeafness {
+			continue
+		}
+		label := spec.Labels[0]
+		if !declared[label] {
+			continue
+		}
+		medLeaf := med.IsLeaf(label)
+		switch {
+		case spec.NonLeaf && medLeaf:
+			c.reportf(i+1, "leafness",
+				"constraint %q declares %s compound, but the mediated schema declares it a leaf", cs[i].Name(), label)
+		case !spec.NonLeaf && !medLeaf:
+			c.reportf(i+1, "leafness",
+				"constraint %q declares %s atomic, but the mediated schema declares it compound", cs[i].Name(), label)
+		}
+	}
+}
+
+// bound is the merged per-label frequency interval, with the indices
+// of the constraints that set each side (for reporting).
+type bound struct {
+	min, max       int
+	minSrc, maxSrc int
+}
+
+// unsat is the propagation-based unsatisfiability pass over the hard
+// constraints: merge frequency bounds per label, count the distinct
+// tags MustMatch pins to each label, propagate exclusivity (a label
+// with a required match zeroes its exclusive partner's capacity), and
+// report every label whose requirement exceeds its capacity. Pairs
+// already reported as direct contradictions (a single self-
+// contradictory Frequency, conflicting MustMatch pins) are excluded so
+// one defect yields one finding.
+func (c *checker) unsat(cs []constraint.Constraint, specs []constraint.Spec) {
+	bounds := make(map[string]*bound)
+	get := func(label string) *bound {
+		b, ok := bounds[label]
+		if !ok {
+			b = &bound{min: 0, max: -1, minSrc: -1, maxSrc: -1}
+			bounds[label] = b
+		}
+		return b
+	}
+	for i, spec := range specs {
+		if spec.Kind != constraint.KindFrequency {
+			continue
+		}
+		if spec.Max >= 0 && spec.Min > spec.Max {
+			continue // self-contradictory, reported by contradictions
+		}
+		b := get(spec.Labels[0])
+		if spec.Min > b.min {
+			b.min, b.minSrc = spec.Min, i
+		}
+		if spec.Max >= 0 && (b.max < 0 || spec.Max < b.max) {
+			b.max, b.maxSrc = spec.Max, i
+		}
+	}
+
+	// Distinct tags pinned to each label by MustMatch are a lower
+	// bound on its match count. Tags pinned to two different labels
+	// are contradictions, not unsat evidence; skip them here.
+	pins := make(map[string]map[string]bool) // label → tags
+	pinSrc := make(map[string]int)
+	conflicted := make(map[string]bool) // tags with contradictory pins
+	tagLabel := make(map[string]string)
+	for _, spec := range specs {
+		if spec.Kind != constraint.KindMustMatch || spec.Forbid {
+			continue
+		}
+		if prev, ok := tagLabel[spec.Tag]; ok && prev != spec.Labels[0] {
+			conflicted[spec.Tag] = true
+		}
+		tagLabel[spec.Tag] = spec.Labels[0]
+	}
+	for i, spec := range specs {
+		if spec.Kind != constraint.KindMustMatch || spec.Forbid || conflicted[spec.Tag] {
+			continue
+		}
+		label := spec.Labels[0]
+		if pins[label] == nil {
+			pins[label] = make(map[string]bool)
+			pinSrc[label] = i
+		}
+		pins[label][spec.Tag] = true
+	}
+	for label, tags := range pins {
+		b := get(label)
+		if len(tags) > b.min {
+			b.min, b.minSrc = len(tags), pinSrc[label]
+		}
+	}
+
+	// Propagate exclusivity: a label that must be matched forbids its
+	// exclusive partner entirely. Exclusive(A, A) forbids A whenever A
+	// is required. Iterate to a fixpoint: capacities only shrink.
+	type exclusion struct {
+		a, b string
+		src  int
+	}
+	var exclusions []exclusion
+	for i, spec := range specs {
+		if spec.Kind == constraint.KindExclusivity {
+			exclusions = append(exclusions, exclusion{spec.Labels[0], spec.Labels[1], i})
+		}
+	}
+	capCause := make(map[string]int)
+	for changed := true; changed; {
+		changed = false
+		for _, ex := range exclusions {
+			zero := func(required, partner string) {
+				if get(required).min < 1 {
+					return
+				}
+				b := get(partner)
+				if b.max != 0 {
+					b.max, b.maxSrc = 0, ex.src
+					capCause[partner] = ex.src
+					changed = true
+				}
+			}
+			zero(ex.a, ex.b)
+			zero(ex.b, ex.a)
+		}
+	}
+
+	labels := make([]string, 0, len(bounds))
+	for label := range bounds {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	for _, label := range labels {
+		b := bounds[label]
+		if b.max < 0 || b.min <= b.max {
+			continue
+		}
+		cause := fmt.Sprintf("constraint %d (%q) requires at least %d match(es) of %s, but constraint %d (%q) allows at most %d",
+			b.minSrc+1, cs[b.minSrc].Name(), b.min, label, b.maxSrc+1, cs[b.maxSrc].Name(), b.max)
+		if exIdx, ok := capCause[label]; ok && exIdx == b.maxSrc {
+			cause = fmt.Sprintf("constraint %d (%q) requires at least %d match(es) of %s, but constraint %d (%q) excludes it because its partner label is also required",
+				b.minSrc+1, cs[b.minSrc].Name(), b.min, label, b.maxSrc+1, cs[b.maxSrc].Name())
+		}
+		c.reportf(b.minSrc+1, "unsat", "hard constraints admit no assignment: %s", cause)
+	}
+}

@@ -1,0 +1,212 @@
+package schemacheck
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/dtd"
+)
+
+// medSchema is the mediated schema the constraint golden cases run
+// against: LISTING is the root, CONTACT is compound, the rest are
+// leaves.
+func medSchema(t *testing.T) *dtd.Schema {
+	t.Helper()
+	s, err := dtd.Parse(`<!ELEMENT LISTING (PRICE, CONTACT?, BEDS?)>
+<!ELEMENT PRICE (#PCDATA)>
+<!ELEMENT CONTACT (NAME, PHONE)>
+<!ELEMENT NAME (#PCDATA)>
+<!ELEMENT PHONE (#PCDATA)>
+<!ELEMENT BEDS (#PCDATA)>
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestConstraintGolden exercises every constraint defect class with at
+// least one true positive, plus a clean set that must come back empty.
+func TestConstraintGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		cs   []constraint.Constraint
+		want []loc
+	}{
+		{
+			name: "clean",
+			cs: []constraint.Constraint{
+				constraint.ExactlyOne("PRICE"),
+				constraint.AtMostOne("BEDS"),
+				constraint.NestedIn("CONTACT", "NAME"),
+				constraint.LeafLabel("PRICE"),
+				constraint.NonLeafLabel("CONTACT"),
+				constraint.MustMatch("price", "PRICE"),
+				constraint.MustNotMatch("price", "BEDS"),
+				constraint.Exclusive("NAME", "BEDS"),
+			},
+			want: nil,
+		},
+		{
+			name: "unknown label",
+			cs: []constraint.Constraint{
+				constraint.AtMostOne("ZIP"),
+				constraint.MustMatch("tag", "OTHER"), // reserved, always legal
+			},
+			want: []loc{{1, "unknownlabel"}},
+		},
+		{
+			name: "frequency min above max",
+			cs: []constraint.Constraint{
+				constraint.Frequency("PRICE", 2, 1),
+			},
+			want: []loc{{1, "contradiction"}},
+		},
+		{
+			name: "nesting contradiction",
+			cs: []constraint.Constraint{
+				constraint.NestedIn("CONTACT", "NAME"),
+				constraint.NotNestedIn("CONTACT", "NAME"),
+			},
+			want: []loc{{2, "contradiction"}},
+		},
+		{
+			name: "leafness contradiction",
+			cs: []constraint.Constraint{
+				constraint.LeafLabel("PRICE"),
+				constraint.NonLeafLabel("PRICE"),
+			},
+			// The pair contradicts each other, and the NonLeafLabel also
+			// disagrees with the mediated schema, where PRICE is a leaf.
+			want: []loc{{2, "contradiction"}, {2, "leafness"}},
+		},
+		{
+			name: "mustmatch contradiction",
+			cs: []constraint.Constraint{
+				constraint.MustMatch("price", "PRICE"),
+				constraint.MustNotMatch("price", "PRICE"),
+			},
+			want: []loc{{2, "contradiction"}},
+		},
+		{
+			name: "mustmatch double pin",
+			cs: []constraint.Constraint{
+				constraint.MustMatch("price", "PRICE"),
+				constraint.MustMatch("price", "BEDS"),
+			},
+			want: []loc{{2, "contradiction"}},
+		},
+		{
+			name: "leafness against schema",
+			cs: []constraint.Constraint{
+				constraint.NonLeafLabel("PRICE"),
+				constraint.LeafLabel("CONTACT"),
+			},
+			want: []loc{{1, "leafness"}, {2, "leafness"}},
+		},
+		{
+			name: "leafness on unknown label defers to unknownlabel",
+			cs: []constraint.Constraint{
+				constraint.LeafLabel("ZIP"),
+			},
+			want: []loc{{1, "unknownlabel"}},
+		},
+		{
+			name: "unsat pinned tags exceed capacity",
+			cs: []constraint.Constraint{
+				constraint.AtMostOne("PRICE"),
+				constraint.MustMatch("t1", "PRICE"),
+				constraint.MustMatch("t2", "PRICE"),
+			},
+			want: []loc{{2, "unsat"}},
+		},
+		{
+			name: "unsat frequency bounds",
+			cs: []constraint.Constraint{
+				constraint.Frequency("PRICE", 2, -1),
+				constraint.AtMostOne("PRICE"),
+			},
+			want: []loc{{1, "unsat"}},
+		},
+		{
+			name: "unsat exclusivity",
+			cs: []constraint.Constraint{
+				constraint.ExactlyOne("PRICE"),
+				constraint.ExactlyOne("BEDS"),
+				constraint.Exclusive("PRICE", "BEDS"),
+			},
+			// Both labels are required and mutually exclusive, so both
+			// sides collapse.
+			want: []loc{{1, "unsat"}, {2, "unsat"}},
+		},
+		{
+			name: "self exclusive required label",
+			cs: []constraint.Constraint{
+				constraint.ExactlyOne("PRICE"),
+				constraint.Exclusive("PRICE", "PRICE"),
+			},
+			want: []loc{{1, "unsat"}},
+		},
+	}
+	med := medSchema(t)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := CheckConstraints("constraints", med, tc.cs)
+			if !sameLocs(locsOf(got), tc.want) {
+				t.Errorf("findings = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestConstraintMessages spot-checks that constraint findings name the
+// constraints by position and by Name().
+func TestConstraintMessages(t *testing.T) {
+	med := medSchema(t)
+	got := CheckConstraints("constraints", med, []constraint.Constraint{
+		constraint.ExactlyOne("PRICE"),
+		constraint.ExactlyOne("BEDS"),
+		constraint.Exclusive("PRICE", "BEDS"),
+	})
+	if len(got) != 2 {
+		t.Fatalf("findings = %v, want 2", got)
+	}
+	for _, f := range got {
+		if !strings.Contains(f.Message, "admit no assignment") ||
+			!strings.Contains(f.Message, "constraint 3") {
+			t.Errorf("message %q does not explain the exclusivity collapse", f.Message)
+		}
+	}
+}
+
+// TestConstraintContradictionNotDoubleReported pins the dedup between
+// the contradiction and unsat passes: one defect, one finding.
+func TestConstraintContradictionNotDoubleReported(t *testing.T) {
+	med := medSchema(t)
+	for _, cs := range [][]constraint.Constraint{
+		{constraint.Frequency("PRICE", 2, 1)},
+		{constraint.MustMatch("price", "PRICE"), constraint.MustMatch("price", "BEDS"), constraint.AtMostOne("PRICE")},
+	} {
+		got := CheckConstraints("constraints", med, cs)
+		for _, f := range got {
+			if f.Check == "unsat" {
+				t.Errorf("contradiction leaked into the unsat pass: %v", got)
+			}
+		}
+	}
+}
+
+// TestSoftConstraintsExemptFromUnsat pins that only hard constraints
+// feed the satisfiability pass: soft preferences cannot make a set
+// unsatisfiable.
+func TestSoftConstraintsExemptFromUnsat(t *testing.T) {
+	med := medSchema(t)
+	got := CheckConstraints("constraints", med, []constraint.Constraint{
+		constraint.AtMostSoft("PRICE", 0, 0.5),
+		constraint.MustMatch("t1", "PRICE"),
+	})
+	if len(got) != 0 {
+		t.Errorf("findings = %v, want none: soft constraints are preferences, not bounds", got)
+	}
+}

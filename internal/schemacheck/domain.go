@@ -1,0 +1,42 @@
+package schemacheck
+
+import (
+	"strings"
+
+	"repro/internal/datagen"
+)
+
+// CheckDomain runs every schema and constraint check over one
+// synthetic evaluation domain: its mediated schema, its full
+// constraint set (explicit constraints plus the arity constraints the
+// concept tree implies), and each of its five synthesized source
+// schemas. The artifacts are built in memory, so findings are
+// attributed to virtual paths under internal/datagen mirroring what
+// lsdgen writes to disk: <slug>/mediated.dtd, <slug>/constraints, and
+// <slug>/<source>.dtd.
+func CheckDomain(d *datagen.Domain) []Finding {
+	prefix := "internal/datagen/" + domainSlug(d.Name)
+	med := d.Mediated()
+	var out []Finding
+	out = append(out, CheckSchema(prefix+"/mediated.dtd", med.Schema)...)
+	out = append(out, CheckConstraints(prefix+"/constraints", med.Schema, med.Constraints)...)
+	for _, spec := range d.Sources() {
+		out = append(out, CheckSchema(prefix+"/"+spec.Name+".dtd", spec.Schema)...)
+	}
+	sortFindings(out)
+	return out
+}
+
+// CheckDomains checks every registered domain.
+func CheckDomains() []Finding {
+	var out []Finding
+	for _, d := range datagen.Domains() {
+		out = append(out, CheckDomain(d)...)
+	}
+	return out
+}
+
+// domainSlug matches lsdgen's on-disk directory naming.
+func domainSlug(name string) string {
+	return strings.ToLower(strings.ReplaceAll(name, " ", "-"))
+}

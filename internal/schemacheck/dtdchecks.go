@@ -1,0 +1,247 @@
+package schemacheck
+
+import "repro/internal/dtd"
+
+// schema runs the five DTD defect-class checks over s.
+func (c *checker) schema(s *dtd.Schema) {
+	decls := s.Decls()
+	c.undeclared(s, decls)
+	c.duplicates(s, decls)
+	c.ambiguity(decls)
+	c.degenerate(decls)
+	c.nonterminating(s, decls)
+	c.unreachable(s, decls)
+}
+
+// declLine falls back to line 1 for hand-built elements.
+func declLine(e *dtd.Element) int {
+	if e.Line > 0 {
+		return e.Line
+	}
+	return 1
+}
+
+// particleLine prefers the particle's own position, falling back to
+// the declaration's.
+func particleLine(p *dtd.Particle, e *dtd.Element) int {
+	if p != nil && p.Line > 0 {
+		return p.Line
+	}
+	return declLine(e)
+}
+
+// undeclared flags content-model and mixed-set references to elements
+// that are not declared. A reference that names an attribute
+// pseudo-tag is called out as such: attributes are ATTLIST-declared
+// leaves, never content-model particles.
+func (c *checker) undeclared(s *dtd.Schema, decls []*dtd.Element) {
+	attrOf := make(map[string]string)
+	for _, e := range decls {
+		for _, a := range e.Attributes {
+			if _, ok := attrOf[a]; !ok {
+				attrOf[a] = e.Name
+			}
+		}
+	}
+	seen := make(map[string]bool) // one finding per (element, missing name)
+	flag := func(e *dtd.Element, name string, line int) {
+		key := e.Name + "\x00" + name
+		if seen[key] || s.Element(name) != nil {
+			return
+		}
+		seen[key] = true
+		if owner, isAttr := attrOf[name]; isAttr {
+			c.reportf(line, "undeclared",
+				"content model of %q references %q, which is an attribute of %q, not a declared element", e.Name, name, owner)
+			return
+		}
+		c.reportf(line, "undeclared", "content model of %q references undeclared element %q", e.Name, name)
+	}
+	for _, e := range decls {
+		switch e.Model.Kind {
+		case dtd.ElementContent:
+			var walk func(p *dtd.Particle)
+			walk = func(p *dtd.Particle) {
+				if p == nil {
+					return
+				}
+				if p.Kind == dtd.NameParticle {
+					flag(e, p.Name, particleLine(p, e))
+					return
+				}
+				for _, ch := range p.Children {
+					walk(ch)
+				}
+			}
+			walk(e.Model.Particle)
+		case dtd.Mixed:
+			for _, name := range e.Model.MixedSet {
+				flag(e, name, declLine(e))
+			}
+		}
+	}
+}
+
+// duplicates flags duplicate and conflicting declarations: an
+// attribute declared twice on one element, an attribute whose name
+// collides with a declared element, and a repeated tag in a mixed set.
+func (c *checker) duplicates(s *dtd.Schema, decls []*dtd.Element) {
+	for _, e := range decls {
+		attlistLine := e.AttlistLine
+		if attlistLine < 1 {
+			attlistLine = declLine(e)
+		}
+		seen := make(map[string]bool, len(e.Attributes))
+		for _, a := range e.Attributes {
+			if seen[a] {
+				c.reportf(attlistLine, "duplicate", "attribute %q declared twice on element %q", a, e.Name)
+				continue
+			}
+			seen[a] = true
+			if s.Element(a) != nil {
+				c.reportf(attlistLine, "duplicate",
+					"attribute %q of element %q conflicts with the element declared under the same name", a, e.Name)
+			}
+		}
+		if e.Model.Kind == dtd.Mixed {
+			inSet := make(map[string]bool, len(e.Model.MixedSet))
+			for _, name := range e.Model.MixedSet {
+				if inSet[name] {
+					c.reportf(declLine(e), "duplicate", "mixed content of %q lists %q twice", e.Name, name)
+				}
+				inSet[name] = true
+			}
+		}
+	}
+}
+
+// ambiguity flags content models that are not 1-unambiguous, with the
+// Glushkov witness: the tag whose next occurrence is not decidable
+// without lookahead.
+func (c *checker) ambiguity(decls []*dtd.Element) {
+	for _, e := range decls {
+		if e.Model.Kind != dtd.ElementContent {
+			continue
+		}
+		g := buildGlushkov(e.Model.Particle)
+		if tag, a, b, ok := g.conflict(); ok {
+			c.reportf(declLine(e), "ambiguity",
+				"content model %s of %q is not 1-unambiguous: occurrences %d and %d of %q can both continue the same prefix; the XML spec requires deterministic models",
+				e.Model, e.Name, a+1, b+1, tag)
+		}
+	}
+}
+
+// degenerate flags starred or plussed particles whose body can match
+// the empty sequence, the (x?)*-style nests that admit unboundedly
+// many empty iterations.
+func (c *checker) degenerate(decls []*dtd.Element) {
+	for _, e := range decls {
+		if e.Model.Kind != dtd.ElementContent {
+			continue
+		}
+		var walk func(p *dtd.Particle)
+		walk = func(p *dtd.Particle) {
+			if p == nil {
+				return
+			}
+			if (p.Occurs == dtd.ZeroOrMore || p.Occurs == dtd.OneOrMore) && nullableBody(p) {
+				c.reportf(particleLine(p, e), "degenerate",
+					"repetition %s in the content model of %q has a nullable body: it matches the empty sequence infinitely many ways", p, e.Name)
+			}
+			for _, ch := range p.Children {
+				walk(ch)
+			}
+		}
+		walk(e.Model.Particle)
+	}
+}
+
+// nonterminating flags elements with no finite derivation, computed as
+// grammar emptiness by least fixpoint: an element terminates when its
+// content model can derive some sequence of terminating elements.
+// Undeclared references are treated as terminating so the undeclared
+// check does not cascade here.
+func (c *checker) nonterminating(s *dtd.Schema, decls []*dtd.Element) {
+	terminates := make(map[string]bool, len(decls))
+	for _, e := range decls {
+		if e.Model.Kind != dtd.ElementContent {
+			// #PCDATA, EMPTY, ANY, and mixed content all admit a leaf
+			// derivation.
+			terminates[e.Name] = true
+		}
+	}
+	var derivable func(p *dtd.Particle) bool
+	derivable = func(p *dtd.Particle) bool {
+		if p.Occurs == dtd.Optional || p.Occurs == dtd.ZeroOrMore {
+			return true
+		}
+		switch p.Kind {
+		case dtd.NameParticle:
+			if s.Element(p.Name) == nil {
+				return true
+			}
+			return terminates[p.Name]
+		case dtd.SeqParticle:
+			for _, ch := range p.Children {
+				if !derivable(ch) {
+					return false
+				}
+			}
+			return true
+		case dtd.ChoiceParticle:
+			for _, ch := range p.Children {
+				if derivable(ch) {
+					return true
+				}
+			}
+			return false
+		}
+		return false
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, e := range decls {
+			if terminates[e.Name] || e.Model.Kind != dtd.ElementContent {
+				continue
+			}
+			if derivable(e.Model.Particle) {
+				terminates[e.Name] = true
+				changed = true
+			}
+		}
+	}
+	for _, e := range decls {
+		if !terminates[e.Name] {
+			c.reportf(declLine(e), "nonterminating",
+				"element %q has no finite derivation: every expansion of %s requires another non-terminating element; validation and data generation would recurse forever", e.Name, e.Model)
+		}
+	}
+}
+
+// unreachable flags declared elements the root cannot reach through
+// child references.
+func (c *checker) unreachable(s *dtd.Schema, decls []*dtd.Element) {
+	if len(decls) == 0 {
+		return
+	}
+	root := s.Root()
+	reached := map[string]bool{root: true}
+	queue := []string{root}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, ch := range s.ChildTags(cur) {
+			if !reached[ch] {
+				reached[ch] = true
+				queue = append(queue, ch)
+			}
+		}
+	}
+	for _, e := range decls {
+		if !reached[e.Name] {
+			c.reportf(declLine(e), "unreachable",
+				"element %q is unreachable from the schema root %q", e.Name, root)
+		}
+	}
+}

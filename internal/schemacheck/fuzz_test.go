@@ -1,0 +1,47 @@
+package schemacheck
+
+import (
+	"testing"
+
+	"repro/internal/dtd"
+)
+
+// FuzzSchemaCheck asserts the checker's robustness contract: any DTD
+// text dtd.Parse accepts must check without panicking or diverging,
+// and CheckDTD must agree with Parse about what is loadable.
+func FuzzSchemaCheck(f *testing.F) {
+	seeds := []string{
+		"<!ELEMENT r (a)>\n<!ELEMENT a (#PCDATA)>\n",
+		"<!ELEMENT r ((a | b)*, a)>\n<!ELEMENT a EMPTY>\n<!ELEMENT b ANY>\n",
+		"<!ELEMENT r ((a?)*, b)>\n<!ELEMENT b (r, b)>\n",
+		"<!ELEMENT r (#PCDATA | a | a)*>\n<!ELEMENT a (#PCDATA)>\n<!ATTLIST r x CDATA #IMPLIED x CDATA #IMPLIED>\n",
+		"<!-- lint:ignore ambiguity seeded directive -->\n<!ELEMENT r (a?, a)>\n<!ELEMENT a EMPTY>\n",
+		"<!-- lint:ignore -->\n<!ELEMENT r EMPTY>\n",
+		"<!ELEMENT r (ghost, r)>\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		s, err := dtd.Parse(text)
+		if err != nil {
+			return
+		}
+		findings, err := CheckDTD("fuzz.dtd", text)
+		if err != nil {
+			t.Fatalf("Parse accepted the input but CheckDTD failed: %v", err)
+		}
+		for _, fd := range findings {
+			if fd.Line < 1 || fd.Column < 1 {
+				t.Fatalf("finding with invalid position: %+v", fd)
+			}
+			if fd.Check == "" || fd.Message == "" {
+				t.Fatalf("finding with empty check or message: %+v", fd)
+			}
+		}
+		// The schema-level entry point must be no less robust, and
+		// suppression inventory must never fail.
+		_ = CheckSchema("fuzz.dtd", s)
+		_ = Suppressions("fuzz.dtd", text)
+	})
+}

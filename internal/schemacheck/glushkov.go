@@ -1,0 +1,173 @@
+package schemacheck
+
+import "repro/internal/dtd"
+
+// Glushkov construction over DTD content models. The XML spec requires
+// content models to be deterministic ("1-unambiguous" in
+// Brüggemann-Klein/Wood terms): while reading a child sequence left to
+// right, the position of the model that matches each child must be
+// decidable without lookahead. A model is 1-unambiguous iff its
+// Glushkov automaton is deterministic, i.e. no two distinct positions
+// with the same tag are reachable on the same input prefix — which
+// reduces to: the First set, and every position's Follow set, name
+// each tag at most once.
+
+// gpos is one position of the linearized content model: the i-th
+// occurrence of a name particle, with its source line for reports.
+type gpos struct {
+	name string
+	line int
+}
+
+// glushkov is the position automaton of one content model.
+type glushkov struct {
+	positions []gpos
+	first     []int
+	last      []int
+	nullable  bool
+	follow    [][]int
+}
+
+// gnfa is the (nullable, first, last) triple computed bottom-up.
+type gnfa struct {
+	nullable    bool
+	first, last []int
+}
+
+// buildGlushkov linearizes the particle (positions numbered in
+// pre-order of name occurrences) and computes First/Last/Follow.
+func buildGlushkov(root *dtd.Particle) *glushkov {
+	g := &glushkov{}
+	n := g.build(root)
+	g.nullable = n.nullable
+	g.first = n.first
+	g.last = n.last
+	return g
+}
+
+func (g *glushkov) build(p *dtd.Particle) gnfa {
+	var n gnfa
+	switch p.Kind {
+	case dtd.NameParticle:
+		idx := len(g.positions)
+		g.positions = append(g.positions, gpos{p.Name, p.Line})
+		g.follow = append(g.follow, nil)
+		n = gnfa{nullable: false, first: []int{idx}, last: []int{idx}}
+	case dtd.SeqParticle:
+		n.nullable = true
+		// open holds the last-positions that can still immediately
+		// precede the next child (the lasts of a nullable suffix).
+		var open []int
+		for _, c := range p.Children {
+			cn := g.build(c)
+			for _, x := range open {
+				g.follow[x] = append(g.follow[x], cn.first...)
+			}
+			if n.nullable {
+				n.first = append(n.first, cn.first...)
+			}
+			if cn.nullable {
+				open = append(open, cn.last...)
+			} else {
+				open = append([]int{}, cn.last...)
+			}
+			n.nullable = n.nullable && cn.nullable
+		}
+		n.last = open
+	case dtd.ChoiceParticle:
+		for _, c := range p.Children {
+			cn := g.build(c)
+			n.nullable = n.nullable || cn.nullable
+			n.first = append(n.first, cn.first...)
+			n.last = append(n.last, cn.last...)
+		}
+	}
+	switch p.Occurs {
+	case dtd.Optional:
+		n.nullable = true
+	case dtd.ZeroOrMore:
+		n.nullable = true
+		g.loop(n)
+	case dtd.OneOrMore:
+		g.loop(n)
+	}
+	return n
+}
+
+// loop adds the repetition edges last(p) → first(p) of a starred or
+// plussed particle.
+func (g *glushkov) loop(n gnfa) {
+	for _, x := range n.last {
+		g.follow[x] = append(g.follow[x], n.first...)
+	}
+}
+
+// conflict returns the first pair of distinct positions that share a
+// tag and are reachable on the same input prefix, scanning the First
+// set and then each Follow set in position order, so the witness is
+// deterministic run to run.
+func (g *glushkov) conflict() (tag string, a, b int, ok bool) {
+	if tag, a, b, ok = g.dupName(g.first); ok {
+		return tag, a, b, true
+	}
+	for x := range g.positions {
+		if tag, a, b, ok = g.dupName(g.follow[x]); ok {
+			return tag, a, b, true
+		}
+	}
+	return "", 0, 0, false
+}
+
+// dupName finds two distinct positions in set with the same tag.
+// Follow sets can hold the same position twice (e.g. nested stars), so
+// duplicates of one index are not conflicts.
+func (g *glushkov) dupName(set []int) (string, int, int, bool) {
+	seenIdx := make(map[int]bool, len(set))
+	byName := make(map[string]int, len(set))
+	for _, x := range set {
+		if seenIdx[x] {
+			continue
+		}
+		seenIdx[x] = true
+		name := g.positions[x].name
+		if prev, dup := byName[name]; dup {
+			return name, prev, x, true
+		}
+		byName[name] = x
+	}
+	return "", 0, 0, false
+}
+
+// nullable reports whether the particle can derive the empty sequence.
+func nullable(p *dtd.Particle) bool {
+	if p.Occurs == dtd.Optional || p.Occurs == dtd.ZeroOrMore {
+		return true
+	}
+	return nullableBody(p)
+}
+
+// nullableBody is nullable ignoring the particle's own Occurs marker:
+// whether one mandatory iteration of the body can be empty. A starred
+// or plussed particle with a nullable body is a degenerate repetition
+// ((x?)* and kin): it derives the empty word infinitely many ways.
+func nullableBody(p *dtd.Particle) bool {
+	switch p.Kind {
+	case dtd.NameParticle:
+		return false
+	case dtd.SeqParticle:
+		for _, c := range p.Children {
+			if !nullable(c) {
+				return false
+			}
+		}
+		return true
+	case dtd.ChoiceParticle:
+		for _, c := range p.Children {
+			if nullable(c) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}

@@ -1,0 +1,300 @@
+package schemacheck
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/dtd"
+)
+
+// parseModel parses a bare content model by wrapping it in an element
+// declaration. Referenced names need no declarations of their own:
+// buildGlushkov works on the particle alone.
+func parseModel(t *testing.T, model string) *dtd.Particle {
+	t.Helper()
+	s, err := dtd.Parse("<!ELEMENT r " + model + ">")
+	if err != nil {
+		t.Fatalf("parse %s: %v", model, err)
+	}
+	m := s.Element("r").Model
+	if m.Kind != dtd.ElementContent {
+		t.Fatalf("%s parsed as %v, want element content", model, m.Kind)
+	}
+	return m.Particle
+}
+
+// markedWords enumerates every distinct marked word (sequence of
+// position indices, numbered in the same pre-order as buildGlushkov)
+// of length at most limit that the particle derives. ok is false when
+// the enumeration exceeded cap distinct words and was abandoned.
+//
+// The enumeration is exhaustive up to limit: concatenations are only
+// pruned when they already exceed limit, which no extension can
+// repair.
+func markedWords(p *dtd.Particle, limit, cap int) (words [][]int, ok bool) {
+	var next int
+	var build func(p *dtd.Particle) [][]int
+	overflow := false
+
+	dedupe := func(ws [][]int) [][]int {
+		seen := make(map[string]bool, len(ws))
+		var out [][]int
+		for _, w := range ws {
+			key := wordKey(w)
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, w)
+			}
+		}
+		if len(out) > cap {
+			overflow = true
+		}
+		return out
+	}
+	concat := func(as, bs [][]int) [][]int {
+		var out [][]int
+		for _, a := range as {
+			for _, b := range bs {
+				if len(a)+len(b) > limit {
+					continue
+				}
+				w := make([]int, 0, len(a)+len(b))
+				w = append(w, a...)
+				w = append(w, b...)
+				out = append(out, w)
+			}
+		}
+		return dedupe(out)
+	}
+	closure := func(base [][]int) [][]int { // one or more iterations
+		seen := make(map[string]bool)
+		var acc [][]int
+		add := func(w []int) bool {
+			key := wordKey(w)
+			if seen[key] {
+				return false
+			}
+			seen[key] = true
+			acc = append(acc, w)
+			return true
+		}
+		var frontier [][]int
+		for _, w := range base {
+			if add(w) {
+				frontier = append(frontier, w)
+			}
+		}
+		for len(frontier) > 0 && !overflow {
+			var next [][]int
+			for _, a := range frontier {
+				for _, b := range base {
+					if len(a)+len(b) > limit {
+						continue
+					}
+					w := make([]int, 0, len(a)+len(b))
+					w = append(append(w, a...), b...)
+					if add(w) {
+						next = append(next, w)
+					}
+				}
+			}
+			if len(acc) > cap {
+				overflow = true
+			}
+			frontier = next
+		}
+		return acc
+	}
+
+	build = func(p *dtd.Particle) [][]int {
+		if overflow {
+			return nil
+		}
+		var base [][]int
+		switch p.Kind {
+		case dtd.NameParticle:
+			base = [][]int{{next}}
+			next++
+		case dtd.SeqParticle:
+			base = [][]int{{}}
+			for _, c := range p.Children {
+				base = concat(base, build(c))
+			}
+		case dtd.ChoiceParticle:
+			for _, c := range p.Children {
+				base = append(base, build(c)...)
+			}
+			base = dedupe(base)
+		}
+		switch p.Occurs {
+		case dtd.Optional:
+			base = dedupe(append(base, []int{}))
+		case dtd.ZeroOrMore:
+			base = dedupe(append(closure(base), []int{}))
+		case dtd.OneOrMore:
+			base = closure(base)
+		}
+		return base
+	}
+	words = build(p)
+	return words, !overflow
+}
+
+func wordKey(w []int) string {
+	var b strings.Builder
+	for _, x := range w {
+		b.WriteString(strconv.Itoa(x))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// oracleAmbiguous reports 1-ambiguity by definition: some unmarked
+// prefix is extended by the same tag at two distinct positions.
+func oracleAmbiguous(words [][]int, names []string) bool {
+	at := make(map[string]int) // unmarked prefix + tag → position
+	for _, w := range words {
+		var prefix strings.Builder
+		for _, x := range w {
+			tag := names[x]
+			key := prefix.String() + "\x00" + tag
+			if prev, seen := at[key]; seen && prev != x {
+				return true
+			}
+			at[key] = x
+			prefix.WriteString(tag)
+			prefix.WriteByte(0)
+		}
+	}
+	return false
+}
+
+// TestGlushkovCatalog asserts the verdict on a curated catalog in both
+// directions, including the classical Brüggemann-Klein/Wood examples.
+func TestGlushkovCatalog(t *testing.T) {
+	cases := []struct {
+		model     string
+		ambiguous bool
+	}{
+		{"(a, b)", false},
+		{"(a | b)", false},
+		{"(a?, b)", false},
+		{"(a, a)", false},
+		{"(a*, b)", false},
+		{"((a, b)+, c)", false},
+		{"((a | b)+, c?)", false},
+		{"((b, a) | (c, a))", false},
+		{"((a, b?) | (b, a))", false},
+		{"((a, b?)*)", false},
+		{"((a?, b?)*)", false}, // degenerate, yet deterministic
+		{"((a?)*)", false},     // duplicate position in Follow is not a conflict
+		{"(a?, a)", true},
+		{"(a*, a)", true},
+		{"((a | b)*, a)", true}, // the classical example
+		{"((a, b) | (a, c))", true},
+		{"((a, b)*, (a, c))", true},
+		{"(a, (a | b)?)", false},
+		{"((a | b), (b | c))", false},
+	}
+	for _, tc := range cases {
+		p := parseModel(t, tc.model)
+		g := buildGlushkov(p)
+		_, _, _, got := g.conflict()
+		if got != tc.ambiguous {
+			t.Errorf("%s: ambiguous = %v, want %v", tc.model, got, tc.ambiguous)
+		}
+	}
+}
+
+// TestGlushkovOracle cross-checks the automaton against a brute-force
+// oracle on the catalog plus randomly generated models.
+//
+// Soundness of the word-length bound: in the Glushkov automaton every
+// position is reachable and co-reachable. A conflict (two positions of
+// one tag in First or one Follow set) therefore has a witness prefix
+// of at most n marked symbols, one more symbol for the conflicting
+// position, and a completion of at most n symbols — so enumerating all
+// marked words of length ≤ 2n+1 sees both words whose unmarked
+// prefixes collide, and the oracle's verdict is exact (we enumerate to
+// 2n+2 for margin). Conversely every oracle witness is a real pair of
+// derivable words, so oracle-ambiguous implies Glushkov-ambiguous.
+func TestGlushkovOracle(t *testing.T) {
+	check := func(t *testing.T, model string) (checked bool) {
+		p := parseModel(t, model)
+		g := buildGlushkov(p)
+		n := len(g.positions)
+		if n > 5 {
+			return false
+		}
+		words, ok := markedWords(p, 2*n+2, 60000)
+		if !ok {
+			return false
+		}
+		names := make([]string, n)
+		for i, pos := range g.positions {
+			names[i] = pos.name
+		}
+		_, _, _, glushkov := g.conflict()
+		oracle := oracleAmbiguous(words, names)
+		if glushkov != oracle {
+			t.Errorf("%s: glushkov says ambiguous=%v, oracle says %v (%d positions, %d words)",
+				model, glushkov, oracle, n, len(words))
+		}
+		return true
+	}
+
+	t.Run("catalog", func(t *testing.T) {
+		for _, model := range []string{
+			"(a, b)", "(a?, a)", "(a*, a)", "((a | b)*, a)",
+			"((a, b) | (a, c))", "((a?, b?)*)", "((a, b?)*)",
+			"((a, b)*, (a, c))", "(a, (a | b)?)",
+		} {
+			if !check(t, model) {
+				t.Errorf("%s: oracle skipped a curated case", model)
+			}
+		}
+	})
+
+	t.Run("random", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(1))
+		checked := 0
+		for i := 0; i < 400; i++ {
+			model := randModel(rng)
+			if check(t, model) {
+				checked++
+			}
+		}
+		if checked < 200 {
+			t.Errorf("only %d/400 random models were small enough to cross-check", checked)
+		}
+	})
+}
+
+// randModel generates a random content model of at most four positions
+// over tags a and b — the small, marker-heavy shapes where 1-ambiguity
+// hides, and a size the oracle can always enumerate.
+func randModel(rng *rand.Rand) string {
+	leaf := func() string {
+		return []string{"a", "b"}[rng.Intn(2)] + occurs(rng)
+	}
+	sep := func() string {
+		if rng.Intn(2) == 0 {
+			return " | "
+		}
+		return ", "
+	}
+	part := func() string {
+		if rng.Intn(3) > 0 {
+			return leaf()
+		}
+		return fmt.Sprintf("(%s%s%s)%s", leaf(), sep(), leaf(), occurs(rng))
+	}
+	return fmt.Sprintf("(%s%s%s)%s", part(), sep(), part(), occurs(rng))
+}
+
+func occurs(rng *rand.Rand) string {
+	return []string{"", "", "?", "*", "+"}[rng.Intn(5)]
+}

@@ -1,0 +1,95 @@
+package schemacheck
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestDomainsClean is the repo's own acceptance gate: every datagen
+// domain — mediated schema, constraint set, and all synthesized source
+// schemas — must check clean, with no suppressions needed.
+func TestDomainsClean(t *testing.T) {
+	if findings := CheckDomains(); len(findings) != 0 {
+		t.Errorf("built-in domains have findings:")
+		for _, f := range findings {
+			t.Errorf("  %s", f)
+		}
+	}
+}
+
+// TestExampleDTDsClean runs every inline DTD in the examples tree
+// through the checker: the DTD string literals the walkthroughs feed
+// to dtd.MustParse must stay defect-free.
+func TestExampleDTDsClean(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples")
+	var files []string
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".go") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, path := range files {
+		for i, text := range dtdLiterals(t, path) {
+			name := filepath.ToSlash(path)
+			findings, err := CheckDTD(name, text)
+			if err != nil {
+				t.Errorf("%s: inline DTD %d does not parse: %v", name, i+1, err)
+				continue
+			}
+			checked++
+			for _, f := range findings {
+				t.Errorf("%s: inline DTD %d: %s", name, i+1, f)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("found no inline DTDs under examples/; the regression test has gone stale")
+	}
+}
+
+// dtdLiterals extracts every string literal in a Go file that looks
+// like a DTD (contains an ELEMENT declaration).
+func dtdLiterals(t *testing.T, path string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	var out []string
+	ast.Inspect(file, func(n ast.Node) bool {
+		lit, ok := n.(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true
+		}
+		text := lit.Value
+		if strings.HasPrefix(text, "`") {
+			text = strings.Trim(text, "`")
+		} else {
+			unq, err := strconv.Unquote(text)
+			if err != nil {
+				return true
+			}
+			text = unq
+		}
+		if strings.Contains(text, "<!ELEMENT") {
+			out = append(out, text)
+		}
+		return true
+	})
+	return out
+}

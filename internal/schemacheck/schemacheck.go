@@ -1,0 +1,152 @@
+// Package schemacheck is lsdschema's static analyzer for LSD's domain
+// artifacts: the DTD grammars (source and mediated schemas, §2) and
+// the domain integrity constraints that drive the A* constraint
+// handler (§4.2). It is the counterpart of internal/analysis, which
+// checks the Go code; this package checks the inputs the pipeline
+// runs on, where a malformed content model or a contradictory
+// constraint set fails silently — validation loops on a
+// non-terminating element, or A* prunes every candidate mapping.
+//
+// DTD checks (over dtd.Schema):
+//
+//   - ambiguity: content models must be 1-unambiguous (deterministic),
+//     verified by Glushkov automaton construction — two distinct
+//     positions of the same tag reachable on the same input prefix
+//     make the model nondeterministic, which the XML spec forbids.
+//   - undeclared: content models and mixed sets may only reference
+//     declared elements.
+//   - unreachable: every declared element must be reachable from the
+//     schema root.
+//   - nonterminating: every element must have a finite derivation
+//     (grammar emptiness by least fixpoint); a non-terminating element
+//     sends Validate and datagen into unbounded recursion.
+//   - duplicate: duplicate or conflicting declarations — an attribute
+//     declared twice, an attribute colliding with an element name, a
+//     repeated tag in a mixed set.
+//   - degenerate: starred or plussed particles with nullable bodies
+//     ((x?)*-style nests), which derive the empty word infinitely many
+//     ways.
+//
+// Constraint checks (over []constraint.Constraint plus the mediated
+// schema):
+//
+//   - unknownlabel: constraints may only reference mediated-schema
+//     labels (or OTHER).
+//   - contradiction: directly contradictory pairs — MustMatch vs
+//     MustNotMatch on one (tag, label), NestedIn vs NotNestedIn on one
+//     (outer, inner), LeafLabel vs NonLeafLabel on one label, a
+//     Frequency with min > max, two MustMatch pinning one tag to
+//     different labels.
+//   - leafness: LeafLabel/NonLeafLabel consistent with the mediated
+//     DTD's actual leaf set.
+//   - unsat: a propagation pass over the hard constraints (frequency
+//     bounds merged per label, MustMatch-forced tags, exclusivity
+//     zeroing the partner's capacity) that reports when the set admits
+//     no assignment at all.
+//
+// Findings in DTD text are suppressible with a justified comment on
+// (or directly above) the offending line, mirroring //lint:ignore:
+//
+//	<!-- lint:ignore <check> <reason> -->
+//
+// A directive without a reason is itself a finding.
+package schemacheck
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/analysis/report"
+	"repro/internal/dtd"
+)
+
+// Finding is one checker diagnostic, in the shared report shape so
+// lsdschema emits the same text/json/SARIF as lsdlint.
+type Finding = report.Finding
+
+// Check describes one check of the suite for SARIF rule tables and
+// usage text.
+type Check struct {
+	Name string
+	Doc  string
+}
+
+// Checks returns the full lsdschema suite in reporting order.
+func Checks() []Check {
+	return []Check{
+		{"ambiguity", "content models must be 1-unambiguous (deterministic), per the XML spec"},
+		{"undeclared", "content models may only reference declared elements"},
+		{"unreachable", "every declared element must be reachable from the schema root"},
+		{"nonterminating", "every element must derive at least one finite tree"},
+		{"duplicate", "no duplicate or conflicting declarations"},
+		{"degenerate", "no starred/plussed particles with nullable bodies ((x?)*-style nests)"},
+		{"unknownlabel", "constraints may only reference mediated-schema labels (or OTHER)"},
+		{"contradiction", "no directly contradictory constraint pairs"},
+		{"leafness", "LeafLabel/NonLeafLabel must agree with the mediated schema's leaf set"},
+		{"unsat", "the hard-constraint set must admit at least one assignment"},
+	}
+}
+
+// checker accumulates findings for one artifact.
+type checker struct {
+	file     string
+	findings []Finding
+}
+
+// reportf records a finding. Lines below 1 (hand-built schemas carry
+// no positions) are stamped as line 1 so every emitted position is
+// valid in every format.
+func (c *checker) reportf(line int, check, format string, args ...any) {
+	if line < 1 {
+		line = 1
+	}
+	c.findings = append(c.findings, Finding{
+		File:    c.file,
+		Line:    line,
+		Column:  1,
+		Check:   check,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// CheckSchema runs the DTD checks over a parsed schema, attributing
+// findings to file. Suppression directives live in DTD text; use
+// CheckDTD when the text is available.
+func CheckSchema(file string, s *dtd.Schema) []Finding {
+	c := &checker{file: file}
+	c.schema(s)
+	sortFindings(c.findings)
+	return c.findings
+}
+
+// CheckDTD parses DTD text, runs the DTD checks, and applies the
+// text's <!-- lint:ignore --> directives. A parse failure is returned
+// as an error (the artifact is unusable, matching lsdlint's treatment
+// of unloadable packages), not as a finding.
+func CheckDTD(file, text string) ([]Finding, error) {
+	s, err := dtd.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	c := &checker{file: file}
+	c.schema(s)
+	findings := applySuppressions(file, text, c.findings)
+	sortFindings(findings)
+	return findings, nil
+}
+
+func sortFindings(findings []Finding) {
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+}

@@ -1,0 +1,251 @@
+package schemacheck
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dtd"
+)
+
+// loc is a (line, check) pair for comparing findings against golden
+// expectations without pinning exact message text.
+type loc struct {
+	line  int
+	check string
+}
+
+func locsOf(findings []Finding) []loc {
+	out := make([]loc, len(findings))
+	for i, f := range findings {
+		out[i] = loc{f.Line, f.Check}
+	}
+	return out
+}
+
+func sameLocs(a, b []loc) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func readFixture(t *testing.T, name string) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestGoldenFixtures runs every DTD defect-class fixture through the
+// checker. Each fixture carries at least one true positive and at
+// least one suppressed finding of the same class: `want` is the
+// post-suppression result, `raw` what CheckSchema reports before the
+// lint:ignore directives apply. raw being a strict superset of want
+// proves the suppressed finding is real and the directive is what
+// removed it.
+func TestGoldenFixtures(t *testing.T) {
+	cases := []struct {
+		file string
+		want []loc
+		raw  []loc
+	}{
+		{
+			file: "ambiguity.dtd",
+			want: []loc{{2, "ambiguity"}},
+			raw:  []loc{{2, "ambiguity"}, {4, "ambiguity"}},
+		},
+		{
+			file: "undeclared.dtd",
+			want: []loc{{1, "undeclared"}},
+			raw:  []loc{{1, "undeclared"}, {4, "undeclared"}},
+		},
+		{
+			file: "unreachable.dtd",
+			want: []loc{{3, "unreachable"}},
+			raw:  []loc{{3, "unreachable"}, {5, "unreachable"}},
+		},
+		{
+			file: "nonterminating.dtd",
+			want: []loc{{2, "nonterminating"}},
+			raw:  []loc{{2, "nonterminating"}, {5, "nonterminating"}},
+		},
+		{
+			file: "duplicate.dtd",
+			want: []loc{{4, "duplicate"}},
+			raw:  []loc{{4, "duplicate"}, {6, "duplicate"}},
+		},
+		{
+			file: "degenerate.dtd",
+			want: []loc{{1, "degenerate"}},
+			raw:  []loc{{1, "degenerate"}, {5, "degenerate"}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.file, func(t *testing.T) {
+			text := readFixture(t, tc.file)
+
+			got, err := CheckDTD(tc.file, text)
+			if err != nil {
+				t.Fatalf("CheckDTD: %v", err)
+			}
+			if !sameLocs(locsOf(got), tc.want) {
+				t.Errorf("CheckDTD findings = %v, want %v", got, tc.want)
+			}
+
+			s, err := dtd.Parse(text)
+			if err != nil {
+				t.Fatalf("Parse: %v", err)
+			}
+			raw := CheckSchema(tc.file, s)
+			if !sameLocs(locsOf(raw), tc.raw) {
+				t.Errorf("CheckSchema findings = %v, want %v", raw, tc.raw)
+			}
+
+			sups := Suppressions(tc.file, text)
+			if len(sups) == 0 {
+				t.Error("fixture has no lint:ignore directive; every golden fixture must exercise suppression")
+			}
+			for _, sup := range sups {
+				if sup.Reason == "" {
+					t.Errorf("directive at line %d has no reason", sup.Line)
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenMessages spot-checks that findings name the offending
+// identifiers, not just positions.
+func TestGoldenMessages(t *testing.T) {
+	cases := []struct {
+		file string
+		want string
+	}{
+		{"ambiguity.dtd", `occurrences 1 and 3 of "a"`},
+		{"undeclared.dtd", `undeclared element "ghost"`},
+		{"unreachable.dtd", `"orphan" is unreachable from the schema root "root"`},
+		{"nonterminating.dtd", `"loop" has no finite derivation`},
+		{"duplicate.dtd", `attribute "id" declared twice on element "a"`},
+		{"degenerate.dtd", "nullable body"},
+	}
+	for _, tc := range cases {
+		got, err := CheckDTD(tc.file, readFixture(t, tc.file))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.file, err)
+		}
+		if len(got) == 0 || !strings.Contains(got[0].Message, tc.want) {
+			t.Errorf("%s: findings %v do not mention %q", tc.file, got, tc.want)
+		}
+	}
+}
+
+func TestTrailingDirectiveSuppressesOwnLine(t *testing.T) {
+	text := `<!ELEMENT root (a?, a)> <!-- lint:ignore ambiguity trailing-form coverage -->
+<!ELEMENT a (#PCDATA)>
+`
+	got, err := CheckDTD("trailing.dtd", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("trailing directive did not suppress: %v", got)
+	}
+}
+
+func TestMalformedDirectives(t *testing.T) {
+	text := `<!-- lint:ignore ambiguity -->
+<!-- lint:ignore -->
+<!ELEMENT root (a)>
+<!ELEMENT a (#PCDATA)>
+`
+	got, err := CheckDTD("malformed.dtd", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []loc{{1, "ignore"}, {2, "ignore"}}
+	if !sameLocs(locsOf(got), want) {
+		t.Errorf("findings = %v, want ignore findings at lines 1 and 2", got)
+	}
+	// A malformed directive must not suppress anything: the reasonless
+	// directive above targets line 2, and a real finding there would
+	// survive.
+	for _, f := range got {
+		if !strings.Contains(f.Message, "malformed directive") {
+			t.Errorf("unexpected message %q", f.Message)
+		}
+	}
+}
+
+func TestDirectiveForOtherCheckDoesNotSuppress(t *testing.T) {
+	text := `<!-- lint:ignore unreachable wrong check named on purpose -->
+<!ELEMENT root (a?, a)>
+<!ELEMENT a (#PCDATA)>
+`
+	got, err := CheckDTD("wrongcheck.dtd", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameLocs(locsOf(got), []loc{{2, "ambiguity"}}) {
+		t.Errorf("findings = %v, want the ambiguity finding to survive", got)
+	}
+}
+
+func TestUndeclaredAttributePseudoTag(t *testing.T) {
+	text := `<!ELEMENT root (a, phone)>
+<!ELEMENT a (#PCDATA)>
+<!ATTLIST a phone CDATA #IMPLIED>
+`
+	got, err := CheckDTD("attr.dtd", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Check != "undeclared" ||
+		!strings.Contains(got[0].Message, `attribute of "a"`) {
+		t.Errorf("findings = %v, want one undeclared finding naming the attribute owner", got)
+	}
+}
+
+func TestMixedSetChecks(t *testing.T) {
+	text := `<!ELEMENT root (#PCDATA | a | a | ghost)*>
+<!ELEMENT a (#PCDATA)>
+`
+	got, err := CheckDTD("mixed.dtd", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []loc{{1, "duplicate"}, {1, "undeclared"}}
+	if !sameLocs(locsOf(got), want) {
+		t.Errorf("findings = %v, want %v", got, want)
+	}
+}
+
+func TestParseFailureIsError(t *testing.T) {
+	if _, err := CheckDTD("broken.dtd", "<!ELEMENT root (a>"); err == nil {
+		t.Error("CheckDTD accepted unparseable text")
+	}
+}
+
+// TestChecksCoverEveryEmittedName pins the SARIF rule table: every
+// check a golden fixture emits must appear in Checks().
+func TestChecksCoverEveryEmittedName(t *testing.T) {
+	known := make(map[string]bool)
+	for _, c := range Checks() {
+		known[c.Name] = true
+	}
+	for _, name := range []string{"ambiguity", "undeclared", "unreachable",
+		"nonterminating", "duplicate", "degenerate",
+		"unknownlabel", "contradiction", "leafness", "unsat"} {
+		if !known[name] {
+			t.Errorf("Checks() is missing %q", name)
+		}
+	}
+}

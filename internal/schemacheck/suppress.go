@@ -1,0 +1,125 @@
+package schemacheck
+
+import (
+	"strings"
+
+	"repro/internal/analysis/report"
+)
+
+// DTD-text suppression, mirroring the Go suite's //lint:ignore:
+//
+//	<!-- lint:ignore <check> <reason> -->
+//
+// A trailing directive (declaration text precedes it on the line)
+// suppresses findings of the named check on its own line; a standalone
+// directive suppresses the line after the comment ends. The reason is
+// mandatory — a directive without one is reported as an "ignore"
+// finding so unjustified suppressions cannot accumulate silently.
+
+// directivePrefix introduces a suppression inside a DTD comment.
+const directivePrefix = "lint:ignore"
+
+// directive is one parsed suppression comment.
+type directive struct {
+	line   int    // line the comment starts on
+	check  string // "" when the directive names nothing
+	reason string // "" when the mandatory reason is missing
+	target int    // the line the directive suppresses
+}
+
+// directives scans DTD text for lint:ignore comments in source order.
+func directives(text string) []directive {
+	var out []directive
+	for pos := 0; ; {
+		start := strings.Index(text[pos:], "<!--")
+		if start < 0 {
+			return out
+		}
+		start += pos
+		bodyStart := start + len("<!--")
+		end := strings.Index(text[bodyStart:], "-->")
+		if end < 0 {
+			return out
+		}
+		end += bodyStart
+		pos = end + len("-->")
+
+		body, ok := strings.CutPrefix(strings.TrimSpace(text[bodyStart:end]), directivePrefix)
+		if !ok {
+			continue
+		}
+		startLine := 1 + strings.Count(text[:start], "\n")
+		d := directive{line: startLine, target: startLine}
+		fields := strings.Fields(body)
+		if len(fields) > 0 {
+			d.check = fields[0]
+		}
+		if len(fields) >= 2 {
+			d.reason = strings.Join(fields[1:], " ")
+		}
+		if standalone(text, start) {
+			// The directive annotates the line after the comment ends
+			// (the comment may span lines).
+			d.target = 2 + strings.Count(text[:pos], "\n")
+		}
+		out = append(out, d)
+	}
+}
+
+// standalone reports whether only whitespace precedes offset on its
+// line.
+func standalone(text string, offset int) bool {
+	lineStart := strings.LastIndexByte(text[:offset], '\n') + 1
+	return strings.TrimSpace(text[lineStart:offset]) == ""
+}
+
+// applySuppressions filters findings through the text's directives and
+// appends an "ignore" finding for every malformed one.
+func applySuppressions(file, text string, findings []Finding) []Finding {
+	type key struct {
+		line  int
+		check string
+	}
+	ignored := make(map[key]bool)
+	var out []Finding
+	for _, d := range directives(text) {
+		if d.check == "" || d.reason == "" {
+			out = append(out, Finding{
+				File:    file,
+				Line:    d.line,
+				Column:  1,
+				Check:   "ignore",
+				Message: "malformed directive: want <!-- lint:ignore <check> <reason> -->",
+			})
+			continue
+		}
+		ignored[key{d.target, d.check}] = true
+	}
+	for _, f := range findings {
+		if ignored[key{f.Line, f.Check}] {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// Suppression is one lint:ignore directive for the audit report, in
+// the shared report shape. A malformed directive shows up with an
+// empty Reason.
+type Suppression = report.Suppression
+
+// Suppressions inventories the lint:ignore directives of DTD text, in
+// source order.
+func Suppressions(file, text string) []Suppression {
+	var out []Suppression
+	for _, d := range directives(text) {
+		out = append(out, Suppression{
+			File:   file,
+			Line:   d.line,
+			Check:  d.check,
+			Reason: d.reason,
+		})
+	}
+	return out
+}
