@@ -30,4 +30,11 @@ go run ./cmd/lsdlint ./...
 # lsdschema with no arguments checks every built-in datagen domain:
 # mediated schemas, constraint sets, and synthesized source schemas.
 go run ./cmd/lsdschema
+
+# bench-smoke: re-measure the predict micro-benchmarks and fail on an
+# allocs/op regression beyond tolerance against the latest committed
+# bench/BENCH_*.json baseline. Catches accidental reintroduction of
+# per-call allocation on the hot paths without requiring a full bench
+# run.
+go run ./cmd/lsdbench -exp micro -smoke bench
 echo "check.sh: all static checks passed"

@@ -17,6 +17,7 @@ type benchRecord struct {
 	Op          string `json:"op"`
 	NsPerOp     int64  `json:"ns_per_op"`
 	AllocsPerOp uint64 `json:"allocs_per_op"`
+	BytesPerOp  uint64 `json:"bytes_per_op,omitempty"`
 	Workers     int    `json:"workers"`
 }
 
@@ -41,6 +42,44 @@ func nextBenchPath(dir string) (string, error) {
 		}
 	}
 	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", next)), nil
+}
+
+// latestBenchArtifact loads the highest-numbered BENCH_<n>.json in
+// dir. A missing directory or a directory without artifacts returns
+// (nil, "", nil): the caller decides whether an absent baseline is an
+// error.
+func latestBenchArtifact(dir string) ([]benchRecord, string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, "", nil
+		}
+		return nil, "", err
+	}
+	best := -1
+	name := ""
+	for _, e := range entries {
+		m := benchSeqRe.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		if n, err := strconv.Atoi(m[1]); err == nil && n > best {
+			best, name = n, e.Name()
+		}
+	}
+	if best < 0 {
+		return nil, "", nil
+	}
+	path := filepath.Join(dir, name)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	var records []benchRecord
+	if err := json.Unmarshal(data, &records); err != nil {
+		return nil, "", fmt.Errorf("%s: %w", path, err)
+	}
+	return records, path, nil
 }
 
 // writeBenchArtifact writes records to the next BENCH_<n>.json in dir

@@ -8,17 +8,27 @@
 //	lsdbench -exp fig9a               # Figure 9.a: lesion studies
 //	lsdbench -exp fig9b               # Figure 9.b: schema vs. data info
 //	lsdbench -exp feedback            # §6.3: corrections to perfect matching
+//	lsdbench -exp micro               # Train/Match/Predict micro-benches
 //	lsdbench -exp all                 # everything
 //
 // -listings, -samples, and -splits trade fidelity for runtime; the
 // paper's own protocol is -listings 300 -samples 3 -splits 10.
+//
+// Performance workflow flags:
+//
+//	-bench-out bench                  # append a BENCH_<n>.json artifact
+//	-smoke bench                      # fail on allocs/op regression vs. baseline
+//	-cpuprofile cpu.out               # write a CPU profile (go tool pprof)
+//	-memprofile mem.out               # write an allocation profile
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/datagen"
@@ -27,14 +37,35 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table3, fig8a, fig8b, fig8c, fig9a, fig9b, feedback, all")
+	exp := flag.String("exp", "all", "experiment: table3, fig8a, fig8b, fig8c, fig9a, fig9b, feedback, micro, all")
 	listings := flag.Int("listings", 100, "listings per source")
 	samples := flag.Int("samples", 1, "data samples per experiment")
 	maxSplits := flag.Int("splits", 10, "train/test splits per sample (max 10)")
 	seed := flag.Int64("seed", 7, "experiment seed")
 	workers := flag.Int("workers", 0, "worker goroutines per experiment (0 = one per CPU, 1 = serial)")
 	benchOut := flag.String("bench-out", "", "directory to write a BENCH_<n>.json artifact recording each experiment's duration and allocations (empty = off)")
+	smoke := flag.String("smoke", "", "directory holding the committed BENCH_<n>.json baseline; with -exp micro, exit non-zero on an allocs/op regression beyond tolerance")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *smoke != "" && *exp == "all" {
+		// The smoke gate only needs the micro-benches; running the full
+		// experiment suite first would bury the signal in minutes of
+		// accuracy runs.
+		*exp = "micro"
+	}
 
 	p := eval.Protocol{Listings: *listings, Samples: *samples, Seed: *seed, MaxSplits: *maxSplits, Workers: *workers}
 	var records []benchRecord
@@ -66,12 +97,42 @@ func main() {
 	run("fig9b", func() { fig9b(p) })
 	run("feedback", func() { feedback(p) })
 
+	// The micro-benches manage their own per-op records (fixed
+	// iteration counts, serial) rather than going through run's
+	// whole-experiment wrapper. They are not part of -exp all: the
+	// experiment suite measures accuracy, micro measures hot paths.
+	var smokeErr error
+	if *exp == "micro" {
+		recs := micro()
+		records = append(records, recs...)
+		if *smoke != "" {
+			smokeErr = benchSmoke(recs, *smoke)
+		}
+	}
+
 	if *benchOut != "" && len(records) > 0 {
 		path, err := writeBenchArtifact(*benchOut, records)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s\n", path)
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runtime.GC() // materialize the final live-heap statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+	}
+	if smokeErr != nil {
+		if *cpuProfile != "" {
+			pprof.StopCPUProfile()
+		}
+		log.Fatal(smokeErr)
 	}
 }
 

@@ -59,6 +59,20 @@ func (m Assignment) TagsFor(src *Source, label string) []string {
 	return out
 }
 
+// CountTagsFor returns how many source tags are mapped to label,
+// without materializing the tag list. Constraints that only need
+// existence or cardinality call this in the inner loop of the
+// relaxation search, where TagsFor's slice would be pure garbage.
+func (m Assignment) CountTagsFor(src *Source, label string) int {
+	n := 0
+	for _, tag := range src.Tags {
+		if m[tag] == label {
+			n++
+		}
+	}
+	return n
+}
+
 // Constraint is one domain constraint. Implementations must be
 // monotone for partial assignments: with complete == false,
 // Violations may only report violations that cannot disappear when the

@@ -90,8 +90,12 @@ func (n *nesting) Weight() float64  { return 1 }
 
 func (n *nesting) Violations(src *Source, m Assignment, _ bool) float64 {
 	violations := 0
+	inner := m.TagsFor(src, n.inner)
+	if len(inner) == 0 {
+		return 0
+	}
 	for _, a := range m.TagsFor(src, n.outer) {
-		for _, b := range m.TagsFor(src, n.inner) {
+		for _, b := range inner {
 			nested := src.Schema.CanNest(a, b)
 			if n.forbid && nested {
 				violations++
@@ -128,8 +132,12 @@ func (c *contiguity) Weight() float64  { return 1 }
 
 func (c *contiguity) Violations(src *Source, m Assignment, _ bool) float64 {
 	violations := 0
+	tagsB := m.TagsFor(src, c.labelB)
+	if len(tagsB) == 0 {
+		return 0
+	}
 	for _, a := range m.TagsFor(src, c.labelA) {
-		for _, b := range m.TagsFor(src, c.labelB) {
+		for _, b := range tagsB {
 			between, siblings := src.Schema.SiblingsBetween(a, b)
 			if !siblings {
 				violations++
@@ -167,7 +175,7 @@ func (e *exclusivity) Labels() []string { return []string{e.labelA, e.labelB} }
 func (e *exclusivity) Weight() float64  { return 1 }
 
 func (e *exclusivity) Violations(src *Source, m Assignment, _ bool) float64 {
-	if len(m.TagsFor(src, e.labelA)) > 0 && len(m.TagsFor(src, e.labelB)) > 0 {
+	if m.CountTagsFor(src, e.labelA) > 0 && m.CountTagsFor(src, e.labelB) > 0 {
 		return 1
 	}
 	return 0
@@ -197,7 +205,7 @@ func (k *key) Weight() float64  { return 1 }
 func (k *key) Violations(src *Source, m Assignment, _ bool) float64 {
 	violations := 0
 	for _, tag := range m.TagsFor(src, k.label) {
-		seen := make(map[string]bool)
+		seen := make(map[string]bool, len(src.Columns[tag]))
 		for _, v := range src.Columns[tag] {
 			if v == "" {
 				continue
@@ -301,7 +309,7 @@ func AtMostSoft(label string, n int, weight float64) Constraint {
 		weight,
 		[]string{label},
 		func(src *Source, m Assignment, _ bool) bool {
-			return len(m.TagsFor(src, label)) > n
+			return m.CountTagsFor(src, label) > n
 		})
 }
 
@@ -340,14 +348,24 @@ func (p *proximity) Labels() []string { return []string{p.labelA, p.labelB} }
 func (p *proximity) Weight() float64  { return p.weight }
 
 func (p *proximity) Violations(src *Source, m Assignment, _ bool) float64 {
-	pos := make(map[string]int, len(src.Tags))
+	// One pass over the tag order collects both position lists; the
+	// per-call position map this replaces was a hot allocation in the
+	// relaxation search.
+	var bufA, bufB [8]int
+	posA, posB := bufA[:0], bufB[:0]
 	for i, t := range src.Tags {
-		pos[t] = i
+		label := m[t]
+		if label == p.labelA {
+			posA = append(posA, i)
+		}
+		if label == p.labelB {
+			posB = append(posB, i)
+		}
 	}
 	total := 0.0
-	for _, a := range m.TagsFor(src, p.labelA) {
-		for _, b := range m.TagsFor(src, p.labelB) {
-			d := pos[a] - pos[b]
+	for _, a := range posA {
+		for _, b := range posB {
+			d := a - b
 			if d < 0 {
 				d = -d
 			}

@@ -329,20 +329,27 @@ func NewInstance(med *Mediated, n *xmltree.Node, path []string) learn.Instance {
 }
 
 func splitTag(tag string) []string {
+	// Slice the input rather than building each word rune by rune: the
+	// pieces share tag's backing storage and the function allocates only
+	// the out slice. Called once per node per learner via NewInstance,
+	// so the churn of the byte-wise version was visible in match
+	// profiles.
 	var out []string
-	cur := ""
-	for _, r := range tag {
+	start := -1
+	for i, r := range tag {
 		if r == '-' || r == '_' || r == ' ' {
-			if cur != "" {
-				out = append(out, cur)
-				cur = ""
+			if start >= 0 {
+				out = append(out, tag[start:i])
+				start = -1
 			}
 			continue
 		}
-		cur += string(r)
+		if start < 0 {
+			start = i
+		}
 	}
-	if cur != "" {
-		out = append(out, cur)
+	if start >= 0 {
+		out = append(out, tag[start:])
 	}
 	return out
 }

@@ -12,6 +12,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strings"
 
 	"repro/internal/parallel"
 	"repro/internal/xmltree"
@@ -44,14 +45,30 @@ type Instance struct {
 // ExpandedName returns the tag name expanded with its path and
 // synonyms, the input the name matcher vectorizes.
 func (in Instance) ExpandedName() string {
-	s := in.TagName
+	// Fast path: most instances have no path or synonyms, and the name
+	// matcher calls this on every Predict before its cache lookup.
+	if len(in.Path) == 0 && len(in.Synonyms) == 0 {
+		return in.TagName
+	}
+	n := len(in.TagName)
 	for _, p := range in.Path {
-		s += " " + p
+		n += 1 + len(p)
 	}
 	for _, syn := range in.Synonyms {
-		s += " " + syn
+		n += 1 + len(syn)
 	}
-	return s
+	var b strings.Builder
+	b.Grow(n)
+	b.WriteString(in.TagName)
+	for _, p := range in.Path {
+		b.WriteByte(' ')
+		b.WriteString(p)
+	}
+	for _, syn := range in.Synonyms {
+		b.WriteByte(' ')
+		b.WriteString(syn)
+	}
+	return b.String()
 }
 
 // Example pairs an instance with its observed label. Group identifies
@@ -83,7 +100,13 @@ type Prediction map[string]float64
 // otherwise identical runs in the last bits, and the pipeline promises
 // bit-identical output for a fixed seed.
 func (p Prediction) Normalize() Prediction {
-	vals := make([]float64, 0, len(p))
+	// Label sets are small; a stack buffer keeps the per-call sort
+	// allocation-free on every predict path.
+	var buf [24]float64
+	vals := buf[:0]
+	if len(p) > len(buf) {
+		vals = make([]float64, 0, len(p))
+	}
 	for c, s := range p {
 		if s < 0 {
 			p[c] = 0
@@ -175,6 +198,11 @@ type Learner interface {
 	// cover every label.
 	Train(labels []string, examples []Example) error
 	// Predict returns the learner's confidence scores for the instance.
+	// The returned prediction is read-only: learners may serve the same
+	// instance from an internal cache shared between callers, so a
+	// caller that needs to mutate scores must Clone first. All in-tree
+	// consumers (the stacker, prediction conversion, the match report)
+	// only read.
 	Predict(in Instance) Prediction
 }
 

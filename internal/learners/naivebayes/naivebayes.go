@@ -6,6 +6,15 @@
 // tokens are strongly indicative of the label by virtue of their
 // frequencies ("beautiful", "great" in house descriptions), and poorly
 // on short or numeric fields.
+//
+// Representation: training interns every token into a text.Vocab and
+// precomputes, per label, a dense log-probability table indexed by
+// token id — log((n(w,c)+1)/denom_c) — plus one unseen-token constant
+// log(1/denom_c) and the log class prior. PredictBag is then pure
+// fused multiply-adds over the instance's sparse (id, count) bag; no
+// map lookups, no math.Log, and no sorting on the predict path. The
+// summation runs in ascending-id order, a canonical order fixed at
+// training time, so determinism needs no per-call workarounds.
 package naivebayes
 
 import (
@@ -18,14 +27,19 @@ import (
 
 // Learner is a multinomial Naive Bayes classifier over stemmed tokens.
 type Learner struct {
-	labels []string
-	// tokenCount[c][w] = n(w, c); totalCount[c] = n(c).
-	tokenCount map[string]map[string]float64
-	totalCount map[string]float64
-	// docCount[c] = number of training instances with label c.
-	docCount map[string]float64
-	numDocs  float64
-	vocab    map[string]bool
+	labels   []string
+	labelIdx map[string]int
+	vocab    *text.Vocab
+	// logProb[li][id] = log((n(w,c)+1)/(n(c)+|V|)): the Laplace-smoothed
+	// log-likelihood of token id under label li, precomputed at Train.
+	logProb [][]float64
+	// unseenLog[li] = log(1/(n(c)+|V|)): the contribution of any token
+	// the vocabulary does not contain (or, equivalently, an interned
+	// token with zero count — the table already stores that case).
+	unseenLog []float64
+	// prior[li] = log((docCount(c)+1)/(numDocs+|labels|)).
+	prior   []float64
+	numDocs float64
 }
 
 // New returns an untrained Naive Bayes learner.
@@ -44,68 +58,115 @@ func Tokens(content string) []string {
 	return text.TokenizeAndStem(content)
 }
 
-// Train estimates P(c) and P(w|c) from the examples.
+// counts accumulates the sufficient statistics of training:
+// tokenCount[li][id] = n(w,c) (ragged, grown as the vocabulary grows),
+// totalCount[li] = n(c), docCount[li] = training instances labelled c.
+type counts struct {
+	tokenCount [][]float64
+	totalCount []float64
+	docCount   []float64
+}
+
+func (l *Learner) reset(labels []string) *counts {
+	l.labels = append([]string(nil), labels...)
+	l.labelIdx = make(map[string]int, len(labels))
+	for i, c := range labels {
+		l.labelIdx[c] = i
+	}
+	l.vocab = text.NewVocab()
+	return &counts{
+		tokenCount: make([][]float64, len(labels)),
+		totalCount: make([]float64, len(labels)),
+		docCount:   make([]float64, len(labels)),
+	}
+}
+
+// addToken records one occurrence batch of an interned token. The
+// per-label count slices grow lazily with the vocabulary.
+func (cs *counts) addToken(li int, id text.ID, n float64) {
+	row := cs.tokenCount[li]
+	for int(id) >= len(row) {
+		row = append(row, 0)
+	}
+	row[int(id)] += n
+	cs.tokenCount[li] = row
+	cs.totalCount[li] += n
+}
+
+// finalize turns the raw counts into the predict-path tables.
+func (l *Learner) finalize(cs *counts) {
+	vocabSize := float64(l.vocab.Len())
+	if vocabSize == 0 {
+		vocabSize = 1
+	}
+	k := len(l.labels)
+	l.logProb = make([][]float64, k)
+	l.unseenLog = make([]float64, k)
+	l.prior = make([]float64, k)
+	for li := 0; li < k; li++ {
+		denom := cs.totalCount[li] + vocabSize
+		logDenom := math.Log(denom)
+		table := make([]float64, l.vocab.Len())
+		row := cs.tokenCount[li]
+		for id := range table {
+			n := 0.0
+			if id < len(row) {
+				n = row[id]
+			}
+			table[id] = math.Log(n+1) - logDenom
+		}
+		l.logProb[li] = table
+		l.unseenLog[li] = -logDenom
+		// Laplace-smoothed class prior: labels absent from training
+		// keep a small non-zero probability.
+		l.prior[li] = math.Log((cs.docCount[li] + 1) / (l.numDocs + float64(k)))
+	}
+}
+
+// Train estimates P(c) and P(w|c) from the examples. Tokens are
+// interned in example-stream order — deterministic, because the
+// example slice and the tokenizer are.
 func (l *Learner) Train(labels []string, examples []learn.Example) error {
 	if len(labels) == 0 {
 		return fmt.Errorf("naivebayes: no labels")
 	}
-	l.labels = append([]string(nil), labels...)
-	l.tokenCount = make(map[string]map[string]float64, len(labels))
-	l.totalCount = make(map[string]float64, len(labels))
-	l.docCount = make(map[string]float64, len(labels))
-	l.vocab = make(map[string]bool)
-	for _, c := range labels {
-		l.tokenCount[c] = make(map[string]float64)
-	}
+	cs := l.reset(labels)
 	l.numDocs = float64(len(examples))
 	for _, ex := range examples {
-		counts, ok := l.tokenCount[ex.Label]
+		li, ok := l.labelIdx[ex.Label]
 		if !ok {
 			return fmt.Errorf("naivebayes: example labelled %q outside label set", ex.Label)
 		}
-		l.docCount[ex.Label]++
+		cs.docCount[li]++
 		for _, w := range Tokens(ex.Instance.Content) {
-			counts[w]++
-			l.totalCount[ex.Label]++
-			l.vocab[w] = true
+			cs.addToken(li, l.vocab.Intern(w), 1)
 		}
 	}
+	l.finalize(cs)
 	return nil
 }
 
 // TrainBags fits the model directly from per-example token bags. The
 // XML learner uses this entry point with its structural token bags.
+// Bags are maps, so tokens are interned in sorted bag order to keep id
+// assignment deterministic.
 func (l *Learner) TrainBags(labels []string, bags []text.Bag, bagLabels []string) error {
 	if len(bags) != len(bagLabels) {
 		return fmt.Errorf("naivebayes: %d bags but %d labels", len(bags), len(bagLabels))
 	}
-	l.labels = append([]string(nil), labels...)
-	l.tokenCount = make(map[string]map[string]float64, len(labels))
-	l.totalCount = make(map[string]float64, len(labels))
-	l.docCount = make(map[string]float64, len(labels))
-	l.vocab = make(map[string]bool)
-	for _, c := range labels {
-		l.tokenCount[c] = make(map[string]float64)
-	}
+	cs := l.reset(labels)
 	l.numDocs = float64(len(bags))
 	for i, bag := range bags {
-		c := bagLabels[i]
-		counts, ok := l.tokenCount[c]
+		li, ok := l.labelIdx[bagLabels[i]]
 		if !ok {
-			return fmt.Errorf("naivebayes: bag labelled %q outside label set", c)
+			return fmt.Errorf("naivebayes: bag labelled %q outside label set", bagLabels[i])
 		}
-		l.docCount[c]++
-		// Sorted token order: totalCount accumulates float64 across the
-		// bag, and map-order summation would depend on iteration order.
-		// (The counts are integral, so today the sums are exact either
-		// way; sorting keeps that true if the weighting ever changes.)
+		cs.docCount[li]++
 		for _, w := range bag.Tokens() {
-			n := bag[w]
-			counts[w] += float64(n)
-			l.totalCount[c] += float64(n)
-			l.vocab[w] = true
+			cs.addToken(li, l.vocab.Intern(w), float64(bag[w]))
 		}
 	}
+	l.finalize(cs)
 	return nil
 }
 
@@ -116,54 +177,55 @@ func (l *Learner) Predict(in learn.Instance) learn.Prediction {
 }
 
 // PredictBag computes the posterior for an explicit token bag.
-// Arithmetic is in log space; the result is soft-maxed back to a
-// normalized confidence distribution.
+// Arithmetic is in log space over the precomputed tables; the result
+// is soft-maxed back to a normalized confidence distribution.
 func (l *Learner) PredictBag(bag text.Bag) learn.Prediction {
-	p := make(learn.Prediction, len(l.labels))
 	if l.numDocs == 0 {
 		return learn.Uniform(l.labels)
 	}
-	vocabSize := float64(len(l.vocab))
-	if vocabSize == 0 {
-		vocabSize = 1
-	}
-	// Sorted token order keeps the log-probability sums bit-identical
-	// across runs; bag is a map and float addition is not associative.
-	toks := bag.Tokens()
-	logs := make(map[string]float64, len(l.labels))
+	sb := l.vocab.SparseBag(bag)
+	p := make(learn.Prediction, len(l.labels))
 	maxLog := math.Inf(-1)
-	for _, c := range l.labels {
-		// Laplace-smoothed class prior: labels absent from training keep
-		// a small non-zero probability.
-		lp := math.Log((l.docCount[c] + 1) / (l.numDocs + float64(len(l.labels))))
-		denom := l.totalCount[c] + vocabSize
-		for _, w := range toks {
-			lp += float64(bag[w]) * math.Log((l.tokenCount[c][w]+1)/denom)
+	// Stack buffer for the per-label log scores; label sets are small.
+	var lpsBuf [24]float64
+	lps := lpsBuf[:0]
+	if len(l.labels) > len(lpsBuf) {
+		lps = make([]float64, 0, len(l.labels))
+	}
+	lps = lps[:len(l.labels)]
+	for li := range l.labels {
+		lp := l.prior[li]
+		table := l.logProb[li]
+		for _, tc := range sb.Terms {
+			lp += float64(tc.N) * table[tc.ID]
 		}
-		logs[c] = lp
+		lp += float64(sb.OOV) * l.unseenLog[li]
+		lps[li] = lp
 		if lp > maxLog {
 			maxLog = lp
 		}
 	}
-	for c, lp := range logs {
-		p[c] = math.Exp(lp - maxLog)
+	for li, c := range l.labels {
+		p[c] = math.Exp(lps[li] - maxLog)
 	}
 	return p.Normalize()
 }
 
-// LogLikelihood returns log P(bag|c) + log P(c) for diagnostics.
+// LogLikelihood returns log P(bag|c) + log P(c) for diagnostics. An
+// unknown label gets the likelihood of a label never seen in training.
 func (l *Learner) LogLikelihood(bag text.Bag, c string) float64 {
 	if l.numDocs == 0 {
 		return 0
 	}
-	vocabSize := float64(len(l.vocab))
-	if vocabSize == 0 {
-		vocabSize = 1
+	li, ok := l.labelIdx[c]
+	if !ok {
+		return 0
 	}
-	lp := math.Log((l.docCount[c] + 1) / (l.numDocs + float64(len(l.labels))))
-	denom := l.totalCount[c] + vocabSize
-	for _, w := range bag.Tokens() {
-		lp += float64(bag[w]) * math.Log((l.tokenCount[c][w]+1)/denom)
+	sb := l.vocab.SparseBag(bag)
+	lp := l.prior[li]
+	table := l.logProb[li]
+	for _, tc := range sb.Terms {
+		lp += float64(tc.N) * table[tc.ID]
 	}
-	return lp
+	return lp + float64(sb.OOV)*l.unseenLog[li]
 }

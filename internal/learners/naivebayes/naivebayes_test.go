@@ -186,3 +186,87 @@ func TestTokens(t *testing.T) {
 		t.Errorf("Tokens = %v, want %v", got, want)
 	}
 }
+
+// TestPosteriorMatchesNaiveFormula checks the precomputed log-table
+// predict path against the textbook formula computed directly from the
+// training examples with string-keyed maps: for random documents over a
+// mixed seen/unseen token alphabet, the posterior of every label agrees
+// within 1e-12.
+func TestPosteriorMatchesNaiveFormula(t *testing.T) {
+	examples := []learn.Example{
+		ex("atlanta georgia main street", "ADDRESS"),
+		ex("206 smith avenue seattle", "ADDRESS"),
+		ex("call 555 1234 now", "AGENT-PHONE"),
+		ex("phone 206 555 9999", "AGENT-PHONE"),
+		ex("beautiful great house with yard", "DESCRIPTION"),
+		ex("great view of the lake", "DESCRIPTION"),
+	}
+	l := New()
+	if err := l.Train(labels, examples); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference model: recompute counts straight from the examples.
+	tokenCount := map[string]map[string]float64{} // label -> token -> n
+	totalCount := map[string]float64{}
+	docCount := map[string]float64{}
+	vocab := map[string]bool{}
+	for _, e := range examples {
+		if tokenCount[e.Label] == nil {
+			tokenCount[e.Label] = map[string]float64{}
+		}
+		docCount[e.Label]++
+		for _, w := range Tokens(e.Instance.Content) {
+			tokenCount[e.Label][w]++
+			totalCount[e.Label]++
+			vocab[w] = true
+		}
+	}
+	numDocs := float64(len(examples))
+	vocabSize := float64(len(vocab))
+	refPosterior := func(bag text.Bag) map[string]float64 {
+		logs := map[string]float64{}
+		maxLog := math.Inf(-1)
+		for _, c := range labels {
+			lp := math.Log((docCount[c] + 1) / (numDocs + float64(len(labels))))
+			denom := totalCount[c] + vocabSize
+			for w, n := range bag {
+				lp += float64(n) * math.Log((tokenCount[c][w]+1)/denom)
+			}
+			logs[c] = lp
+			if lp > maxLog {
+				maxLog = lp
+			}
+		}
+		sum := 0.0
+		for _, c := range labels {
+			logs[c] = math.Exp(logs[c] - maxLog)
+			sum += logs[c]
+		}
+		for _, c := range labels {
+			logs[c] /= sum
+		}
+		return logs
+	}
+
+	seen := []string{"atlanta", "street", "555", "206", "great", "house", "lake", "phone"}
+	unseen := []string{"zebra", "quux", "flume", "98"}
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		bag := text.Bag{}
+		for i, n := 0, 1+rng.Intn(6); i < n; i++ {
+			bag[seen[rng.Intn(len(seen))]] += 1 + rng.Intn(3)
+		}
+		for i, n := 0, rng.Intn(3); i < n; i++ {
+			bag[unseen[rng.Intn(len(unseen))]] += 1 + rng.Intn(2)
+		}
+		got := l.PredictBag(bag)
+		want := refPosterior(bag)
+		for _, c := range labels {
+			if math.Abs(got[c]-want[c]) > 1e-12 {
+				t.Fatalf("trial %d label %s: table path %.17g, naive formula %.17g",
+					trial, c, got[c], want[c])
+			}
+		}
+	}
+}

@@ -4,11 +4,21 @@
 // TF/IDF vectors, and a new instance is labelled from the labels of the
 // stored examples within a similarity distance of it, combined with a
 // noisy-or.
+//
+// Representation: the store lives entirely in the interned-id
+// coordinate system of the training corpus. The inverted index is a
+// flat postings table — postings[id] lists (docID, weight) pairs — so
+// similarity accumulation walks contiguous slices and never chases a
+// per-document map. Scores accumulate into a reusable dense []float64
+// scratch buffer indexed by docID; the query's terms are visited in
+// ascending-id order, so every similarity sums its float terms in a
+// canonical order fixed at training time and the output is
+// bit-identical on every run without per-call sorting.
 package whirl
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 
 	"repro/internal/learn"
@@ -39,13 +49,16 @@ func DefaultConfig() Config {
 	return Config{MinSimilarity: 0, MaxNeighbors: 30, Smoothing: 0.01}
 }
 
-type stored struct {
-	vec   text.Vector
-	label string
+// posting is one inverted-index entry: a stored document that contains
+// the token, with the token's TF/IDF weight in that document inlined so
+// accumulation needs no second lookup.
+type posting struct {
+	doc int32
+	w   float64
 }
 
 // Classifier is a WHIRL-style TF/IDF nearest-neighbour classifier.
-// Lookups run against an inverted index (token → postings), so a
+// Lookups run against an inverted index (token id → postings), so a
 // prediction touches only stored examples that share a token with the
 // query instead of the whole store.
 type Classifier struct {
@@ -54,21 +67,34 @@ type Classifier struct {
 	cfg     Config
 	labels  []string
 	corpus  *text.Corpus
-	store   []stored
-	// index maps each token to the store indices whose vectors contain
-	// it.
-	index map[string][]int32
+	// postings is the inverted index, indexed by token id; each posting
+	// list is ordered by ascending doc id (training order).
+	postings [][]posting
+	// docLabels maps each stored document to its label's index in
+	// labels.
+	docLabels []int32
+	// scratch pools the dense per-document similarity buffers predicts
+	// accumulate into, so steady-state prediction allocates nothing for
+	// scoring. Buffers are zeroed before they are returned to the pool.
+	scratch sync.Pool
 	// cache memoizes predictions by extracted text: name-matcher inputs
-	// repeat once per column instance, so hit rates are very high. The
-	// cache is bounded and reset when full. cacheMu guards it: Predict
-	// is called concurrently by the parallel match/CV fan-out, and
-	// entries are pure functions of the frozen model, so losing a
-	// concurrent insert only costs a recomputation, never determinism.
-	cacheMu sync.RWMutex
-	cache   map[string]learn.Prediction // guarded by cacheMu
+	// repeat once per column instance, so hit rates are very high.
+	// Eviction is two-generational: inserts fill cacheNew; when it
+	// reaches half the cache bound the generations rotate and cacheOld
+	// is dropped, so entries hot enough to be re-requested survive by
+	// promotion instead of the whole cache being discarded. Cached
+	// predictions are immutable by contract (learn.Learner.Predict) and
+	// returned without cloning. cacheMu guards both maps: Predict is
+	// called concurrently by the parallel match/CV fan-out, and entries
+	// are pure functions of the frozen model, so losing a concurrent
+	// insert only costs a recomputation, never determinism.
+	cacheMu  sync.RWMutex
+	cacheNew map[string]learn.Prediction // guarded by cacheMu
+	cacheOld map[string]learn.Prediction // guarded by cacheMu
 }
 
-// maxCacheEntries bounds the prediction cache.
+// maxCacheEntries bounds the prediction cache (both generations
+// together); each generation holds at most half.
 const maxCacheEntries = 8192
 
 // New returns an untrained classifier. name identifies it in reports;
@@ -87,6 +113,10 @@ func (c *Classifier) Train(labels []string, examples []learn.Example) error {
 		return fmt.Errorf("whirl: no labels")
 	}
 	c.labels = append([]string(nil), labels...)
+	labelIdx := make(map[string]int, len(labels))
+	for i, l := range labels {
+		labelIdx[l] = i
+	}
 	// Deduplicate by (extracted text, label): a source contributes one
 	// identical example per listing, and the noisy-or combination must
 	// count distinct pieces of evidence, not copies — otherwise forty
@@ -94,7 +124,7 @@ func (c *Classifier) Train(labels []string, examples []learn.Example) error {
 	type docKey struct{ text, label string }
 	seen := make(map[docKey]bool, len(examples))
 	var texts []string
-	var docLabels []string
+	var docLabels []int32
 	for _, ex := range examples {
 		k := docKey{c.extract(ex.Instance), ex.Label}
 		if seen[k] {
@@ -102,7 +132,11 @@ func (c *Classifier) Train(labels []string, examples []learn.Example) error {
 		}
 		seen[k] = true
 		texts = append(texts, k.text)
-		docLabels = append(docLabels, k.label)
+		li, ok := labelIdx[k.label]
+		if !ok {
+			return fmt.Errorf("whirl: example labelled %q outside label set", k.label)
+		}
+		docLabels = append(docLabels, int32(li))
 	}
 	c.corpus = text.NewCorpus()
 	bags := make([]text.Bag, len(texts))
@@ -115,15 +149,17 @@ func (c *Classifier) Train(labels []string, examples []learn.Example) error {
 	// but the cache reset still takes the lock: it is free here and
 	// keeps the guarded-by invariant unconditional.
 	c.cacheMu.Lock()
-	c.cache = nil
+	c.cacheNew, c.cacheOld = nil, nil
 	c.cacheMu.Unlock()
-	c.store = make([]stored, 0, len(texts))
-	c.index = make(map[string][]int32)
+	c.docLabels = docLabels
+	c.postings = make([][]posting, c.corpus.Vocab().Len())
 	for i := range texts {
 		vec := c.corpus.Vectorize(bags[i])
-		c.store = append(c.store, stored{vec: vec, label: docLabels[i]})
-		for tok := range vec {
-			c.index[tok] = append(c.index[tok], int32(i))
+		// Every token was interned during AddDocument, so vec has no
+		// out-of-vocabulary terms. Docs are processed in ascending order,
+		// so each posting list stays sorted by doc id.
+		for _, term := range vec.Terms {
+			c.postings[term.ID] = append(c.postings[term.ID], posting{doc: int32(i), w: term.W})
 		}
 	}
 	return nil
@@ -132,89 +168,153 @@ func (c *Classifier) Train(labels []string, examples []learn.Example) error {
 // Predict computes the similarity of the instance to every stored
 // example and combines the similarities of the qualifying neighbours
 // per label with a noisy-or: s(c) = 1 − Π(1 − simᵢ). Scores are
-// smoothed and normalized to a confidence distribution.
+// smoothed and normalized to a confidence distribution. The returned
+// prediction may be shared with the classifier's cache and other
+// callers; callers must treat it as read-only.
 func (c *Classifier) Predict(in learn.Instance) learn.Prediction {
 	extracted := c.extract(in)
+	if p, ok := c.cached(extracted); ok {
+		return p
+	}
+	p := c.predict(extracted)
+	if c.corpus != nil {
+		c.insertCache(extracted, p)
+	}
+	return p
+}
+
+// cached looks extracted up in both cache generations, promoting an
+// old-generation hit into the current one so hot entries survive
+// rotation.
+func (c *Classifier) cached(extracted string) (learn.Prediction, bool) {
 	c.cacheMu.RLock()
-	cached, ok := c.cache[extracted]
+	p, ok := c.cacheNew[extracted]
+	promote := false
+	if !ok {
+		p, ok = c.cacheOld[extracted]
+		promote = ok
+	}
 	c.cacheMu.RUnlock()
-	if ok {
-		return cached.Clone()
+	if promote {
+		c.insertCache(extracted, p)
 	}
+	return p, ok
+}
+
+// insertCache records a prediction in the current generation, rotating
+// the generations when the current one reaches half the cache bound.
+func (c *Classifier) insertCache(extracted string, p learn.Prediction) {
+	c.cacheMu.Lock()
+	if c.cacheNew == nil {
+		c.cacheNew = make(map[string]learn.Prediction, 256)
+	}
+	if _, exists := c.cacheNew[extracted]; !exists && len(c.cacheNew) >= maxCacheEntries/2 {
+		c.cacheOld = c.cacheNew
+		c.cacheNew = make(map[string]learn.Prediction, 256)
+	}
+	c.cacheNew[extracted] = p
+	c.cacheMu.Unlock()
+}
+
+// predict computes the normalized prediction for one extracted text.
+func (c *Classifier) predict(extracted string) learn.Prediction {
 	p := make(learn.Prediction, len(c.labels))
-	for _, l := range c.labels {
-		p[l] = c.cfg.Smoothing
-	}
-	if c.corpus == nil || len(c.store) == 0 {
+	if c.corpus == nil || len(c.docLabels) == 0 {
+		for _, l := range c.labels {
+			p[l] = c.cfg.Smoothing
+		}
 		return p.Normalize()
 	}
 	q := c.corpus.Vectorize(text.NewBag(text.TokenizeStemStop(extracted)))
 
-	// Accumulate dot products over the inverted index: only stored
-	// examples sharing at least one token with the query can have a
-	// non-zero similarity. Tokens are visited in sorted order so each
-	// similarity sums its terms identically on every run (float addition
-	// is not associative, and q is a map).
-	toks := make([]string, 0, len(q))
-	for tok := range q {
-		toks = append(toks, tok)
-	}
-	sort.Strings(toks)
-	sims := make(map[int32]float64)
-	for _, tok := range toks {
-		w := q[tok]
-		for _, i := range c.index[tok] {
-			sims[i] += w * c.store[i].vec[tok]
+	// Accumulate dot products over the inverted index into the dense
+	// scratch buffer: only stored examples sharing at least one token
+	// with the query can have a non-zero similarity. Query terms are
+	// sorted by ascending id (Vectorize's canonical order), so each
+	// document's similarity sums its terms identically on every run.
+	// Out-of-vocabulary query terms have no postings and contribute
+	// only to the query norm, exactly as in the map representation.
+	sims := c.getScratch()
+	for _, term := range q.Terms {
+		for _, pst := range c.postings[term.ID] {
+			sims[pst.doc] += term.W * pst.w
 		}
 	}
 	type neighbor struct {
-		sim   float64
-		label string
-		idx   int32
+		sim float64
+		li  int32
+		idx int32
 	}
-	neighbors := make([]neighbor, 0, len(sims))
-	for i, sim := range sims {
-		if sim > c.cfg.MinSimilarity {
-			neighbors = append(neighbors, neighbor{sim, c.store[i].label, i})
+	// Stack buffer for the common case; spills to the heap only when
+	// more than 64 stored examples pass the threshold.
+	var nbuf [64]neighbor
+	neighbors := nbuf[:0]
+	for doc, sim := range sims {
+		// sim > 0 selects exactly the documents sharing a token (all
+		// weights are positive), keeping the δ comparison semantics of
+		// the sparse accumulator even for a negative threshold.
+		if sim > 0 && sim > c.cfg.MinSimilarity {
+			neighbors = append(neighbors, neighbor{sim, c.docLabels[doc], int32(doc)})
 		}
 	}
-	// Order the neighbours deterministically (sims is a map): the
-	// noisy-or below multiplies per-label factors in neighbour order,
-	// and float multiplication is not associative either.
-	sort.Slice(neighbors, func(i, j int) bool {
-		if neighbors[i].sim != neighbors[j].sim {
-			return neighbors[i].sim > neighbors[j].sim
+	c.putScratch(sims)
+	// Order the neighbours by decreasing similarity for the MaxNeighbors
+	// cut; ties break by label index then doc id so the order — and the
+	// noisy-or product order below — is total and deterministic.
+	slices.SortFunc(neighbors, func(a, b neighbor) int {
+		switch {
+		case a.sim > b.sim:
+			return -1
+		case a.sim < b.sim:
+			return 1
+		case a.li != b.li:
+			return int(a.li) - int(b.li)
 		}
-		if neighbors[i].label != neighbors[j].label {
-			return neighbors[i].label < neighbors[j].label
-		}
-		return neighbors[i].idx < neighbors[j].idx
+		return int(a.idx) - int(b.idx)
 	})
 	if k := c.cfg.MaxNeighbors; k > 0 && len(neighbors) > k {
 		// Only the k nearest neighbours contribute.
 		neighbors = neighbors[:k]
 	}
-	// Noisy-or per label.
-	oneMinus := make(map[string]float64, len(c.labels))
+	// Noisy-or per label, accumulated densely by label index in a stack
+	// buffer (label sets are small).
+	var omBuf [24]float64
+	oneMinus := omBuf[:0]
+	if len(c.labels) > len(omBuf) {
+		oneMinus = make([]float64, 0, len(c.labels))
+	}
+	oneMinus = oneMinus[:len(c.labels)]
+	for li := range oneMinus {
+		oneMinus[li] = 1
+	}
 	for _, n := range neighbors {
-		prev, ok := oneMinus[n.label]
-		if !ok {
-			prev = 1
+		oneMinus[n.li] *= 1 - n.sim
+	}
+	for li, l := range c.labels {
+		p[l] = c.cfg.Smoothing + (1 - oneMinus[li])
+	}
+	return p.Normalize()
+}
+
+// getScratch returns a zeroed []float64 with one slot per stored
+// document.
+func (c *Classifier) getScratch() []float64 {
+	n := len(c.docLabels)
+	if v := c.scratch.Get(); v != nil {
+		if buf := v.(*[]float64); cap(*buf) >= n {
+			return (*buf)[:n]
 		}
-		oneMinus[n.label] = prev * (1 - n.sim)
 	}
-	for l, om := range oneMinus {
-		p[l] += 1 - om
+	return make([]float64, n)
+}
+
+// putScratch zeroes the buffer and returns it to the pool.
+func (c *Classifier) putScratch(buf []float64) {
+	for i := range buf {
+		buf[i] = 0
 	}
-	p.Normalize()
-	c.cacheMu.Lock()
-	if c.cache == nil || len(c.cache) >= maxCacheEntries {
-		c.cache = make(map[string]learn.Prediction, 256)
-	}
-	c.cache[extracted] = p.Clone()
-	c.cacheMu.Unlock()
-	return p
+	c.scratch.Put(&buf)
 }
 
 // NumStored returns how many training examples the classifier holds.
-func (c *Classifier) NumStored() int { return len(c.store) }
+func (c *Classifier) NumStored() int { return len(c.docLabels) }

@@ -16,6 +16,8 @@ package xmllearner
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/learn"
 	"repro/internal/learners/naivebayes"
@@ -28,12 +30,78 @@ import (
 // source-specific root tag.
 const genericRoot = "d"
 
+// maxTokMemo bounds each structural-token memo below. Real corpora
+// draw from a few hundred labels and a few thousand words; the bound
+// only caps memory on adversarial input, after which tokens are built
+// directly.
+const maxTokMemo = 1 << 15
+
+// The structural-token memos cache the prefixed map keys the walk
+// emits ("w:"+word, "n:"+label, "e:"+parent+">"+child): building them
+// with string concatenation on every occurrence was the single largest
+// allocation site of the matching phase. The token strings are pure
+// functions of their parts, so the memos never affect results — a lost
+// or skipped insert only costs the concatenation — and sync.Map makes
+// them safe to share between concurrent predict workers.
+var (
+	wordTokMemo    sync.Map // word -> "w:"+word
+	wordTokMemoLen atomic.Int64
+	nodeTokMemo    sync.Map // label -> "n:"+label
+	nodeTokMemoLen atomic.Int64
+	edgeTokMemos   sync.Map // parent label -> *edgeTokMemo
+)
+
+// edgeTokMemo caches the edge tokens under one parent label.
+type edgeTokMemo struct {
+	m   sync.Map // child (label or word) -> "e:"+parent+">"+child
+	len atomic.Int64
+}
+
+func memoTok(m *sync.Map, n *atomic.Int64, key, prefix, suffix string) string {
+	if v, ok := m.Load(key); ok {
+		return v.(string)
+	}
+	s := prefix + key + suffix
+	if n.Load() < maxTokMemo {
+		if _, loaded := m.LoadOrStore(key, s); !loaded {
+			n.Add(1)
+		}
+	}
+	return s
+}
+
+func wordTok(w string) string { return memoTok(&wordTokMemo, &wordTokMemoLen, w, "w:", "") }
+
+func nodeTok(label string) string { return memoTok(&nodeTokMemo, &nodeTokMemoLen, label, "n:", "") }
+
+// edgeTok returns "e:"+parent+">"+child through the two-level memo, so
+// the steady state allocates nothing per occurrence.
+func edgeTok(parent, child string) string {
+	v, ok := edgeTokMemos.Load(parent)
+	if !ok {
+		v, _ = edgeTokMemos.LoadOrStore(parent, &edgeTokMemo{})
+	}
+	em := v.(*edgeTokMemo)
+	if s, ok := em.m.Load(child); ok {
+		return s.(string)
+	}
+	s := "e:" + parent + ">" + child
+	if em.len.Load() < maxTokMemo {
+		if _, loaded := em.m.LoadOrStore(child, s); !loaded {
+			em.len.Add(1)
+		}
+	}
+	return s
+}
+
 // NodeLabeler assigns a label to a sub-element of an instance. The
 // training phase uses the true mappings; the matching phase uses the
 // predictions of the other base learners combined by the meta-learner.
 type NodeLabeler interface {
 	// LabelNode returns the label for the element node whose
-	// root-to-node tag path is path.
+	// root-to-node tag path is path. path is only valid for the
+	// duration of the call: the walk reuses one path buffer, so an
+	// implementation that retains it must copy it first.
 	LabelNode(node *xmltree.Node, path []string) string
 }
 
@@ -106,11 +174,17 @@ func (l *Learner) TokenBag(in learn.Instance, labeler NodeLabeler) text.Bag {
 		// Fall back to plain text tokens: a flat instance has no
 		// structure, so the learner degrades to Naive Bayes.
 		for _, w := range naivebayes.Tokens(in.Content) {
-			bag["w:"+w]++
+			bag[wordTok(w)]++
 		}
 		return bag
 	}
-	l.collect(in.Node, genericRoot, in.Path, labeler, bag)
+	// Copy the instance path into a private buffer with headroom:
+	// collect extends it in place while walking (one allocation per
+	// bag, not one per visited child), which is safe because labelers
+	// must not retain the path slice they are handed.
+	path := make([]string, len(in.Path), len(in.Path)+8)
+	copy(path, in.Path)
+	l.collect(in.Node, genericRoot, path, labeler, bag)
 	return bag
 }
 
@@ -120,11 +194,14 @@ func (l *Learner) TokenBag(in learn.Instance, labeler NodeLabeler) text.Bag {
 func (l *Learner) collect(node *xmltree.Node, parentLabel string, path []string, labeler NodeLabeler, bag text.Bag) {
 	// Words directly under this node.
 	for _, w := range naivebayes.Tokens(node.Text) {
-		bag["w:"+w]++
-		bag["e:"+parentLabel+">"+w]++
+		bag[wordTok(w)]++
+		bag[edgeTok(parentLabel, w)]++
 	}
 	for _, child := range node.Children {
-		childPath := append(append([]string{}, path...), child.Tag)
+		// Extend the shared path buffer in place; truncation on the next
+		// iteration reuses the same backing array. LabelNode must not
+		// retain the slice (see NodeLabeler), and NewInstance copies it.
+		childPath := append(path, child.Tag)
 		label := child.Tag
 		if labeler != nil {
 			label = labeler.LabelNode(child, childPath)
@@ -133,17 +210,17 @@ func (l *Learner) collect(node *xmltree.Node, parentLabel string, path []string,
 			// Leaf sub-elements contribute their words under the
 			// parent's label plus, when labelled, a node token.
 			if labeler != nil {
-				bag["n:"+label]++
-				bag["e:"+parentLabel+">"+label]++
+				bag[nodeTok(label)]++
+				bag[edgeTok(parentLabel, label)]++
 			}
 			for _, w := range naivebayes.Tokens(child.Text) {
-				bag["w:"+w]++
-				bag["e:"+label+">"+w]++
+				bag[wordTok(w)]++
+				bag[edgeTok(label, w)]++
 			}
 			continue
 		}
-		bag["n:"+label]++
-		bag["e:"+parentLabel+">"+label]++
+		bag[nodeTok(label)]++
+		bag[edgeTok(parentLabel, label)]++
 		l.collect(child, label, childPath, labeler, bag)
 	}
 }

@@ -2,10 +2,16 @@ package text
 
 import (
 	"math"
+	"slices"
 	"sort"
+	"strings"
 )
 
-// Bag is a multiset of tokens represented as token -> count.
+// Bag is a multiset of tokens represented as token -> count. It is the
+// construction-side representation: learners build bags incrementally
+// while walking instances, then project them onto an interned
+// vocabulary (Corpus.Vectorize, Vocab.SparseBag) before any hot-path
+// arithmetic. Nothing on a predict path iterates a Bag's map.
 type Bag map[string]int
 
 // NewBag builds a Bag from a token slice.
@@ -43,116 +49,207 @@ func (b Bag) Tokens() []string {
 	return out
 }
 
-// Vector is a sparse TF/IDF-weighted document vector, normalized to
-// unit length so that the dot product of two vectors is their cosine
-// similarity.
-type Vector map[string]float64
+// Term is one component of a sparse Vector: an interned token id and
+// its weight.
+type Term struct {
+	ID ID
+	W  float64
+}
 
-// Dot returns the dot product (cosine similarity for unit vectors) of v
-// and u. Terms are summed in sorted-value order so the result does not
-// depend on map iteration order (float addition is not associative).
+// OOVTerm is a weighted token outside the corpus vocabulary. Such
+// tokens cannot carry a dense id (the vocabulary is frozen at training
+// time, and assigning overlay ids at predict time would be
+// run-dependent), so they ride alongside the interned terms keyed by
+// the token itself.
+type OOVTerm struct {
+	Token string
+	W     float64
+}
+
+// Vector is a sparse TF/IDF-weighted document vector over an interned
+// vocabulary, normalized to unit length so that the dot product of two
+// vectors is their cosine similarity.
+//
+// Terms is sorted by ascending id and OOV by ascending token — the
+// canonical order every consumer iterates in, which is what makes the
+// substrate deterministic by construction: float summation happens in
+// the same order on every run without any per-call sorting.
+//
+// Vectors are only comparable when produced by the same Corpus: ids
+// from different vocabularies name different tokens.
+type Vector struct {
+	Terms []Term
+	OOV   []OOVTerm
+}
+
+// Len returns the number of non-zero components.
+func (v Vector) Len() int { return len(v.Terms) + len(v.OOV) }
+
+// Dot returns the dot product (cosine similarity for unit vectors) of
+// v and u as a branch-predictable merge-join over the sorted term
+// slices, with zero allocations. Both inputs are iterated in canonical
+// (ascending id, then ascending OOV token) order, so the float
+// summation order — and therefore the exact result — is independent of
+// call site and run. Out-of-vocabulary terms match only each other:
+// by construction they are exactly the tokens no vocabulary id names.
 func (v Vector) Dot(u Vector) float64 {
-	if len(u) < len(v) {
-		v, u = u, v
-	}
-	terms := make([]float64, 0, len(v))
-	for t, w := range v {
-		if x := w * u[t]; x != 0 {
-			terms = append(terms, x)
+	s := 0.0
+	a, b := v.Terms, u.Terms
+	for i, j := 0, 0; i < len(a) && j < len(b); {
+		switch {
+		case a[i].ID < b[j].ID:
+			i++
+		case a[i].ID > b[j].ID:
+			j++
+		default:
+			s += a[i].W * b[j].W
+			i++
+			j++
 		}
 	}
-	sort.Float64s(terms)
-	s := 0.0
-	for _, x := range terms {
-		s += x
+	x, y := v.OOV, u.OOV
+	for i, j := 0, 0; i < len(x) && j < len(y); {
+		switch {
+		case x[i].Token < y[j].Token:
+			i++
+		case x[i].Token > y[j].Token:
+			j++
+		default:
+			s += x[i].W * y[j].W
+			i++
+			j++
+		}
 	}
 	return s
 }
 
 // Corpus is a TF/IDF vector space over a set of documents. Documents
-// are added during indexing; after Freeze, Vectorize maps any token bag
-// to a unit-length TF/IDF vector using the corpus document frequencies.
+// are added during indexing, interning every token into the corpus
+// vocabulary; after Freeze, Vectorize maps any token bag to a
+// unit-length TF/IDF vector using the corpus document frequencies.
 type Corpus struct {
-	docFreq map[string]int
+	vocab   *Vocab
+	docFreq []int // indexed by token id
 	numDocs int
 	frozen  bool
-	idf     map[string]float64
+	idf     []float64 // indexed by token id
+	// oovIDF is the IDF of tokens outside the vocabulary, as if they
+	// appeared in a single document.
+	oovIDF float64
 }
 
 // NewCorpus returns an empty corpus.
 func NewCorpus() *Corpus {
-	return &Corpus{docFreq: make(map[string]int)}
+	return &Corpus{vocab: NewVocab()}
 }
 
-// AddDocument records the document-frequency contribution of the bag.
-// It panics if the corpus has been frozen.
+// Vocab exposes the corpus vocabulary so consumers can build
+// id-indexed side tables (e.g. posting lists) in the same coordinate
+// system. Callers must not Intern through it; AddDocument owns
+// vocabulary growth.
+func (c *Corpus) Vocab() *Vocab { return c.vocab }
+
+// AddDocument records the document-frequency contribution of the bag,
+// interning its tokens in sorted order (sorted, not map, order: id
+// assignment must be deterministic — see Vocab). It panics if the
+// corpus has been frozen.
 func (c *Corpus) AddDocument(b Bag) {
 	if c.frozen {
 		panic("text: AddDocument after Freeze")
 	}
 	c.numDocs++
-	for t := range b {
-		c.docFreq[t]++
+	for _, t := range b.Tokens() {
+		id := c.vocab.Intern(t)
+		if int(id) >= len(c.docFreq) {
+			c.docFreq = append(c.docFreq, 0)
+		}
+		c.docFreq[id]++
 	}
 }
 
 // NumDocs returns the number of indexed documents.
 func (c *Corpus) NumDocs() int { return c.numDocs }
 
-// Freeze finalizes the IDF table. Further AddDocument calls panic.
+// Freeze finalizes the IDF table and freezes the vocabulary. Further
+// AddDocument calls panic.
 func (c *Corpus) Freeze() {
 	if c.frozen {
 		return
 	}
 	c.frozen = true
-	c.idf = make(map[string]float64, len(c.docFreq))
+	c.vocab.Freeze()
+	c.idf = make([]float64, len(c.docFreq))
 	n := float64(c.numDocs)
-	for t, df := range c.docFreq {
+	for id, df := range c.docFreq {
 		// Smoothed IDF; strictly positive so indexed tokens are never
 		// silently dropped.
-		c.idf[t] = math.Log(1 + n/float64(df))
+		c.idf[id] = math.Log(1 + n/float64(df))
 	}
+	c.oovIDF = math.Log(1 + n)
 }
 
-// IDF returns the inverse document frequency of token t. Unknown tokens
-// get a default IDF as if they appeared in a single document.
+// IDF returns the inverse document frequency of token t. Unknown
+// tokens get a default IDF as if they appeared in a single document.
 func (c *Corpus) IDF(t string) float64 {
 	if !c.frozen {
 		c.Freeze()
 	}
-	if w, ok := c.idf[t]; ok {
-		return w
+	if id, ok := c.vocab.Lookup(t); ok {
+		return c.idf[id]
 	}
-	return math.Log(1 + float64(c.numDocs))
+	return c.oovIDF
 }
 
 // Vectorize maps a token bag to a unit-length TF/IDF vector. TF is
 // log-damped (1+ln(count)), the standard Whirl/IR weighting. The zero
-// bag maps to the zero vector.
+// bag maps to the zero vector. The squared weights are summed in the
+// vector's canonical order, so the norm — and every component — is
+// independent of map iteration order.
 func (c *Corpus) Vectorize(b Bag) Vector {
 	if !c.frozen {
 		c.Freeze()
 	}
-	v := make(Vector, len(b))
-	sq := make([]float64, 0, len(b))
-	for t, cnt := range b {
-		w := (1 + math.Log(float64(cnt))) * c.IDF(t)
-		v[t] = w
-		sq = append(sq, w*w)
+	var v Vector
+	if len(b) == 0 {
+		return v
 	}
-	// Sum the squared weights in sorted order so the norm (and thus
-	// every vector component) is independent of map iteration order.
-	sort.Float64s(sq)
+	v.Terms = make([]Term, 0, len(b))
+	for t, cnt := range b {
+		w := 1 + math.Log(float64(cnt))
+		if id, ok := c.vocab.Lookup(t); ok {
+			v.Terms = append(v.Terms, Term{ID: id, W: w * c.idf[id]})
+		} else {
+			v.OOV = append(v.OOV, OOVTerm{Token: t, W: w * c.oovIDF})
+		}
+	}
+	slices.SortFunc(v.Terms, func(a, b Term) int {
+		switch {
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
+		}
+		return 0
+	})
+	slices.SortFunc(v.OOV, func(a, b OOVTerm) int {
+		return strings.Compare(a.Token, b.Token)
+	})
 	norm := 0.0
-	for _, s := range sq {
-		norm += s
+	for _, t := range v.Terms {
+		norm += t.W * t.W
+	}
+	for _, t := range v.OOV {
+		norm += t.W * t.W
 	}
 	if norm == 0 {
 		return v
 	}
 	norm = math.Sqrt(norm)
-	for t := range v {
-		v[t] /= norm
+	for i := range v.Terms {
+		v.Terms[i].W /= norm
+	}
+	for i := range v.OOV {
+		v.OOV[i].W /= norm
 	}
 	return v
 }

@@ -44,8 +44,11 @@ func TestVectorizeUnitLength(t *testing.T) {
 	)
 	v := c.Vectorize(NewBag([]string{"great", "house", "house"}))
 	norm := 0.0
-	for _, w := range v {
-		norm += w * w
+	for _, term := range v.Terms {
+		norm += term.W * term.W
+	}
+	for _, term := range v.OOV {
+		norm += term.W * term.W
 	}
 	if math.Abs(norm-1) > 1e-12 {
 		t.Errorf("vector norm^2 = %g, want 1", norm)
@@ -55,7 +58,7 @@ func TestVectorizeUnitLength(t *testing.T) {
 func TestVectorizeZeroBag(t *testing.T) {
 	c := corpusOf([]string{"a"})
 	v := c.Vectorize(Bag{})
-	if len(v) != 0 {
+	if v.Len() != 0 {
 		t.Errorf("zero bag vector = %v, want empty", v)
 	}
 }

@@ -5,6 +5,8 @@ package text
 
 import (
 	"strings"
+	"sync"
+	"sync/atomic"
 	"unicode"
 )
 
@@ -16,41 +18,99 @@ import (
 // the paper applies (e.g. "$70000" becomes "$" and "70000"; we drop the
 // bare symbol).
 func Tokenize(s string) []string {
-	var tokens []string
-	var cur strings.Builder
-	var curClass int // 0 none, 1 letter, 2 digit
+	// Tokens are substrings of s, so each one is sliced out of the input
+	// rather than rebuilt rune by rune; only tokens that contain an
+	// upper-case letter pay for a ToLower copy. This is the single
+	// hottest allocation site in the whole pipeline — every learner
+	// tokenizes every instance — so the zero-copy common case matters.
+	if s == "" {
+		return nil
+	}
+	// Pre-size for ~4-byte tokens so the slice grows at most once even
+	// on token-dense input; append doublings from a nil slice were a
+	// measurable share of match-phase allocations.
+	tokens := make([]string, 0, len(s)/4+1)
+	start := -1   // byte offset where the current token begins, -1 if none
+	curClass := 0 // 0 none, 1 letter, 2 digit
+	hasUpper := false
+	prevLower := false
 
-	flush := func() {
-		if cur.Len() > 0 {
-			tokens = append(tokens, strings.ToLower(cur.String()))
-			cur.Reset()
+	flush := func(end int) {
+		if start >= 0 {
+			tok := s[start:end]
+			if hasUpper {
+				tok = strings.ToLower(tok)
+			}
+			tokens = append(tokens, tok)
 		}
+		start = -1
+		hasUpper = false
 		curClass = 0
 	}
 
-	prevLower := false
-	for _, r := range s {
+	for i, r := range s {
 		switch {
 		case unicode.IsLetter(r):
 			// Split camelCase boundaries: "listedPrice" -> listed, price.
 			if curClass == 2 || (curClass == 1 && prevLower && unicode.IsUpper(r)) {
-				flush()
+				flush(i)
 			}
-			cur.WriteRune(r)
+			if start < 0 {
+				start = i
+			}
+			// Any rune ToLower would change forces the copy; IsUpper alone
+			// would miss title-case runes that still lowercase.
+			if unicode.ToLower(r) != r {
+				hasUpper = true
+			}
 			curClass = 1
 			prevLower = unicode.IsLower(r)
 		case unicode.IsDigit(r):
 			if curClass == 1 {
-				flush()
+				flush(i)
 			}
-			cur.WriteRune(r)
+			if start < 0 {
+				start = i
+			}
 			curClass = 2
 		default:
-			flush()
+			flush(i)
 		}
 	}
-	flush()
+	flush(len(s))
+	if len(tokens) == 0 {
+		return nil
+	}
 	return tokens
+}
+
+// maxStemMemo bounds the stem memo. Natural-language corpora draw
+// from a few thousand distinct words, so the bound exists only to cap
+// memory on adversarial input (e.g. fuzzing); once full, unseen words
+// are stemmed directly without caching.
+const maxStemMemo = 1 << 16
+
+// stemMemo caches word → Porter stem across the whole process: the
+// matching phase re-derives the same few hundred stems millions of
+// times per run, and the stemmer walks its input byte by byte. Stem is
+// a pure function, so the cache never affects results — a lost or
+// skipped insert only costs a recomputation — and sharing it between
+// concurrent predict workers is safe.
+var stemMemo sync.Map // string -> string
+var stemMemoLen atomic.Int64
+
+// memoStem returns Stem(word), consulting the bounded memo.
+func memoStem(word string) string {
+	if s, ok := stemMemo.Load(word); ok {
+		return s.(string)
+	}
+	s := Stem(word)
+	if stemMemoLen.Load() < maxStemMemo {
+		if _, loaded := stemMemo.LoadOrStore(word, s); !loaded {
+			stemMemoLen.Add(1)
+		}
+	}
+	return s
 }
 
 // TokenizeAndStem tokenizes s and Porter-stems each non-numeric token.
@@ -59,7 +119,7 @@ func TokenizeAndStem(s string) []string {
 	tokens := Tokenize(s)
 	for i, t := range tokens {
 		if !isNumeric(t) {
-			tokens[i] = Stem(t)
+			tokens[i] = memoStem(t)
 		}
 	}
 	return tokens
@@ -74,7 +134,7 @@ func TokenizeStemStop(s string) []string {
 			continue
 		}
 		if !isNumeric(t) {
-			t = Stem(t)
+			t = memoStem(t)
 		}
 		out = append(out, t)
 	}

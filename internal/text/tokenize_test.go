@@ -2,6 +2,7 @@ package text
 
 import (
 	"reflect"
+	"sync"
 	"testing"
 	"testing/quick"
 	"unicode"
@@ -99,5 +100,45 @@ func TestIsStopword(t *testing.T) {
 		if IsStopword(w) {
 			t.Errorf("IsStopword(%q) = true, want false", w)
 		}
+	}
+}
+
+// TestMemoStemMatchesStem checks the bounded memo is transparent: for
+// any word — including words hammered repeatedly and concurrently —
+// memoStem returns exactly what a direct Stem call does.
+func TestMemoStemMatchesStem(t *testing.T) {
+	words := []string{
+		"houses", "beautiful", "running", "agent", "caresses", "ponies",
+		"relational", "conditional", "vietnamization", "x", "", "206",
+	}
+	for _, w := range words {
+		if got, want := memoStem(w), Stem(w); got != want {
+			t.Errorf("memoStem(%q) = %q, want %q", w, got, want)
+		}
+		// Second call is served from the memo; must be identical.
+		if got, want := memoStem(w), Stem(w); got != want {
+			t.Errorf("memoized memoStem(%q) = %q, want %q", w, got, want)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				w := words[i%len(words)]
+				if got, want := memoStem(w), Stem(w); got != want {
+					t.Errorf("concurrent memoStem(%q) = %q, want %q", w, got, want)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestMemoStemProperty(t *testing.T) {
+	f := func(w string) bool { return memoStem(w) == Stem(w) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
 	}
 }

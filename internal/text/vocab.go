@@ -1,0 +1,118 @@
+package text
+
+import "slices"
+
+// ID is a dense token identifier assigned by a Vocab. Interned ids
+// index directly into flat arrays (IDF tables, per-label log-probability
+// tables, posting lists), replacing the string-keyed maps that used to
+// sit on every predict-path inner loop.
+type ID uint32
+
+// Vocab interns tokens to dense uint32 ids. A vocabulary is built once
+// at training time and then frozen; the ids it assigned become the
+// coordinate system of every sparse vector and probability table
+// derived from that training run.
+//
+// Determinism: ids are assigned in first-Intern order, so callers must
+// intern tokens in a deterministic order (sorted bag order, or example
+// stream order) — never by ranging over a map. Every weight-summation
+// loop downstream runs in ascending-id order, so a run-dependent id
+// assignment would reorder float additions and break the pipeline's
+// bit-identical-output guarantee.
+//
+// A Vocab is not safe for concurrent mutation. Freeze it before
+// sharing it with concurrent readers; Lookup and Token on a frozen
+// vocabulary are safe from any number of goroutines.
+type Vocab struct {
+	ids    map[string]ID
+	tokens []string
+	frozen bool
+}
+
+// NewVocab returns an empty vocabulary.
+func NewVocab() *Vocab {
+	return &Vocab{ids: make(map[string]ID)}
+}
+
+// Len returns the number of interned tokens.
+func (v *Vocab) Len() int { return len(v.tokens) }
+
+// Intern returns the id of tok, assigning the next dense id if tok has
+// not been seen. It panics on a frozen vocabulary.
+func (v *Vocab) Intern(tok string) ID {
+	if id, ok := v.ids[tok]; ok {
+		return id
+	}
+	if v.frozen {
+		panic("text: Intern after Freeze")
+	}
+	id := ID(len(v.tokens))
+	v.ids[tok] = id
+	v.tokens = append(v.tokens, tok)
+	return id
+}
+
+// Lookup returns the id of tok and whether it is interned.
+func (v *Vocab) Lookup(tok string) (ID, bool) {
+	id, ok := v.ids[tok]
+	return id, ok
+}
+
+// Token returns the token with the given id. It panics if id was never
+// assigned.
+func (v *Vocab) Token(id ID) string { return v.tokens[id] }
+
+// Freeze marks the vocabulary immutable: further Intern calls of
+// unseen tokens panic, and concurrent Lookup/Token become safe.
+func (v *Vocab) Freeze() { v.frozen = true }
+
+// Frozen reports whether Freeze has been called.
+func (v *Vocab) Frozen() bool { return v.frozen }
+
+// IDCount is one component of a SparseBag: an interned token and its
+// occurrence count.
+type IDCount struct {
+	ID ID
+	N  int32
+}
+
+// SparseBag is a Bag projected onto a vocabulary: the in-vocabulary
+// tokens as (id, count) pairs sorted by ascending id, plus the total
+// occurrence count of out-of-vocabulary tokens. It is the predict-path
+// representation of a token bag — iterating it touches a contiguous
+// slice in canonical order instead of ranging over a map.
+type SparseBag struct {
+	Terms []IDCount
+	// OOV is the total number of token occurrences outside the
+	// vocabulary. Consumers that treat every unseen token identically
+	// (Naive Bayes' unseen-token constant) need only the total.
+	OOV int
+}
+
+// SparseBag projects b onto the vocabulary. Unknown tokens are counted
+// into OOV, not interned, so a frozen vocabulary is safe to project
+// onto concurrently.
+func (v *Vocab) SparseBag(b Bag) SparseBag {
+	sb := SparseBag{}
+	if len(b) == 0 {
+		return sb
+	}
+	sb.Terms = make([]IDCount, 0, len(b))
+	for t, n := range b {
+		if id, ok := v.ids[t]; ok {
+			sb.Terms = append(sb.Terms, IDCount{ID: id, N: int32(n)})
+		} else {
+			sb.OOV += n
+		}
+	}
+	slices.SortFunc(sb.Terms, func(a, b IDCount) int {
+		switch {
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
+		}
+		return 0
+	})
+	return sb
+}

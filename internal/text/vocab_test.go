@@ -1,0 +1,207 @@
+package text
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestVocabInternLookup(t *testing.T) {
+	v := NewVocab()
+	a := v.Intern("alpha")
+	b := v.Intern("beta")
+	if a == b {
+		t.Fatalf("distinct tokens share id %d", a)
+	}
+	if got := v.Intern("alpha"); got != a {
+		t.Errorf("re-Intern(alpha) = %d, want %d", got, a)
+	}
+	if id, ok := v.Lookup("beta"); !ok || id != b {
+		t.Errorf("Lookup(beta) = %d,%v, want %d,true", id, ok, b)
+	}
+	if _, ok := v.Lookup("gamma"); ok {
+		t.Error("Lookup of unseen token reported ok")
+	}
+	if v.Token(a) != "alpha" || v.Token(b) != "beta" {
+		t.Errorf("Token round-trip broken: %q %q", v.Token(a), v.Token(b))
+	}
+	if v.Len() != 2 {
+		t.Errorf("Len = %d, want 2", v.Len())
+	}
+}
+
+func TestVocabFreeze(t *testing.T) {
+	v := NewVocab()
+	v.Intern("a")
+	v.Freeze()
+	if !v.Frozen() {
+		t.Fatal("Frozen() = false after Freeze")
+	}
+	if got := v.Intern("a"); got != 0 {
+		t.Errorf("Intern of known token after Freeze = %d, want 0", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intern of unseen token after Freeze did not panic")
+		}
+	}()
+	v.Intern("b")
+}
+
+// TestVocabIDsAreDense checks that ids are assigned 0,1,2,... in first-
+// Intern order — the invariant every id-indexed side table relies on.
+func TestVocabIDsAreDense(t *testing.T) {
+	v := NewVocab()
+	for i := 0; i < 100; i++ {
+		tok := fmt.Sprintf("tok%03d", i)
+		if id := v.Intern(tok); int(id) != i {
+			t.Fatalf("Intern(%q) = %d, want %d", tok, id, i)
+		}
+	}
+}
+
+func FuzzVocabRoundTrip(f *testing.F) {
+	f.Add("alpha beta alpha", "beta")
+	f.Add("", "x")
+	f.Add("a b c d e f g", "d")
+	f.Fuzz(func(t *testing.T, corpus, probe string) {
+		v := NewVocab()
+		toks := strings.Fields(corpus)
+		ids := make([]ID, len(toks))
+		for i, tok := range toks {
+			ids[i] = v.Intern(tok)
+		}
+		// Round-trip: every interned token maps back to itself, and
+		// re-interning is stable.
+		for i, tok := range toks {
+			if v.Token(ids[i]) != tok {
+				t.Fatalf("Token(%d) = %q, want %q", ids[i], v.Token(ids[i]), tok)
+			}
+			if id, ok := v.Lookup(tok); !ok || id != ids[i] {
+				t.Fatalf("Lookup(%q) = %d,%v, want %d,true", tok, id, ok, ids[i])
+			}
+			if v.Intern(tok) != ids[i] {
+				t.Fatalf("re-Intern(%q) changed id", tok)
+			}
+		}
+		if id, ok := v.Lookup(probe); ok && v.Token(id) != probe {
+			t.Fatalf("Lookup(%q) → Token mismatch: %q", probe, v.Token(id))
+		}
+		if v.Len() > len(toks) {
+			t.Fatalf("Len = %d exceeds interned token count %d", v.Len(), len(toks))
+		}
+	})
+}
+
+// refDot is the retired map-based dot product, kept as the test oracle:
+// expand both vectors to token→weight maps and sum the products with
+// the multiplication order made deterministic by sorting.
+func refDot(v *Vocab, a, b Vector) float64 {
+	expand := func(x Vector) map[string]float64 {
+		m := make(map[string]float64, x.Len())
+		for _, t := range x.Terms {
+			m[v.Token(t.ID)] = t.W
+		}
+		for _, t := range x.OOV {
+			m[t.Token] = t.W
+		}
+		return m
+	}
+	am, bm := expand(a), expand(b)
+	var toks []string
+	for t := range am {
+		toks = append(toks, t)
+	}
+	s := 0.0
+	for _, t := range sortedStrings(toks) {
+		if bw, ok := bm[t]; ok {
+			s += am[t] * bw
+		}
+	}
+	return s
+}
+
+func sortedStrings(s []string) []string {
+	out := append([]string(nil), s...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// TestDotMatchesMapReference checks the merge-join Dot against the
+// map-based reference on random bags: same corpus, random mixtures of
+// in-vocabulary and out-of-vocabulary tokens.
+func TestDotMatchesMapReference(t *testing.T) {
+	c := corpusOf(
+		[]string{"house", "great", "location", "yard"},
+		[]string{"phone", "agent", "206"},
+		[]string{"great", "view", "lake"},
+	)
+	vocabToks := []string{"house", "great", "location", "yard", "phone", "agent", "206", "view", "lake"}
+	oovToks := []string{"zebra", "quux", "unseen", "42"}
+	rng := rand.New(rand.NewSource(7))
+	randBag := func() Bag {
+		b := Bag{}
+		for i, n := 0, rng.Intn(8); i < n; i++ {
+			b[vocabToks[rng.Intn(len(vocabToks))]] += 1 + rng.Intn(3)
+		}
+		for i, n := 0, rng.Intn(3); i < n; i++ {
+			b[oovToks[rng.Intn(len(oovToks))]] += 1 + rng.Intn(2)
+		}
+		return b
+	}
+	for trial := 0; trial < 500; trial++ {
+		va := c.Vectorize(randBag())
+		vb := c.Vectorize(randBag())
+		got := va.Dot(vb)
+		want := refDot(c.Vocab(), va, vb)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("trial %d: merge-join Dot = %.17g, map reference = %.17g", trial, got, want)
+		}
+		if sym := vb.Dot(va); sym != got {
+			t.Fatalf("trial %d: Dot not symmetric: %.17g vs %.17g", trial, got, sym)
+		}
+	}
+}
+
+// TestSparseBagMatchesBag checks that projecting a bag through a frozen
+// vocabulary conserves counts: interned terms keep their counts in
+// ascending-id order, and the out-of-vocabulary remainder is the exact
+// count difference.
+func TestSparseBagMatchesBag(t *testing.T) {
+	v := NewVocab()
+	for _, tok := range []string{"a", "b", "c", "d"} {
+		v.Intern(tok)
+	}
+	v.Freeze()
+	f := func(counts []uint8) bool {
+		toks := []string{"a", "b", "c", "d", "x", "y"}
+		b := Bag{}
+		for i, n := range counts {
+			if n%4 != 0 {
+				b[toks[i%len(toks)]] += int(n%4) + 1
+			}
+		}
+		sb := v.SparseBag(b)
+		inVocab := 0
+		for i, tc := range sb.Terms {
+			if i > 0 && sb.Terms[i-1].ID >= tc.ID {
+				return false // not strictly ascending
+			}
+			if int(tc.N) != b[v.Token(tc.ID)] {
+				return false
+			}
+			inVocab += int(tc.N)
+		}
+		return inVocab+sb.OOV == b.Size()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
