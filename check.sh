@@ -6,8 +6,10 @@
 #	./check.sh
 #
 # It fails on unformatted files, go vet findings, failing lsdlint or
-# lsdschema self-tests, lsdlint findings in the Go tree, or lsdschema
-# findings in the domain schemas and constraint sets.
+# lsdschema self-tests, lsdlint findings in the Go tree, lsdschema
+# findings in the domain schemas and constraint sets, a bench-smoke
+# allocation regression, or a broken train → save → serve → match path
+# (the lsdserve smoke at the end).
 set -e
 cd "$(dirname "$0")"
 
@@ -37,4 +39,63 @@ go run ./cmd/lsdschema
 # per-call allocation on the hot paths without requiring a full bench
 # run.
 go run ./cmd/lsdbench -exp micro -smoke bench
+
+# lsdserve smoke: the full model-persistence path, end to end. Generate
+# a tiny domain, train and save a model artifact with cmd/lsd, serve it
+# with cmd/lsdserve, and ask for one match over HTTP. Fails if any step
+# breaks — including the artifact wire format drifting out of sync
+# between writer (lsd -save) and reader (lsdserve).
+smokedir="$(mktemp -d)"
+servepid=""
+cleanup() {
+	[ -n "$servepid" ] && kill "$servepid" 2>/dev/null
+	rm -rf "$smokedir"
+}
+trap cleanup EXIT
+
+go run ./cmd/lsdgen -out "$smokedir/data" -domain "Real Estate I" -listings 10 >/dev/null
+base="$smokedir/data/real-estate-i/realestatei-src"
+mkdir "$smokedir/models"
+go run ./cmd/lsd -mediated "$smokedir/data/real-estate-i/mediated.dtd" \
+	-train "${base}1,${base}2,${base}3" \
+	-save "$smokedir/models/realestate.lsdm" >/dev/null
+
+go build -o "$smokedir/lsdserve" ./cmd/lsdserve
+"$smokedir/lsdserve" -addr 127.0.0.1:0 -models "$smokedir/models" \
+	-ready-fd "$smokedir/ready" >/dev/null &
+servepid=$!
+i=0
+while [ ! -s "$smokedir/ready" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 100 ]; then
+		echo "lsdserve smoke: server never became ready" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+addr="$(cat "$smokedir/ready")"
+
+# JSON-encode the target source's DTD and XML (escape backslash, quote,
+# tab; fold newlines) into a one-shot match request.
+json_escape() {
+	sed -e 's/\\/\\\\/g' -e 's/"/\\"/g' -e 's/\t/\\t/g' "$1" | awk '{printf "%s\\n", $0}'
+}
+{
+	printf '{"model":"realestate","dtd":"%s",' "$(json_escape "${base}4.dtd")"
+	printf '"xml":"%s","omit_predictions":true}' "$(json_escape "${base}4.xml")"
+} > "$smokedir/req.json"
+
+response="$(curl -sf --data-binary @"$smokedir/req.json" "http://$addr/v1/match")"
+case "$response" in
+*'"mapping"'*) ;;
+*)
+	echo "lsdserve smoke: match response has no mapping: $response" >&2
+	exit 1
+	;;
+esac
+kill "$servepid"
+wait "$servepid" 2>/dev/null || true
+servepid=""
+echo "lsdserve smoke: train -> save -> serve -> match OK"
+
 echo "check.sh: all static checks passed"

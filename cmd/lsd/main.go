@@ -11,41 +11,135 @@
 //
 // The -feedback flag supplies §4.3 user-feedback constraints: "tag=L"
 // pins tag to label L, "tag!=L" forbids it.
+//
+// A trained matcher can be persisted and reused without retraining:
+//
+//	lsd -mediated mediated.dtd -train src1,src2 -save model.lsdm
+//	lsd -load model.lsdm -match src4
+//
+// Artifacts written by -save are also what cmd/lsdserve serves; the
+// loaded matcher's predictions are bit-identical to the freshly
+// trained one's.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/lsd"
 )
 
 func main() {
-	mediatedPath := flag.String("mediated", "", "mediated DTD file")
-	trainList := flag.String("train", "", "comma-separated training source basenames")
-	matchName := flag.String("match", "", "target source basename")
-	feedback := flag.String("feedback", "", "user feedback: tag=LABEL or tag!=LABEL, comma-separated")
-	noConstraints := flag.Bool("no-constraints", false, "disable the constraint handler")
-	noXML := flag.Bool("no-xml", false, "disable the XML learner")
-	evaluate := flag.Bool("eval", false, "if the target has a .mapping file, report accuracy")
-	workers := flag.Int("workers", 0, "worker goroutines for training and matching (0 = one per CPU, 1 = serial)")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(2)
+		}
+		log.Fatal(err)
+	}
+}
 
-	if *mediatedPath == "" || *trainList == "" || *matchName == "" {
-		flag.Usage()
-		os.Exit(2)
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("lsd", flag.ContinueOnError)
+	mediatedPath := fs.String("mediated", "", "mediated DTD file")
+	trainList := fs.String("train", "", "comma-separated training source basenames")
+	matchName := fs.String("match", "", "target source basename")
+	feedback := fs.String("feedback", "", "user feedback: tag=LABEL or tag!=LABEL, comma-separated")
+	noConstraints := fs.Bool("no-constraints", false, "disable the constraint handler")
+	noXML := fs.Bool("no-xml", false, "disable the XML learner")
+	evaluate := fs.Bool("eval", false, "if the target has a .mapping file, report accuracy")
+	workers := fs.Int("workers", 0, "worker goroutines for training and matching (0 = one per CPU, 1 = serial)")
+	savePath := fs.String("save", "", "write the trained matcher to this model artifact file")
+	loadPath := fs.String("load", "", "load a matcher from a model artifact instead of training")
+	modelName := fs.String("name", "", "model name recorded in the -save artifact (default: artifact basename)")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
 
-	mediatedText, err := os.ReadFile(*mediatedPath)
+	switch {
+	case *loadPath != "":
+		if *mediatedPath != "" || *trainList != "" {
+			return fmt.Errorf("lsd: -load replaces training; drop -mediated/-train")
+		}
+		if *savePath != "" {
+			return fmt.Errorf("lsd: -save needs a freshly trained matcher, not -load")
+		}
+		if *matchName == "" {
+			return fmt.Errorf("lsd: -load needs -match")
+		}
+	case *mediatedPath == "" || *trainList == "":
+		fs.Usage()
+		return flag.ErrHelp
+	case *matchName == "" && *savePath == "":
+		fs.Usage()
+		return flag.ErrHelp
+	}
+
+	var sys *lsd.System
+	if *loadPath != "" {
+		loaded, name, err := lsd.LoadModel(*loadPath, *workers)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "loaded model %q from %s\n", name, *loadPath)
+		sys = loaded
+	} else {
+		trained, err := train(*mediatedPath, *trainList, *noConstraints, *noXML, *workers)
+		if err != nil {
+			return err
+		}
+		sys = trained
+	}
+
+	if *savePath != "" {
+		name := *modelName
+		if name == "" {
+			name = strings.TrimSuffix(filepath.Base(*savePath), filepath.Ext(*savePath))
+		}
+		if err := lsd.SaveModel(*savePath, name, sys); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "saved model %q to %s\n", name, *savePath)
+	}
+
+	if *matchName == "" {
+		return nil
+	}
+	target, err := loadSource(*matchName, false)
 	if err != nil {
-		log.Fatal(err)
+		return err
+	}
+	constraints, err := parseFeedback(*feedback)
+	if err != nil {
+		return err
+	}
+	res, err := sys.Match(target, constraints...)
+	if err != nil {
+		return fmt.Errorf("match: %w", err)
+	}
+	fmt.Fprint(out, lsd.Describe(target, res))
+	if *evaluate && target.Mapping != nil {
+		fmt.Fprintf(out, "matching accuracy: %.1f%%\n", 100*lsd.Accuracy(target, res.Mapping))
+	}
+	return nil
+}
+
+// train loads the mediated schema and training sources and runs the
+// training phase. Any failure — unreadable files, a bad DTD, a learner
+// aborting mid-domain — propagates as an error so the process exits
+// non-zero instead of printing a partial result.
+func train(mediatedPath, trainList string, noConstraints, noXML bool, workers int) (*lsd.System, error) {
+	mediatedText, err := os.ReadFile(mediatedPath)
+	if err != nil {
+		return nil, err
 	}
 	schema, err := lsd.ParseDTD(string(mediatedText))
 	if err != nil {
-		log.Fatalf("mediated DTD: %v", err)
+		return nil, fmt.Errorf("mediated DTD: %w", err)
 	}
 	mediated := &lsd.Mediated{Schema: schema}
 	// Frequency and arity constraints are always safe to derive from
@@ -61,40 +155,24 @@ func main() {
 	}
 
 	var training []*lsd.Source
-	for _, name := range strings.Split(*trainList, ",") {
+	for _, name := range strings.Split(trainList, ",") {
 		src, err := loadSource(strings.TrimSpace(name), true)
 		if err != nil {
-			log.Fatal(err)
+			return nil, err
 		}
 		training = append(training, src)
 	}
-	target, err := loadSource(*matchName, false)
-	if err != nil {
-		log.Fatal(err)
-	}
 
 	cfg := lsd.DefaultConfig()
-	cfg.UseConstraintHandler = !*noConstraints
-	cfg.UseXMLLearner = !*noXML
-	cfg.Workers = *workers
+	cfg.UseConstraintHandler = !noConstraints
+	cfg.UseXMLLearner = !noXML
+	cfg.Workers = workers
 
 	sys, err := lsd.Train(mediated, training, cfg)
 	if err != nil {
-		log.Fatalf("train: %v", err)
+		return nil, fmt.Errorf("train: %w", err)
 	}
-
-	constraints, err := parseFeedback(*feedback)
-	if err != nil {
-		log.Fatal(err)
-	}
-	res, err := sys.Match(target, constraints...)
-	if err != nil {
-		log.Fatalf("match: %v", err)
-	}
-	fmt.Print(lsd.Describe(target, res))
-	if *evaluate && target.Mapping != nil {
-		fmt.Printf("matching accuracy: %.1f%%\n", 100*lsd.Accuracy(target, res.Mapping))
-	}
+	return sys, nil
 }
 
 // loadSource reads <base>.dtd, <base>.xml and (optionally) <base>.mapping.

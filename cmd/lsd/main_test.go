@@ -1,10 +1,15 @@
 package main
 
 import (
+	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"testing"
 
+	"repro/internal/datagen"
 	"repro/lsd"
 )
 
@@ -95,3 +100,150 @@ func TestLoadSourceMissingMapping(t *testing.T) {
 }
 
 var _ = lsd.Other // keep the lsd import for the Source type used above
+
+// writeDomainFiles renders a datagen domain into the on-disk layout
+// cmd/lsd consumes and returns the mediated DTD path and the source
+// basenames (training sources first, target last).
+func writeDomainFiles(t *testing.T, dir string, listings int) (string, []string) {
+	t.Helper()
+	d := datagen.RealEstateI()
+	med := filepath.Join(dir, "mediated.dtd")
+	if err := os.WriteFile(med, []byte(d.MediatedSchema().String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var bases []string
+	for _, spec := range d.Sources() {
+		src := spec.Generate(listings, 11)
+		base := filepath.Join(dir, spec.Name)
+		if err := os.WriteFile(base+".dtd", []byte(spec.Schema.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var data strings.Builder
+		for _, l := range src.Listings {
+			data.WriteString(l.String())
+		}
+		if err := os.WriteFile(base+".xml", []byte(data.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var mapping strings.Builder
+		keys := make([]string, 0, len(spec.Mapping))
+		for k := range spec.Mapping {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&mapping, "%s\t%s\n", k, spec.Mapping[k])
+		}
+		if err := os.WriteFile(base+".mapping", []byte(mapping.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		bases = append(bases, base)
+	}
+	return med, bases
+}
+
+// afterFirstLine drops the leading status line ("saved model …" /
+// "loaded model …") so match reports can be compared across runs.
+func afterFirstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[i+1:]
+	}
+	return s
+}
+
+// TestTrainSaveLoadMatch is the CLI half of the persistence contract:
+// train + save + match in one process, then load + match in another,
+// and require the match reports to be identical byte for byte.
+func TestTrainSaveLoadMatch(t *testing.T) {
+	dir := t.TempDir()
+	med, bases := writeDomainFiles(t, dir, 10)
+	model := filepath.Join(dir, "re1.lsdm")
+	trainList := strings.Join(bases[:3], ",")
+	target := bases[3]
+
+	var trained bytes.Buffer
+	err := run([]string{
+		"-mediated", med, "-train", trainList, "-match", target,
+		"-save", model, "-eval", "-workers", "2",
+	}, &trained)
+	if err != nil {
+		t.Fatalf("train+save+match: %v", err)
+	}
+	if !strings.Contains(trained.String(), `saved model "re1"`) {
+		t.Fatalf("missing save confirmation in output:\n%s", trained.String())
+	}
+
+	var loaded bytes.Buffer
+	err = run([]string{"-load", model, "-match", target, "-eval", "-workers", "2"}, &loaded)
+	if err != nil {
+		t.Fatalf("load+match: %v", err)
+	}
+	if !strings.Contains(loaded.String(), `loaded model "re1"`) {
+		t.Fatalf("missing load confirmation in output:\n%s", loaded.String())
+	}
+
+	want := afterFirstLine(trained.String())
+	got := afterFirstLine(loaded.String())
+	if want != got {
+		t.Errorf("loaded matcher's report differs from trained matcher's:\n--- trained ---\n%s--- loaded ---\n%s", want, got)
+	}
+	if !strings.Contains(got, "matching accuracy:") {
+		t.Errorf("report is missing the -eval accuracy line:\n%s", got)
+	}
+}
+
+// TestRunTrainAbortFails is the exit-code regression test: when
+// training aborts mid-domain (an example labelled outside the mediated
+// label set), run must return an error — main exits non-zero — rather
+// than printing a partial result.
+func TestRunTrainAbortFails(t *testing.T) {
+	dir := t.TempDir()
+	med, bases := writeDomainFiles(t, dir, 10)
+	// Poison the first training source: map one tag to a label the
+	// mediated schema does not define.
+	poison := bases[0] + ".mapping"
+	text, err := os.ReadFile(poison)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitN(string(text), "\n", 2)
+	tag := strings.Fields(lines[0])[0]
+	if err := os.WriteFile(poison, []byte(tag+"\tNOT-A-REAL-LABEL\n"+lines[1]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	err = run([]string{
+		"-mediated", med, "-train", strings.Join(bases[:3], ","), "-match", bases[3],
+	}, &out)
+	if err == nil {
+		t.Fatal("run succeeded with an example labelled outside the label set")
+	}
+	if !strings.Contains(err.Error(), "outside label set") {
+		t.Errorf("error %q does not mention the poisoned label", err)
+	}
+	if strings.Contains(out.String(), "->") {
+		t.Errorf("partial match report printed despite training abort:\n%s", out.String())
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"no args", nil},
+		{"train without match or save", []string{"-mediated", "m.dtd", "-train", "a"}},
+		{"load with train", []string{"-load", "m.lsdm", "-train", "a", "-match", "b"}},
+		{"load with save", []string{"-load", "m.lsdm", "-save", "n.lsdm", "-match", "b"}},
+		{"load without match", []string{"-load", "m.lsdm"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := run(tc.args, &out); err == nil {
+				t.Error("run succeeded, want error")
+			}
+		})
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strconv"
 )
 
@@ -19,6 +20,14 @@ type benchRecord struct {
 	AllocsPerOp uint64 `json:"allocs_per_op"`
 	BytesPerOp  uint64 `json:"bytes_per_op,omitempty"`
 	Workers     int    `json:"workers"`
+
+	// Serving-benchmark fields (-exp serve): request-latency
+	// percentiles and sustained throughput over concurrent clients.
+	Clients int     `json:"clients,omitempty"`
+	P50Ns   int64   `json:"p50_ns,omitempty"`
+	P95Ns   int64   `json:"p95_ns,omitempty"`
+	P99Ns   int64   `json:"p99_ns,omitempty"`
+	QPS     float64 `json:"qps,omitempty"`
 }
 
 var benchSeqRe = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
@@ -44,11 +53,14 @@ func nextBenchPath(dir string) (string, error) {
 	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", next)), nil
 }
 
-// latestBenchArtifact loads the highest-numbered BENCH_<n>.json in
-// dir. A missing directory or a directory without artifacts returns
-// (nil, "", nil): the caller decides whether an absent baseline is an
-// error.
-func latestBenchArtifact(dir string) ([]benchRecord, string, error) {
+// latestBenchArtifact loads the highest-numbered BENCH_<n>.json in dir
+// that records at least one of the given ops (nil ops accepts any
+// artifact). The filter matters because the sequence mixes experiment
+// kinds — a serve-latency artifact must not silently satisfy the
+// allocs/op smoke gate, which compares predict micro-benches. A
+// missing directory or no matching artifact returns (nil, "", nil):
+// the caller decides whether an absent baseline is an error.
+func latestBenchArtifact(dir string, ops map[string]bool) ([]benchRecord, string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -56,30 +68,37 @@ func latestBenchArtifact(dir string) ([]benchRecord, string, error) {
 		}
 		return nil, "", err
 	}
-	best := -1
-	name := ""
+	var seqs []int
 	for _, e := range entries {
 		m := benchSeqRe.FindStringSubmatch(e.Name())
 		if m == nil {
 			continue
 		}
-		if n, err := strconv.Atoi(m[1]); err == nil && n > best {
-			best, name = n, e.Name()
+		if n, err := strconv.Atoi(m[1]); err == nil {
+			seqs = append(seqs, n)
 		}
 	}
-	if best < 0 {
-		return nil, "", nil
+	sort.Sort(sort.Reverse(sort.IntSlice(seqs)))
+	for _, n := range seqs {
+		path := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", n))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, "", err
+		}
+		var records []benchRecord
+		if err := json.Unmarshal(data, &records); err != nil {
+			return nil, "", fmt.Errorf("%s: %w", path, err)
+		}
+		if ops == nil {
+			return records, path, nil
+		}
+		for _, r := range records {
+			if ops[r.Op] {
+				return records, path, nil
+			}
+		}
 	}
-	path := filepath.Join(dir, name)
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, "", err
-	}
-	var records []benchRecord
-	if err := json.Unmarshal(data, &records); err != nil {
-		return nil, "", fmt.Errorf("%s: %w", path, err)
-	}
-	return records, path, nil
+	return nil, "", nil
 }
 
 // writeBenchArtifact writes records to the next BENCH_<n>.json in dir

@@ -76,3 +76,39 @@ func TestWriteBenchArtifactRoundTrips(t *testing.T) {
 		t.Errorf("second write = %s, want BENCH_2.json", filepath.Base(path2))
 	}
 }
+
+// TestLatestBenchArtifactFiltersOps pins the baseline-selection rule:
+// the smoke gate must skip newer artifacts that record other
+// experiment kinds (e.g. serve latencies) and land on the newest one
+// containing the gated ops.
+func TestLatestBenchArtifactFiltersOps(t *testing.T) {
+	dir := t.TempDir()
+	write := func(records []benchRecord) string {
+		t.Helper()
+		path, err := writeBenchArtifact(dir, records)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	microPath := write([]benchRecord{{Op: "NaiveBayesPredict", AllocsPerOp: 8}})
+	servePath := write([]benchRecord{{Op: "Serve/c1", QPS: 20}})
+
+	records, path, err := latestBenchArtifact(dir, smokeOps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != microPath || len(records) != 1 || records[0].Op != "NaiveBayesPredict" {
+		t.Errorf("filtered lookup = %s (%d records), want %s", path, len(records), microPath)
+	}
+
+	// Unfiltered lookup still returns the newest artifact outright.
+	if _, path, err := latestBenchArtifact(dir, nil); err != nil || path != servePath {
+		t.Errorf("unfiltered lookup = %s, %v; want %s", path, err, servePath)
+	}
+
+	// No artifact with the ops at all: absent baseline, not an error.
+	if records, path, err := latestBenchArtifact(dir, map[string]bool{"Nope": true}); err != nil || records != nil || path != "" {
+		t.Errorf("no-match lookup = %v, %s, %v; want nil baseline", records, path, err)
+	}
+}

@@ -9,6 +9,7 @@
 //	lsdbench -exp fig9b               # Figure 9.b: schema vs. data info
 //	lsdbench -exp feedback            # §6.3: corrections to perfect matching
 //	lsdbench -exp micro               # Train/Match/Predict micro-benches
+//	lsdbench -exp serve               # lsdserve HTTP matching: p50/p95/p99 + QPS
 //	lsdbench -exp all                 # everything
 //
 // -listings, -samples, and -splits trade fidelity for runtime; the
@@ -37,7 +38,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table3, fig8a, fig8b, fig8c, fig9a, fig9b, feedback, micro, all")
+	exp := flag.String("exp", "all", "experiment: table3, fig8a, fig8b, fig8c, fig9a, fig9b, feedback, micro, serve, all")
 	listings := flag.Int("listings", 100, "listings per source")
 	samples := flag.Int("samples", 1, "data samples per experiment")
 	maxSplits := flag.Int("splits", 10, "train/test splits per sample (max 10)")
@@ -108,6 +109,13 @@ func main() {
 		if *smoke != "" {
 			smokeErr = benchSmoke(recs, *smoke)
 		}
+	}
+
+	// The serving benchmark also stands outside -exp all: it measures
+	// HTTP request latency against an in-process lsdserve handler, not
+	// matching accuracy.
+	if *exp == "serve" {
+		records = append(records, serveExp(*workers)...)
 	}
 
 	if *benchOut != "" && len(records) > 0 {

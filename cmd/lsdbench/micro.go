@@ -173,7 +173,7 @@ var smokeOps = map[string]bool{
 // regression; a missing baseline directory or artifact is not an error
 // (first run records the baseline instead of gating on it).
 func benchSmoke(records []benchRecord, dir string) error {
-	baseline, path, err := latestBenchArtifact(dir)
+	baseline, path, err := latestBenchArtifact(dir, smokeOps)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+// The serving benchmark (-exp serve) measures the HTTP matching path
+// end to end: a matcher trained on the standard Real Estate I scenario
+// is round-tripped through the model-artifact wire format into a serve
+// registry, and concurrent clients hammer POST /v1/match against an
+// in-process server. Each concurrency level records latency
+// percentiles and sustained QPS into the BENCH_<n>.json artifact, so
+// the serving layer's performance trajectory is tracked alongside the
+// train/match micro-benches.
+
+// serveRequests is the total request count per concurrency level —
+// enough for stable p99 at the tail without minutes of runtime.
+const serveRequests = 240
+
+// serveConcurrency are the client counts each run sweeps.
+var serveConcurrency = []int{1, 4, 8}
+
+// serveBench trains the matcher, publishes it through the artifact
+// path, and sweeps the concurrency levels.
+func serveBench(workers int) ([]benchRecord, error) {
+	med, train, test := microTrainSetup()
+	cfg := core.DefaultConfig()
+	cfg.Workers = workers
+	sys, err := core.Train(med, train, cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Go through encode+decode rather than serving the trained system
+	// directly: the benchmark should measure what production serves,
+	// and the artifact round-trip is bit-preserving by contract.
+	data, err := artifact.EncodeSystem("bench", sys)
+	if err != nil {
+		return nil, err
+	}
+	d, err := artifact.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	model, err := serve.ModelFromDecoded(d, 1)
+	if err != nil {
+		return nil, err
+	}
+	reg := serve.NewRegistry()
+	reg.Set(model)
+	ts := httptest.NewServer(serve.NewServer(reg, serve.Options{MaxWorkers: workers}).Handler())
+	defer ts.Close()
+
+	var xml bytes.Buffer
+	for _, l := range test.Listings {
+		xml.WriteString(l.String())
+	}
+	body, err := json.Marshal(serve.MatchRequest{
+		Model:           "bench",
+		SourceName:      test.Name,
+		DTD:             test.Schema.String(),
+		XML:             xml.String(),
+		Workers:         1,
+		OmitPredictions: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var records []benchRecord
+	for _, clients := range serveConcurrency {
+		rec, err := hammer(ts.URL+"/v1/match", body, clients, serveRequests)
+		if err != nil {
+			return nil, err
+		}
+		records = append(records, rec)
+	}
+	return records, nil
+}
+
+// hammer fires total match requests from clients concurrent goroutines
+// and reduces the per-request latencies into one benchRecord.
+func hammer(url string, body []byte, clients, total int) (benchRecord, error) {
+	per := total / clients
+	total = per * clients
+	latencies := make([]int64, total)
+	errs := make(chan error, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				t0 := time.Now()
+				resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("match returned status %d", resp.StatusCode)
+					return
+				}
+				latencies[c*per+i] = time.Since(t0).Nanoseconds()
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	if err := <-errs; err != nil {
+		return benchRecord{}, err
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	return benchRecord{
+		Op:      fmt.Sprintf("Serve/c%d", clients),
+		NsPerOp: elapsed.Nanoseconds() / int64(total),
+		Workers: 1,
+		Clients: clients,
+		P50Ns:   percentile(latencies, 50),
+		P95Ns:   percentile(latencies, 95),
+		P99Ns:   percentile(latencies, 99),
+		QPS:     float64(total) / elapsed.Seconds(),
+	}, nil
+}
+
+// percentile is the nearest-rank percentile of a sorted latency slice.
+func percentile(sorted []int64, p int) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[(len(sorted)-1)*p/100]
+}
+
+// serveExp runs the benchmark and prints the latency table.
+func serveExp(workers int) []benchRecord {
+	records, err := serveBench(workers)
+	if err != nil {
+		panic(fmt.Sprintf("serve bench: %v", err))
+	}
+	fmt.Println("serving benchmark (POST /v1/match, in-process server):")
+	fmt.Printf("%-10s %8s %12s %12s %12s %10s\n", "op", "clients", "p50", "p95", "p99", "qps")
+	for _, r := range records {
+		fmt.Printf("%-10s %8d %12s %12s %12s %10.1f\n", r.Op, r.Clients,
+			time.Duration(r.P50Ns).Round(time.Microsecond),
+			time.Duration(r.P95Ns).Round(time.Microsecond),
+			time.Duration(r.P99Ns).Round(time.Microsecond),
+			r.QPS)
+	}
+	fmt.Println()
+	return records
+}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/modeltest"
+)
+
+// startServer runs the daemon on an ephemeral port and waits for it to
+// come up. The returned base URL is ready to hit; done receives run's
+// error when the daemon exits.
+func startServer(t *testing.T, modelsDir string) (string, chan error) {
+	t.Helper()
+	readyFile := filepath.Join(t.TempDir(), "ready")
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-models", modelsDir,
+			"-ready-fd", readyFile,
+		}, os.Stdout)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if addr, err := os.ReadFile(readyFile); err == nil && len(addr) > 0 {
+			return "http://" + string(addr), done
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("daemon exited before ready: %v", err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never became ready")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func modelCount(t *testing.T, base string) int {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Models []struct {
+			Name string `json:"name"`
+		} `json:"models"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	return len(body.Models)
+}
+
+// TestServeLifecycle boots the daemon, serves a match, hot-reloads a
+// second model on SIGHUP, and shuts down cleanly on SIGTERM. Signals
+// go to our own process, so this test cannot run in parallel with
+// another daemon test.
+func TestServeLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	modeltest.WriteArtifact(t, dir, "houses")
+	base, done := startServer(t, dir)
+
+	if n := modelCount(t, base); n != 1 {
+		t.Fatalf("%d models loaded, want 1", n)
+	}
+
+	raw, err := json.Marshal(map[string]any{
+		"model": "houses",
+		"dtd":   modeltest.SourceDTD,
+		"xml":   modeltest.SourceXML,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/match", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var match struct {
+		Mapping map[string]string `json:"mapping"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&match); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(match.Mapping) == 0 {
+		t.Fatalf("match: status %d, mapping %v", resp.StatusCode, match.Mapping)
+	}
+
+	// Hot reload: drop a second artifact in the directory and HUP the
+	// process.
+	modeltest.WriteArtifact(t, dir, "condos")
+	if err := syscall.Kill(os.Getpid(), syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for modelCount(t, base) != 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("SIGHUP reload never picked up the second model")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited with error: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down after SIGTERM")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{}, os.Stdout); err == nil {
+		t.Error("run without -models succeeded, want error")
+	}
+	if err := run([]string{"-models", filepath.Join(t.TempDir(), "missing")}, os.Stdout); err == nil {
+		t.Error("run with missing models dir succeeded, want error")
+	}
+}

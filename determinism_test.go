@@ -13,6 +13,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/datagen"
 )
@@ -132,6 +133,63 @@ func TestMatchDeterministic(t *testing.T) {
 			t.Errorf("workers=%d: match result differs from serial run\nserial:\n%s\ngot:\n%s",
 				w, want, got)
 		}
+	}
+}
+
+// TestSaveLoadDeterministic asserts the model-artifact round trip is
+// lossless in behaviour, not just in bytes: for every domain, a
+// matcher restored from an encoded artifact proposes bit-identical
+// mappings and confidence scores to the matcher it was saved from, on
+// every instance of an unseen source.
+func TestSaveLoadDeterministic(t *testing.T) {
+	for _, d := range datagen.Domains() {
+		t.Run(d.Name, func(t *testing.T) {
+			med := d.Mediated()
+			specs := d.Sources()
+			var train []*core.Source
+			for _, spec := range specs[:len(specs)-1] {
+				train = append(train, spec.Generate(15, 11))
+			}
+			test := specs[len(specs)-1].Generate(15, 11)
+
+			cfg := core.DefaultConfig()
+			cfg.Workers = 2
+			sys, err := core.Train(med, train, cfg)
+			if err != nil {
+				t.Fatalf("Train: %v", err)
+			}
+			res, err := sys.Match(test)
+			if err != nil {
+				t.Fatalf("Match: %v", err)
+			}
+			want := matchFingerprint(sys, res)
+			if want == "" {
+				t.Fatal("empty match fingerprint")
+			}
+
+			data, err := artifact.EncodeSystem(d.Name, sys)
+			if err != nil {
+				t.Fatalf("EncodeSystem: %v", err)
+			}
+			dec, err := artifact.Decode(data)
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			for _, w := range workerSettings() {
+				restored, err := dec.System(w)
+				if err != nil {
+					t.Fatalf("workers=%d: System: %v", w, err)
+				}
+				res, err := restored.Match(test)
+				if err != nil {
+					t.Fatalf("workers=%d: Match: %v", w, err)
+				}
+				if got := matchFingerprint(restored, res); got != want {
+					t.Errorf("workers=%d: restored matcher differs from original\noriginal:\n%s\nrestored:\n%s",
+						w, want, got)
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,232 @@
+// Package artifact serializes trained LSD matchers into a single
+// versioned binary artifact and back — the persistence layer that lets
+// a matcher outlive the process that trained it (train once with
+// cmd/lsd -save, serve forever with cmd/lsdserve).
+//
+// Wire layout (all integers little-endian; varints are unsigned LEB128
+// as in encoding/binary):
+//
+//	magic "LSDM" | u16 format version | section* | 'E' | sha256[32]
+//	section := 'S' | name string | u16 encoding | uvarint len | payload
+//
+// Compatibility rules:
+//   - The format version gates the envelope itself: a reader refuses a
+//     file whose version exceeds what it understands.
+//   - Section names are the extension point. A reader skips sections
+//     whose name it does not know, so new writers can add sections
+//     (new learners, new metadata) without breaking old readers.
+//   - Each section carries its own encoding tag; a reader refuses a
+//     section whose encoding is newer than it understands, so payload
+//     changes are versioned independently of the envelope.
+//   - The trailing SHA-256 covers every preceding byte; a corrupted or
+//     truncated artifact fails the checksum before any payload is
+//     decoded.
+package artifact
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// writer accumulates the wire encoding. All emit methods append to the
+// buffer; the zero value is ready to use.
+type writer struct {
+	buf []byte
+}
+
+func (w *writer) bytes(b []byte) { w.buf = append(w.buf, b...) }
+func (w *writer) u8(v byte)      { w.buf = append(w.buf, v) }
+
+func (w *writer) u16(v uint16) {
+	w.buf = binary.LittleEndian.AppendUint16(w.buf, v)
+}
+
+func (w *writer) uvarint(v uint64) {
+	w.buf = binary.AppendUvarint(w.buf, v)
+}
+
+func (w *writer) varint(v int64) {
+	w.buf = binary.AppendVarint(w.buf, v)
+}
+
+func (w *writer) str(s string) {
+	w.uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+func (w *writer) f64(v float64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, math.Float64bits(v))
+}
+
+func (w *writer) strs(ss []string) {
+	w.uvarint(uint64(len(ss)))
+	for _, s := range ss {
+		w.str(s)
+	}
+}
+
+func (w *writer) f64s(vs []float64) {
+	w.uvarint(uint64(len(vs)))
+	for _, v := range vs {
+		w.f64(v)
+	}
+}
+
+// reader decodes the wire encoding with sticky-error, bounds-checked
+// reads: every method checks the remaining input before touching it
+// and records the first failure, so a truncated or corrupted artifact
+// produces an error, never a panic or an oversized allocation.
+type reader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func newReader(data []byte) *reader { return &reader{data: data} }
+
+func (r *reader) failed() bool { return r.err != nil }
+
+func (r *reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("artifact: offset %d: %s", r.off, fmt.Sprintf(format, args...))
+	}
+}
+
+func (r *reader) remaining() int { return len(r.data) - r.off }
+
+func (r *reader) done() bool { return r.err != nil || r.off >= len(r.data) }
+
+func (r *reader) u8() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.remaining() < 1 {
+		r.fail("truncated byte")
+		return 0
+	}
+	v := r.data[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u16() uint16 {
+	if r.err != nil {
+		return 0
+	}
+	if r.remaining() < 2 {
+		r.fail("truncated uint16")
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(r.data[r.off:])
+	r.off += 2
+	return v
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		r.fail("bad uvarint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *reader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.data[r.off:])
+	if n <= 0 {
+		r.fail("bad varint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// count reads a length-prefix and validates it against the remaining
+// input, given the minimum wire size of one element. This is what
+// keeps a corrupted length from driving a huge allocation: a count
+// can never exceed the bytes actually present.
+func (r *reader) count(minElemSize int) int {
+	v := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if minElemSize < 1 {
+		minElemSize = 1
+	}
+	if v > uint64(r.remaining()/minElemSize) {
+		r.fail("count %d exceeds remaining input", v)
+		return 0
+	}
+	return int(v)
+}
+
+func (r *reader) str() string {
+	n := r.count(1)
+	if r.err != nil {
+		return ""
+	}
+	v := string(r.data[r.off : r.off+n])
+	r.off += n
+	return v
+}
+
+func (r *reader) f64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.remaining() < 8 {
+		r.fail("truncated float64")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.data[r.off:]))
+	r.off += 8
+	return v
+}
+
+func (r *reader) strs() []string {
+	n := r.count(1)
+	if r.err != nil {
+		return nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = r.str()
+	}
+	return out
+}
+
+func (r *reader) f64s() []float64 {
+	n := r.count(8)
+	if r.err != nil {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.f64()
+	}
+	return out
+}
+
+// sub carves out the next n bytes as an independent reader, so a
+// section (or nested learner record) decodes against exactly its own
+// payload and cannot read past it.
+func (r *reader) sub(n int) *reader {
+	if r.err != nil {
+		return &reader{err: r.err}
+	}
+	if n < 0 || n > r.remaining() {
+		r.fail("truncated payload of %d bytes", n)
+		return &reader{err: r.err}
+	}
+	s := newReader(r.data[r.off : r.off+n])
+	r.off += n
+	return s
+}

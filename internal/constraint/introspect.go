@@ -1,5 +1,7 @@
 package constraint
 
+import "fmt"
+
 // Structured introspection for static analysis. The Constraint
 // interface deliberately exposes only what the A* handler needs
 // (Violations, Labels, hardness); the schema/constraint checker in
@@ -60,6 +62,9 @@ type Spec struct {
 	Forbid bool
 	// NonLeaf distinguishes NonLeafLabel from LeafLabel.
 	NonLeaf bool
+	// Weight is the soft-constraint weight; meaningful only for
+	// KindProximity and KindBinarySoft (hard constraints always weigh 1).
+	Weight float64
 }
 
 // Describe returns the structured view of c. Constraints built outside
@@ -84,10 +89,90 @@ func Describe(c Constraint) Spec {
 	case *mustMatch:
 		return Spec{Kind: KindMustMatch, Hard: true, Labels: []string{v.label}, Tag: v.tag, Forbid: v.forbid}
 	case *binarySoft:
-		return Spec{Kind: KindBinarySoft, Labels: append([]string{}, v.labels...)}
+		return Spec{Kind: KindBinarySoft, Labels: append([]string{}, v.labels...), Weight: v.weight}
 	case *proximity:
-		return Spec{Kind: KindProximity, Labels: []string{v.labelA, v.labelB}}
+		return Spec{Kind: KindProximity, Labels: []string{v.labelA, v.labelB}, Weight: v.weight}
 	default:
 		return Spec{Kind: KindOpaque, Hard: c.Hard(), Labels: append([]string{}, c.Labels()...)}
+	}
+}
+
+// FromSpec rebuilds the constraint a Spec describes, inverting
+// Describe for every kind whose behaviour is pure data. It is how
+// model artifacts carry a mediated schema's constraint set: each
+// constraint is saved as its Spec and reconstructed on load.
+//
+// Two kinds cannot come back: KindOpaque (user-defined implementations
+// the package cannot see inside) and KindBinarySoft (its violation
+// predicate is an arbitrary closure). Both return an error; callers
+// decide whether a lossy save is acceptable.
+func FromSpec(s Spec) (Constraint, error) {
+	need := func(n int) error {
+		if len(s.Labels) != n {
+			return fmt.Errorf("constraint: spec kind %d wants %d labels, has %d", s.Kind, n, len(s.Labels))
+		}
+		return nil
+	}
+	switch s.Kind {
+	case KindFrequency:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return Frequency(s.Labels[0], s.Min, s.Max), nil
+	case KindNesting:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		if s.Forbid {
+			return NotNestedIn(s.Labels[0], s.Labels[1]), nil
+		}
+		return NestedIn(s.Labels[0], s.Labels[1]), nil
+	case KindContiguity:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return Contiguous(s.Labels[0], s.Labels[1]), nil
+	case KindExclusivity:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return Exclusive(s.Labels[0], s.Labels[1]), nil
+	case KindKey:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return Key(s.Labels[0]), nil
+	case KindFunctionalDep:
+		if len(s.Labels) < 2 {
+			return nil, fmt.Errorf("constraint: functional-dep spec wants >= 2 labels, has %d", len(s.Labels))
+		}
+		dets := append([]string{}, s.Labels[:len(s.Labels)-1]...)
+		return FunctionalDep(dets, s.Labels[len(s.Labels)-1]), nil
+	case KindLeafness:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		if s.NonLeaf {
+			return NonLeafLabel(s.Labels[0]), nil
+		}
+		return LeafLabel(s.Labels[0]), nil
+	case KindMustMatch:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		if s.Tag == "" {
+			return nil, fmt.Errorf("constraint: feedback spec missing tag")
+		}
+		if s.Forbid {
+			return MustNotMatch(s.Tag, s.Labels[0]), nil
+		}
+		return MustMatch(s.Tag, s.Labels[0]), nil
+	case KindProximity:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return Near(s.Labels[0], s.Labels[1], s.Weight), nil
+	default:
+		return nil, fmt.Errorf("constraint: spec kind %d is not reconstructible", s.Kind)
 	}
 }

@@ -23,8 +23,8 @@ func TestDescribeBuiltins(t *testing.T) {
 		{NonLeafLabel("CONTACT"), Spec{Kind: KindLeafness, Hard: true, Labels: []string{"CONTACT"}, NonLeaf: true}},
 		{MustMatch("ad-id", "HOUSE-ID"), Spec{Kind: KindMustMatch, Hard: true, Labels: []string{"HOUSE-ID"}, Tag: "ad-id"}},
 		{MustNotMatch("ad-id", "HOUSE-ID"), Spec{Kind: KindMustMatch, Hard: true, Labels: []string{"HOUSE-ID"}, Tag: "ad-id", Forbid: true}},
-		{Near("A", "B", 0.5), Spec{Kind: KindProximity, Labels: []string{"A", "B"}}},
-		{AtMostSoft("A", 2, 0.5), Spec{Kind: KindBinarySoft, Labels: []string{"A"}}},
+		{Near("A", "B", 0.5), Spec{Kind: KindProximity, Labels: []string{"A", "B"}, Weight: 0.5}},
+		{AtMostSoft("A", 2, 0.5), Spec{Kind: KindBinarySoft, Labels: []string{"A"}, Weight: 0.5}},
 	}
 	for _, tc := range cases {
 		if got := Describe(tc.c); !reflect.DeepEqual(got, tc.want) {

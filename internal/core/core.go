@@ -142,6 +142,14 @@ type System struct {
 	names    []string
 	learners []learn.Learner // trained, aligned with names
 	stacker  *meta.Stacker
+	// The interim ensemble is the non-XML learners stacked on their
+	// own: the XML learner's matching-phase labeler consults it for
+	// sub-element labels (Table 2). It is retained on the system so
+	// model serialization can capture the complete matcher; nil when
+	// the XML learner is disabled or has no base learners to consult.
+	interimNames    []string
+	interimLearners []learn.Learner
+	interimStacker  *meta.Stacker
 }
 
 // Train runs the training phase of §3.1 on the given training sources
@@ -195,6 +203,9 @@ func Train(med *Mediated, sources []*Source, cfg Config) (*System, error) {
 			interim = &ensembleLabeler{
 				mediated: med, learners: interimLearners, stacker: interimStack,
 			}
+			sys.interimNames = append([]string(nil), sys.names...)
+			sys.interimLearners = interimLearners
+			sys.interimStacker = interimStack
 		}
 		xmlFactory := func() learn.Learner {
 			l := xmllearner.New(trainLab, nil)

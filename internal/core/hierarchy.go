@@ -27,6 +27,16 @@ func NewLabelHierarchy(parentOf map[string]string) *LabelHierarchy {
 // Parent returns the immediate ancestor of label, or "".
 func (h *LabelHierarchy) Parent(label string) string { return h.parent[label] }
 
+// ParentMap returns a copy of the child → parent edges, the inverse of
+// NewLabelHierarchy; model artifacts serialize hierarchies through it.
+func (h *LabelHierarchy) ParentMap() map[string]string {
+	cp := make(map[string]string, len(h.parent))
+	for c, p := range h.parent {
+		cp[c] = p
+	}
+	return cp
+}
+
 // Ancestors returns the chain of ancestors of label, nearest first.
 func (h *LabelHierarchy) Ancestors(label string) []string {
 	var out []string

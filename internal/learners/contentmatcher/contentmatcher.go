@@ -10,6 +10,11 @@ import (
 	"repro/internal/learners/whirl"
 )
 
+// extract is the content matcher's text extractor: the element's data
+// content. It is code, not data, so model artifacts record only the
+// classifier state and FromState re-attaches it.
+func extract(in learn.Instance) string { return in.Content }
+
 // New returns an untrained content matcher.
 func New() learn.Learner {
 	cfg := whirl.DefaultConfig()
@@ -18,10 +23,14 @@ func New() learn.Learner {
 	// overlap on short values (§3.3 notes it "is not good at short,
 	// numeric elements") — below the floor it abstains instead.
 	cfg.MinSimilarity = 0.15
-	return whirl.New("ContentMatcher", func(in learn.Instance) string {
-		return in.Content
-	}, cfg)
+	return whirl.New("ContentMatcher", extract, cfg)
 }
 
 // Factory is a learn.Factory for the content matcher.
 func Factory() learn.Learner { return New() }
+
+// FromState rebuilds a trained content matcher from serialized WHIRL
+// state, supplying the content extractor.
+func FromState(st *whirl.State) (learn.Learner, error) {
+	return whirl.Restore(st, extract)
+}

@@ -11,12 +11,21 @@ import (
 	"repro/internal/learners/whirl"
 )
 
+// extract is the name matcher's text extractor: the tag name expanded
+// with its path and synonyms. It is code, not data, so model artifacts
+// record only the classifier state and FromState re-attaches it.
+func extract(in learn.Instance) string { return in.ExpandedName() }
+
 // New returns an untrained name matcher.
 func New() learn.Learner {
-	return whirl.New("NameMatcher", func(in learn.Instance) string {
-		return in.ExpandedName()
-	}, whirl.DefaultConfig())
+	return whirl.New("NameMatcher", extract, whirl.DefaultConfig())
 }
 
 // Factory is a learn.Factory for the name matcher.
 func Factory() learn.Learner { return New() }
+
+// FromState rebuilds a trained name matcher from serialized WHIRL
+// state, supplying the expanded-name extractor.
+func FromState(st *whirl.State) (learn.Learner, error) {
+	return whirl.Restore(st, extract)
+}

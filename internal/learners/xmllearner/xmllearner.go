@@ -140,6 +140,24 @@ func New(trainLabeler, matchLabeler NodeLabeler) *Learner {
 // dependency between the XML learner and the ensemble it consults.
 func (l *Learner) SetMatchLabeler(nl NodeLabeler) { l.matchLabeler = nl }
 
+// State snapshots the trained learner's Naive Bayes model for
+// serialization; nil if untrained. The labelers are code, not data:
+// the training labeler is only needed during Train, and the matching
+// labeler is rebuilt by the pipeline from the serialized interim
+// ensemble and re-attached with SetMatchLabeler.
+func (l *Learner) State() *naivebayes.State { return l.nb.State() }
+
+// Restore rebuilds a trained XML learner from its serialized Naive
+// Bayes state. The caller re-attaches the matching-phase labeler with
+// SetMatchLabeler; until then sub-element tags pass through verbatim.
+func Restore(st *naivebayes.State) (*Learner, error) {
+	nb, err := naivebayes.Restore(st)
+	if err != nil {
+		return nil, fmt.Errorf("xmllearner: %w", err)
+	}
+	return &Learner{nb: nb}, nil
+}
+
 // Name implements learn.Learner.
 func (l *Learner) Name() string { return "XMLLearner" }
 

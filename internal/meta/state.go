@@ -1,0 +1,59 @@
+package meta
+
+// Serialization support: a fitted Stacker is a pure weight table,
+// immutable after Train, carried verbatim through model artifacts so a
+// restored stacker combines predictions bit-identically.
+
+import "fmt"
+
+// StackerState is the serializable view of a fitted Stacker. Weights
+// aligns row-for-row with Labels; each row aligns with LearnerNames.
+type StackerState struct {
+	Labels       []string
+	LearnerNames []string
+	Weights      [][]float64
+}
+
+// State snapshots the stacker.
+func (s *Stacker) State() *StackerState {
+	st := &StackerState{
+		Labels:       append([]string(nil), s.labels...),
+		LearnerNames: append([]string(nil), s.learnerNames...),
+		Weights:      make([][]float64, len(s.labels)),
+	}
+	for i, c := range s.labels {
+		st.Weights[i] = append([]float64(nil), s.weights[c]...)
+	}
+	return st
+}
+
+// RestoreStacker rebuilds a fitted stacker from a snapshot, validating
+// that the weight table is rectangular and aligned with the label and
+// learner sets.
+func RestoreStacker(st *StackerState) (*Stacker, error) {
+	if st == nil {
+		return nil, fmt.Errorf("meta: nil stacker state")
+	}
+	if len(st.LearnerNames) == 0 {
+		return nil, fmt.Errorf("meta: stacker state has no learners")
+	}
+	if len(st.Weights) != len(st.Labels) {
+		return nil, fmt.Errorf("meta: %d weight rows for %d labels", len(st.Weights), len(st.Labels))
+	}
+	s := &Stacker{
+		labels:       append([]string(nil), st.Labels...),
+		learnerNames: append([]string(nil), st.LearnerNames...),
+		weights:      make(map[string][]float64, len(st.Labels)),
+	}
+	for i, c := range s.labels {
+		if _, dup := s.weights[c]; dup {
+			return nil, fmt.Errorf("meta: duplicate label %q in stacker state", c)
+		}
+		if len(st.Weights[i]) != len(s.learnerNames) {
+			return nil, fmt.Errorf("meta: label %q has %d weights for %d learners",
+				c, len(st.Weights[i]), len(s.learnerNames))
+		}
+		s.weights[c] = append([]float64(nil), st.Weights[i]...)
+	}
+	return s, nil
+}

@@ -1,6 +1,7 @@
 package text
 
 import (
+	"fmt"
 	"math"
 	"slices"
 	"sort"
@@ -186,6 +187,58 @@ func (c *Corpus) Freeze() {
 		c.idf[id] = math.Log(1 + n/float64(df))
 	}
 	c.oovIDF = math.Log(1 + n)
+}
+
+// CorpusState is the serializable view of a frozen Corpus: the interned
+// tokens in id order, the per-token document frequencies, and the
+// document count. The IDF table is deliberately absent — it is a pure
+// function of these fields, and RestoreCorpus recomputes it with the
+// same math.Log calls Freeze runs, so a restored corpus vectorizes
+// bit-identically to the one that was saved.
+type CorpusState struct {
+	Tokens  []string
+	DocFreq []int64
+	NumDocs int64
+}
+
+// State snapshots the corpus for serialization. It freezes the corpus
+// first: only frozen corpora have a stable coordinate system.
+func (c *Corpus) State() CorpusState {
+	if !c.frozen {
+		c.Freeze()
+	}
+	df := make([]int64, len(c.docFreq))
+	for i, n := range c.docFreq {
+		df[i] = int64(n)
+	}
+	return CorpusState{Tokens: c.vocab.Tokens(), DocFreq: df, NumDocs: int64(c.numDocs)}
+}
+
+// RestoreCorpus rebuilds a frozen corpus from a snapshot. Document
+// frequencies must align one-to-one with the tokens and be positive:
+// every interned token was seen in at least one document, and a zero
+// frequency would divide by zero in the IDF computation.
+func RestoreCorpus(st CorpusState) (*Corpus, error) {
+	if len(st.DocFreq) != len(st.Tokens) {
+		return nil, fmt.Errorf("text: %d document frequencies for %d tokens", len(st.DocFreq), len(st.Tokens))
+	}
+	if st.NumDocs < 0 {
+		return nil, fmt.Errorf("text: negative document count %d", st.NumDocs)
+	}
+	vocab, err := RestoreVocab(st.Tokens)
+	if err != nil {
+		return nil, err
+	}
+	c := &Corpus{vocab: vocab, numDocs: int(st.NumDocs)}
+	c.docFreq = make([]int, len(st.DocFreq))
+	for i, n := range st.DocFreq {
+		if n <= 0 || n > st.NumDocs {
+			return nil, fmt.Errorf("text: document frequency %d of token %q outside [1, %d]", n, st.Tokens[i], st.NumDocs)
+		}
+		c.docFreq[i] = int(n)
+	}
+	c.Freeze()
+	return c, nil
 }
 
 // IDF returns the inverse document frequency of token t. Unknown

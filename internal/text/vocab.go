@@ -1,6 +1,9 @@
 package text
 
-import "slices"
+import (
+	"fmt"
+	"slices"
+)
 
 // ID is a dense token identifier assigned by a Vocab. Interned ids
 // index directly into flat arrays (IDF tables, per-label log-probability
@@ -61,6 +64,32 @@ func (v *Vocab) Lookup(tok string) (ID, bool) {
 // Token returns the token with the given id. It panics if id was never
 // assigned.
 func (v *Vocab) Token(id ID) string { return v.tokens[id] }
+
+// Tokens returns a copy of the interned tokens in id order. Together
+// with RestoreVocab it round-trips a vocabulary through a model
+// artifact: the slice index of each token is its id.
+func (v *Vocab) Tokens() []string {
+	return append([]string(nil), v.tokens...)
+}
+
+// RestoreVocab rebuilds a frozen vocabulary from a token list in id
+// order, as produced by Tokens. Duplicate tokens are an error: they
+// would silently alias two ids and corrupt every table indexed by the
+// vocabulary.
+func RestoreVocab(tokens []string) (*Vocab, error) {
+	v := &Vocab{
+		ids:    make(map[string]ID, len(tokens)),
+		tokens: append([]string(nil), tokens...),
+	}
+	for i, t := range v.tokens {
+		if _, dup := v.ids[t]; dup {
+			return nil, fmt.Errorf("text: duplicate token %q in vocabulary", t)
+		}
+		v.ids[t] = ID(i)
+	}
+	v.frozen = true
+	return v, nil
+}
 
 // Freeze marks the vocabulary immutable: further Intern calls of
 // unseen tokens panic, and concurrent Lookup/Token become safe.

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/artifact"
 	"repro/internal/constraint"
 	"repro/internal/core"
 	"repro/internal/dtd"
@@ -86,6 +87,29 @@ func DefaultConfig() Config { return core.DefaultConfig() }
 // Train runs LSD's training phase on sources whose mappings are known.
 func Train(med *Mediated, sources []*Source, cfg Config) (*System, error) {
 	return core.Train(med, sources, cfg)
+}
+
+// SaveModel writes the trained system to path as a single versioned,
+// checksummed model artifact under the given model name. Artifacts are
+// what cmd/lsdserve serves; a matcher restored from one returns
+// bit-identical predictions to the original.
+func SaveModel(path, name string, sys *System) error {
+	return artifact.Save(path, name, sys)
+}
+
+// LoadModel restores a trained system from a model artifact, returning
+// the system and the model name recorded at save time. workers sets
+// the restored system's worker budget (Config.Workers semantics).
+func LoadModel(path string, workers int) (*System, string, error) {
+	d, err := artifact.Load(path)
+	if err != nil {
+		return nil, "", err
+	}
+	sys, err := d.System(workers)
+	if err != nil {
+		return nil, "", err
+	}
+	return sys, d.Name, nil
 }
 
 // ParseDTD parses DTD text into a Schema.
