@@ -24,10 +24,16 @@ go vet ./...
 
 # The linters' own tests run before the tree-wide lint: a broken
 # analyzer or driver must fail loudly here, not pass vacuously by
-# reporting nothing.
+# reporting nothing. This includes the golden-file tests of every
+# analyzer (internal/analysis/testdata) and the -checks/-timing/-budget
+# driver tests.
 go test ./internal/analysis/... ./cmd/lsdlint/... ./internal/schemacheck/... ./cmd/lsdschema/...
 
-go run ./cmd/lsdlint ./...
+# Tree-wide lint with per-analyzer timing and a wall-clock budget: the
+# whole-program analyzers (statecodec, snapshotonce, boundedread,
+# hotalloc) walk the full call graph, so their cost stays visible here
+# and the run fails outright if it outgrows the budget.
+go run ./cmd/lsdlint -timing -budget 120s ./...
 
 # lsdschema with no arguments checks every built-in datagen domain:
 # mediated schemas, constraint sets, and synthesized source schemas.

@@ -28,10 +28,11 @@ func suppressions(sups []analysis.Suppression) []report.Suppression {
 	out := make([]report.Suppression, 0, len(sups))
 	for _, s := range sups {
 		out = append(out, report.Suppression{
-			File:   s.Position.Filename,
-			Line:   s.Position.Line,
-			Check:  s.Check,
-			Reason: s.Reason,
+			File:    s.Position.Filename,
+			Line:    s.Position.Line,
+			Package: s.Package,
+			Check:   s.Check,
+			Reason:  s.Reason,
 		})
 	}
 	return out

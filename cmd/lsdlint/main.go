@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	lsdlint [-root dir] [-format text|json|sarif] [-suppressions] [patterns...]
+//	lsdlint [-root dir] [-format text|json|sarif] [-checks list] [-timing] [-budget d] [-suppressions] [patterns...]
 //
 // Patterns follow go-tool conventions relative to the module root:
 // "./..." (the default) lints every package, "./internal/..." a
@@ -15,6 +15,15 @@
 // code-scanning upload). The exit status is the same in every format:
 // 1 when there are findings, 2 on usage or load errors, and 0 on a
 // clean tree.
+//
+// -checks selects analyzers by name: a comma-separated list keeps
+// only those analyzers, and !-prefixed names exclude from the full
+// suite instead ("-checks hotalloc,statecodec" or
+// "-checks !lockorder"); an unknown name is a usage error. -timing
+// prints each analyzer's cumulative wall-clock cost to stderr, and
+// -budget fails the run (exit 1) when the whole lint — load plus
+// analysis — exceeds the given duration, keeping the whole-program
+// framework's cost visible in CI as the tree grows.
 //
 // Individual findings can be suppressed, with a mandatory reason, by a
 // "//lint:ignore <check> <reason>" comment on or directly above the
@@ -29,6 +38,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/report"
@@ -44,8 +54,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	rootFlag := fs.String("root", "", "module root directory (default: found from the working directory)")
 	formatFlag := fs.String("format", "text", "output format: text, json, or sarif")
 	supFlag := fs.Bool("suppressions", false, "report every //lint:ignore directive instead of linting")
+	checksFlag := fs.String("checks", "", "comma-separated analyzers to run, or !name entries to exclude")
+	timingFlag := fs.Bool("timing", false, "print per-analyzer wall-clock timing to stderr")
+	budgetFlag := fs.Duration("budget", 0, "fail when the whole lint run exceeds this duration (0 disables)")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: lsdlint [-root dir] [-format text|json|sarif] [-suppressions] [patterns...]")
+		fmt.Fprintln(stderr, "usage: lsdlint [-root dir] [-format text|json|sarif] [-checks list] [-timing] [-budget d] [-suppressions] [patterns...]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -91,10 +104,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	analyzers := analysis.DefaultAnalyzers()
-	diags, err := analysis.Lint(root, modpath, paths, analyzers)
+	if *checksFlag != "" {
+		if analyzers, err = analysis.SelectChecks(analyzers, *checksFlag); err != nil {
+			fmt.Fprintln(stderr, "lsdlint:", err)
+			return 2
+		}
+	}
+	start := time.Now()
+	diags, timings, err := analysis.LintTimed(root, modpath, paths, analyzers)
+	total := time.Since(start)
 	if err != nil {
 		fmt.Fprintln(stderr, "lsdlint:", err)
 		return 2
+	}
+	if *timingFlag {
+		for _, tm := range timings {
+			fmt.Fprintf(stderr, "lsdlint: timing %-16s %8.1fms\n", tm.Name, float64(tm.Elapsed.Microseconds())/1000)
+		}
+		fmt.Fprintf(stderr, "lsdlint: timing %-16s %8.1fms (load + analysis)\n", "total", float64(total.Microseconds())/1000)
 	}
 	switch *formatFlag {
 	case "json":
@@ -112,8 +139,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout, d)
 		}
 	}
+	overBudget := *budgetFlag > 0 && total > *budgetFlag
+	if overBudget {
+		fmt.Fprintf(stderr, "lsdlint: run took %v, over the %v budget; the whole-program framework is getting too slow\n",
+			total.Round(time.Millisecond), *budgetFlag)
+	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "lsdlint: %d finding(s)\n", len(diags))
+	}
+	if len(diags) > 0 || overBudget {
 		return 1
 	}
 	return 0

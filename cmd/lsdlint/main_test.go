@@ -100,3 +100,77 @@ func TestRunUnmatchedPatternExitsTwo(t *testing.T) {
 		t.Errorf("exit %d for unmatched pattern, want 2", code)
 	}
 }
+
+const dirtyMapRange = `package m
+
+func Bad(m map[string]float64) float64 {
+	s := 0.0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+`
+
+func TestRunUnknownCheckExitsTwo(t *testing.T) {
+	dir := writeModule(t, map[string]string{"a.go": cleanSrc})
+	var out, errb bytes.Buffer
+	if code := run([]string{"-root", dir, "-checks", "nosuchcheck", "./..."}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d for unknown check, want 2; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "nosuchcheck") {
+		t.Errorf("stderr does not name the unknown check: %s", errb.String())
+	}
+	if !strings.Contains(errb.String(), "maprangefloat") {
+		t.Errorf("stderr does not list the known checks: %s", errb.String())
+	}
+}
+
+func TestRunChecksSelection(t *testing.T) {
+	dir := writeModule(t, map[string]string{"a.go": dirtyMapRange})
+	var out, errb bytes.Buffer
+	// Selecting only the triggering analyzer still finds the bug.
+	if code := run([]string{"-root", dir, "-checks", "maprangefloat", "./..."}, &out, &errb); code != 1 {
+		t.Errorf("exit %d with maprangefloat selected, want 1; stderr: %s", code, errb.String())
+	}
+	out.Reset()
+	errb.Reset()
+	// Excluding it silences the tree.
+	if code := run([]string{"-root", dir, "-checks", "!maprangefloat", "./..."}, &out, &errb); code != 0 {
+		t.Errorf("exit %d with maprangefloat excluded, want 0; out: %s", code, out.String())
+	}
+	out.Reset()
+	errb.Reset()
+	// Mixing includes and excludes is a usage error.
+	if code := run([]string{"-root", dir, "-checks", "maprangefloat,!seedflow", "./..."}, &out, &errb); code != 2 {
+		t.Errorf("exit %d mixing include and exclude, want 2", code)
+	}
+}
+
+func TestRunTimingOutput(t *testing.T) {
+	dir := writeModule(t, map[string]string{"a.go": cleanSrc})
+	var out, errb bytes.Buffer
+	if code := run([]string{"-root", dir, "-timing", "./..."}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d on clean tree with -timing, want 0; stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"timing maprangefloat", "timing hotalloc", "timing total"} {
+		if !strings.Contains(errb.String(), want) {
+			t.Errorf("timing output missing %q:\n%s", want, errb.String())
+		}
+	}
+	if out.Len() != 0 {
+		t.Errorf("timing lines leaked to stdout: %s", out.String())
+	}
+}
+
+func TestRunBudgetExceededExitsOne(t *testing.T) {
+	dir := writeModule(t, map[string]string{"a.go": cleanSrc})
+	var out, errb bytes.Buffer
+	// Any real run exceeds a 1ns budget, even on a clean tree.
+	if code := run([]string{"-root", dir, "-budget", "1ns", "./..."}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d with 1ns budget, want 1; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "budget") {
+		t.Errorf("stderr missing budget message: %s", errb.String())
+	}
+}

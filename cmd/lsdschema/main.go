@@ -9,7 +9,11 @@
 //
 // Usage:
 //
-//	lsdschema [-root dir] [-format text|json|sarif] [-suppressions] [files.dtd...]
+//	lsdschema [-root dir] [-format text|json|sarif] [-checks list] [-suppressions] [files.dtd...]
+//
+// -checks mirrors lsdlint's flag: a comma-separated list of check
+// names keeps only those checks' findings, !-prefixed names exclude
+// instead, and an unknown name is a usage error.
 //
 // With file arguments, each file is parsed as a DTD and checked; with
 // none, the built-in datagen domains are checked instead — every
@@ -36,6 +40,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"strings"
 
 	"repro/internal/analysis/report"
 	"repro/internal/schemacheck"
@@ -51,11 +57,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	rootFlag := fs.String("root", "", "directory findings are reported relative to (default: the working directory)")
 	formatFlag := fs.String("format", "text", "output format: text, json, or sarif")
 	supFlag := fs.Bool("suppressions", false, "report every lint:ignore directive instead of checking")
+	checksFlag := fs.String("checks", "", "comma-separated checks to keep, or !name entries to exclude")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: lsdschema [-root dir] [-format text|json|sarif] [-suppressions] [files.dtd...]")
+		fmt.Fprintln(stderr, "usage: lsdschema [-root dir] [-format text|json|sarif] [-checks list] [-suppressions] [files.dtd...]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	keep, err := selectChecks(*checksFlag)
+	if err != nil {
+		fmt.Fprintln(stderr, "lsdschema:", err)
 		return 2
 	}
 	switch *formatFlag {
@@ -96,6 +108,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			findings = append(findings, fs...)
 		}
+	}
+	if keep != nil {
+		kept := findings[:0]
+		for _, f := range findings {
+			if keep(f.Check) {
+				kept = append(kept, f)
+			}
+		}
+		findings = kept
 	}
 
 	switch *formatFlag {
@@ -173,6 +194,57 @@ func runSuppressions(root string, files []string, format string, stdout, stderr 
 func displayFinding(root string, f schemacheck.Finding) schemacheck.Finding {
 	f.File = report.RelPath(root, f.File)
 	return f
+}
+
+// selectChecks parses the -checks spec against the known check names
+// (the schemacheck suite plus "ignore") and returns a keep predicate,
+// nil when the spec selects everything. Bare names keep only those
+// checks, !-prefixed names exclude from the full set, and the two
+// forms cannot be mixed; an unknown name errors so typos fail loudly.
+func selectChecks(spec string) (func(string) bool, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	known := map[string]bool{"ignore": true}
+	for _, c := range schemacheck.Checks() {
+		known[c.Name] = true
+	}
+	include, exclude := make(map[string]bool), make(map[string]bool)
+	for _, raw := range strings.Split(spec, ",") {
+		name := strings.TrimSpace(raw)
+		if name == "" {
+			continue
+		}
+		negated := strings.HasPrefix(name, "!")
+		if negated {
+			name = name[1:]
+		}
+		if !known[name] {
+			names := make([]string, 0, len(known))
+			for n := range known {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			return nil, fmt.Errorf("unknown check %q (known: %s)", name, strings.Join(names, ", "))
+		}
+		if negated {
+			exclude[name] = true
+		} else {
+			include[name] = true
+		}
+	}
+	if len(include) > 0 && len(exclude) > 0 {
+		return nil, fmt.Errorf("cannot mix included and !-excluded checks in one -checks list")
+	}
+	if len(include) == 0 && len(exclude) == 0 {
+		return nil, nil
+	}
+	return func(name string) bool {
+		if len(include) > 0 {
+			return include[name]
+		}
+		return !exclude[name]
+	}, nil
 }
 
 // rules is the SARIF rule table: the full check suite plus the rule

@@ -311,6 +311,44 @@ func TestRunSuppressionsReport(t *testing.T) {
 	}
 }
 
+func TestRunUnknownCheckExitsTwo(t *testing.T) {
+	dir, path := writeDTD(t, "clean.dtd", cleanDTD)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-root", dir, "-checks", "nosuchcheck", path}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d for unknown check, want 2; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "nosuchcheck") {
+		t.Errorf("stderr does not name the unknown check: %s", errb.String())
+	}
+	if !strings.Contains(errb.String(), "ambiguity") {
+		t.Errorf("stderr does not list the known checks: %s", errb.String())
+	}
+}
+
+func TestRunChecksSelection(t *testing.T) {
+	dir, path := writeDTD(t, "dirty.dtd", dirtyDTD)
+	var out, errb bytes.Buffer
+	// Keeping only ambiguity drops the malformed-directive finding.
+	if code := run([]string{"-root", dir, "-checks", "ambiguity", path}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d with ambiguity selected, want 1; stderr: %s", code, errb.String())
+	}
+	if strings.Contains(out.String(), "ignore:") {
+		t.Errorf("excluded ignore finding leaked:\n%s", out.String())
+	}
+	out.Reset()
+	errb.Reset()
+	// Excluding both triggering checks leaves a clean run.
+	if code := run([]string{"-root", dir, "-checks", "!ambiguity,!ignore", path}, &out, &errb); code != 0 {
+		t.Errorf("exit %d with both checks excluded, want 0; out: %s", code, out.String())
+	}
+	out.Reset()
+	errb.Reset()
+	// Mixing includes and excludes is a usage error.
+	if code := run([]string{"-root", dir, "-checks", "ambiguity,!ignore", path}, &out, &errb); code != 2 {
+		t.Errorf("exit %d mixing include and exclude, want 2", code)
+	}
+}
+
 // TestRunMultipleFiles pins that findings from several files are
 // concatenated in argument order and counted together.
 func TestRunMultipleFiles(t *testing.T) {

@@ -25,6 +25,19 @@
 //   - workerpure: closures handed to parallel.Map/ForEach write
 //     nothing but their own result slot, transitively through their
 //     callees, unless the target is tagged `// guarded by`.
+//   - statecodec: every exported field of a struct the artifact codec
+//     touches must flow into an encode call and receive a decode
+//     assignment, interprocedurally from the `// lint:codec` roots, so
+//     new state fields cannot silently miss the wire format.
+//   - snapshotonce: code reachable from an HTTP handler loads the
+//     atomic.Pointer registry snapshot at most once per request (the
+//     hot-swap torn-read class).
+//   - boundedread: a length read from the wire must pass a relational
+//     bounds check before it reaches make or io.ReadFull, including
+//     through callee parameters (decoder over-allocation class).
+//   - hotalloc: functions reachable from `// lint:hot` roots avoid
+//     fmt.Sprintf-style formatting, map allocation, and unhinted
+//     append-in-loop growth.
 //
 // Findings can be suppressed with a justified directive on (or
 // immediately above) the offending line:
@@ -40,6 +53,8 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"strings"
+	"time"
 )
 
 // Diagnostic is one analyzer finding, resolved to a file position.
@@ -104,7 +119,63 @@ func DefaultAnalyzers() []*Analyzer {
 		NormalizedPred,
 		LockOrder,
 		WorkerPure,
+		StateCodec,
+		SnapshotOnce,
+		BoundedRead,
+		HotAlloc,
 	}
+}
+
+// SelectChecks filters analyzers by a comma-separated spec: bare
+// names keep only those analyzers, !-prefixed names exclude them from
+// the full set, and the two forms cannot be mixed. An unknown name is
+// an error so typos fail loudly instead of silently linting nothing.
+func SelectChecks(analyzers []*Analyzer, spec string) ([]*Analyzer, error) {
+	byName := make(map[string]*Analyzer, len(analyzers))
+	for _, a := range analyzers {
+		byName[a.Name] = a
+	}
+	include, exclude := make(map[string]bool), make(map[string]bool)
+	for _, raw := range strings.Split(spec, ",") {
+		name := strings.TrimSpace(raw)
+		if name == "" {
+			continue
+		}
+		negated := strings.HasPrefix(name, "!")
+		if negated {
+			name = name[1:]
+		}
+		if byName[name] == nil {
+			known := make([]string, 0, len(byName))
+			for n := range byName {
+				known = append(known, n)
+			}
+			sort.Strings(known)
+			return nil, fmt.Errorf("unknown check %q (known: %s)", name, strings.Join(known, ", "))
+		}
+		if negated {
+			exclude[name] = true
+		} else {
+			include[name] = true
+		}
+	}
+	if len(include) > 0 && len(exclude) > 0 {
+		return nil, fmt.Errorf("cannot mix included and !-excluded checks in one -checks list")
+	}
+	if len(include) == 0 && len(exclude) == 0 {
+		return analyzers, nil
+	}
+	var out []*Analyzer
+	for _, a := range analyzers {
+		if len(include) > 0 && !include[a.Name] {
+			continue
+		}
+		if exclude[a.Name] {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out, nil
 }
 
 // RunAnalyzers runs the analyzers over a single loaded package,
@@ -123,6 +194,12 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 // other packages' code are still reported against this package's
 // positions.
 func AnalyzePackage(prog *Program, pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	return analyzePackage(prog, pkg, analyzers, nil)
+}
+
+// analyzePackage is AnalyzePackage with an optional per-analyzer
+// wall-clock accumulator keyed by analyzer name.
+func analyzePackage(prog *Program, pkg *Package, analyzers []*Analyzer, elapsed map[string]time.Duration) []Diagnostic {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -134,7 +211,11 @@ func AnalyzePackage(prog *Program, pkg *Package, analyzers []*Analyzer) []Diagno
 			analyzer: a,
 			diags:    &diags,
 		}
+		start := time.Now()
 		a.Run(pass)
+		if elapsed != nil {
+			elapsed[a.Name] += time.Since(start)
+		}
 	}
 	diags = applyIgnores(pkg, diags)
 	sortDiagnostics(diags)
@@ -150,16 +231,47 @@ func AnalyzePackage(prog *Program, pkg *Package, analyzers []*Analyzer) []Diagno
 // sorted by position. A package that fails to parse or type-check is a
 // hard error, not a diagnostic.
 func Lint(root, modpath string, paths []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := lintTimed(root, modpath, paths, analyzers, false)
+	return diags, err
+}
+
+// AnalyzerTiming is the cumulative wall-clock cost of one analyzer
+// across every linted package of a run.
+type AnalyzerTiming struct {
+	Name    string
+	Elapsed time.Duration
+}
+
+// LintTimed is Lint plus per-analyzer wall-clock timings, in suite
+// order. Program-wide results cached across analyzers (call graphs,
+// reachability, taint fixpoints) are attributed to whichever analyzer
+// computes them first, so early entries can look more expensive than
+// a solo run would show.
+func LintTimed(root, modpath string, paths []string, analyzers []*Analyzer) ([]Diagnostic, []AnalyzerTiming, error) {
+	return lintTimed(root, modpath, paths, analyzers, true)
+}
+
+func lintTimed(root, modpath string, paths []string, analyzers []*Analyzer, timed bool) ([]Diagnostic, []AnalyzerTiming, error) {
 	pkgs, prog, err := loadProgram(root, modpath, paths)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	var elapsed map[string]time.Duration
+	if timed {
+		elapsed = make(map[string]time.Duration, len(analyzers))
 	}
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
-		diags = append(diags, AnalyzePackage(prog, pkg, analyzers)...)
+		diags = append(diags, analyzePackage(prog, pkg, analyzers, elapsed)...)
 	}
 	sortDiagnostics(diags)
-	return diags, nil
+	var timings []AnalyzerTiming
+	if timed {
+		for _, a := range analyzers {
+			timings = append(timings, AnalyzerTiming{Name: a.Name, Elapsed: elapsed[a.Name]})
+		}
+	}
+	return diags, timings, nil
 }
 
 // loadProgram loads the requested packages (all module packages when

@@ -32,6 +32,10 @@ func TestGolden(t *testing.T) {
 		{"normalizedpred", analysis.NormalizedPred},
 		{"lockorder", analysis.LockOrder},
 		{"workerpure", analysis.WorkerPure},
+		{"statecodec", analysis.StateCodec},
+		{"snapshotonce", analysis.SnapshotOnce},
+		{"boundedread", analysis.BoundedRead},
+		{"hotalloc", analysis.HotAlloc},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HotAlloc keeps the measured hot paths allocation-lean. Functions
+// whose doc comment carries `// lint:hot` are roots (Predict, Dot,
+// Match — the paths the allocs/op bench gate watches), and every
+// function transitively reachable from a root is scanned for the
+// allocation habits that erode per-op numbers gradually enough that
+// the bench gate's threshold misses each individual step:
+//
+//   - fmt.Sprintf / Sprint / Sprintln / Errorf calls (always allocate,
+//     usually in error or key construction that belongs outside the
+//     loop)
+//   - map allocations, whether make(map[...]...) or a literal (maps
+//     never shrink and defeat the dense-scratch reuse pattern)
+//   - append inside a loop whose destination has no capacity hint — no
+//     three-argument make and no buf[:0] re-slice of a caller-owned
+//     buffer — so the slice regrows every few iterations
+//
+// The complement of the dynamic gate: the bench catches regressions
+// after they land, this names the exact site before. Deliberate
+// allocations (a cache insert, a cold error path) carry justified
+// //lint:ignore hotalloc suppressions.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "functions reachable from // lint:hot roots must avoid casual allocation",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) {
+	reach := hotReach(pass.Prog)
+	for _, d := range pass.Prog.Decls() {
+		if d.Pkg.Pkg != pass.Pkg {
+			continue
+		}
+		if roots := reach[d.Fn]; roots != nil {
+			checkHotBody(pass, d, roots)
+		}
+	}
+}
+
+// hotReach maps every function reachable from a `// lint:hot` root to
+// the sorted root names it serves, computed once per program.
+func hotReach(prog *Program) map[*types.Func][]string {
+	return prog.Cache("hotalloc.reach", func() any {
+		return reachableFrom(prog, annotatedRoots(prog, "lint:hot"))
+	}).(map[*types.Func][]string)
+}
+
+// checkHotBody reports the allocation sites in one hot function.
+func checkHotBody(pass *Pass, d *FuncDecl, roots []string) {
+	info := d.Pkg.Info
+	via := "hot path reachable from " + strings.Join(roots, ", ")
+	hinted := capacityHintedVars(info, d.Decl.Body)
+
+	var walk func(n ast.Node, inLoop bool)
+	walk = func(n ast.Node, inLoop bool) {
+		if n == nil {
+			return
+		}
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ForStmt:
+				walk(n.Init, inLoop)
+				walk(n.Cond, inLoop)
+				walk(n.Post, inLoop)
+				walk(n.Body, true)
+				return false
+			case *ast.RangeStmt:
+				walk(n.X, inLoop)
+				walk(n.Body, true)
+				return false
+			case *ast.CompositeLit:
+				if isMapType(info.TypeOf(n)) {
+					pass.Reportf(n.Pos(), "map literal allocates in a %s; reuse a scratch map or restructure", via)
+				}
+			case *ast.CallExpr:
+				checkHotCall(pass, info, n, inLoop, hinted, via)
+			}
+			return true
+		})
+	}
+	walk(d.Decl.Body, false)
+}
+
+// checkHotCall flags one call site: fmt formatting, map makes, and
+// unhinted appends in loops.
+func checkHotCall(pass *Pass, info *types.Info, call *ast.CallExpr, inLoop bool, hinted map[*types.Var]bool, via string) {
+	if fn := CalleeOf(info, call); fn != nil {
+		if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			switch fn.Name() {
+			case "Sprintf", "Sprint", "Sprintln", "Errorf":
+				pass.Reportf(call.Pos(), "fmt.%s allocates in a %s; build the string outside the hot path or with a reused buffer", fn.Name(), via)
+			}
+		}
+		return
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	if !ok {
+		return
+	}
+	switch b.Name() {
+	case "make":
+		if len(call.Args) > 0 && isMapType(info.TypeOf(call.Args[0])) {
+			pass.Reportf(call.Pos(), "make(map) allocates in a %s; reuse a scratch map or restructure", via)
+		}
+	case "append":
+		if !inLoop || len(call.Args) == 0 {
+			return
+		}
+		dst, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+		if !ok {
+			return
+		}
+		v, ok := info.Uses[dst].(*types.Var)
+		if !ok || hinted[v] {
+			return
+		}
+		pass.Reportf(call.Pos(), "append to %s inside a loop in a %s without a capacity hint; pre-size with make(..., 0, n) or reuse a buffer via buf[:0]", dst.Name, via)
+	}
+}
+
+// capacityHintedVars collects the variables the body ever assigns
+// from a capacity-carrying expression: a three-argument make, or a
+// zero-length re-slice (buf[:0]) of an existing buffer. Appending to
+// such a variable in a loop amortizes into the reserved capacity
+// instead of regrowing.
+func capacityHintedVars(info *types.Info, body ast.Node) map[*types.Var]bool {
+	hinted := make(map[*types.Var]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, lhs := range assign.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			v := defOrUseVar(info, id)
+			if v == nil || !isCapacityHint(info, assign.Rhs[i]) {
+				continue
+			}
+			hinted[v] = true
+		}
+		return true
+	})
+	return hinted
+}
+
+// isCapacityHint reports whether the expression carries explicit
+// capacity: make with a cap argument, or a [:0]-style re-slice.
+func isCapacityHint(info *types.Info, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		id, ok := ast.Unparen(e.Fun).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		b, ok := info.Uses[id].(*types.Builtin)
+		return ok && b.Name() == "make" && len(e.Args) == 3
+	case *ast.SliceExpr:
+		if e.High == nil {
+			return false
+		}
+		lit, ok := ast.Unparen(e.High).(*ast.BasicLit)
+		return ok && lit.Value == "0"
+	}
+	return false
+}
+
+func defOrUseVar(info *types.Info, id *ast.Ident) *types.Var {
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := info.Uses[id].(*types.Var)
+	return v
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}

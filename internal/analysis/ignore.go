@@ -105,16 +105,20 @@ func standaloneComment(src []byte, pos token.Position) bool {
 
 // Suppression is one //lint:ignore directive found in linted source,
 // for the audit report: every live suppression carries its written
-// justification, and a malformed one shows up with an empty Reason.
+// justification (a malformed one shows up with an empty Reason) and
+// the import path of the package it lives in.
 type Suppression struct {
 	Position token.Position
+	Package  string
 	Check    string
 	Reason   string
 }
 
 // Suppressions loads the packages at the given module-relative import
-// paths (every package in the module when paths is nil) and inventories
-// their //lint:ignore directives, sorted by position.
+// paths (every package in the module when paths is nil) and
+// inventories their //lint:ignore directives. The order is fully
+// deterministic — file, line, column, check, reason — so successive
+// CI runs diff cleanly.
 func Suppressions(root, modpath string, paths []string) ([]Suppression, error) {
 	loader := NewLoader(root, modpath)
 	if paths == nil {
@@ -131,15 +135,24 @@ func Suppressions(root, modpath string, paths []string) ([]Suppression, error) {
 			return nil, err
 		}
 		for _, d := range ignoreDirectives(pkg) {
-			out = append(out, Suppression{Position: d.pos, Check: d.check, Reason: d.reason})
+			out = append(out, Suppression{Position: d.pos, Package: path, Check: d.check, Reason: d.reason})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i].Position, out[j].Position
-		if a.Filename != b.Filename {
-			return a.Filename < b.Filename
+		a, b := out[i], out[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
 		}
-		return a.Line < b.Line
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Reason < b.Reason
 	})
 	return out, nil
 }

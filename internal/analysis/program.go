@@ -130,15 +130,24 @@ func (p *Program) HasUnresolvedCalls(fn *types.Func) bool {
 
 // Cache memoizes a program-wide computation under a key, so analyzers
 // that need whole-program results (e.g. the global lock-order graph)
-// compute them once and report per package.
+// compute them once and report per package. compute runs outside the
+// cache lock, so cached computations can build on other cached
+// computations (the reachability substrate layers this way: a taint
+// fixpoint keyed on the cached closure-aware call graph). The
+// trade-off is that two goroutines racing on the same missing key may
+// both compute it; results must be deterministic values of the
+// program, which makes the duplicate work harmless.
 func (p *Program) Cache(key string, compute func() any) any {
 	p.cacheMu.Lock()
-	defer p.cacheMu.Unlock()
-	if v, ok := p.cache[key]; ok {
+	v, ok := p.cache[key]
+	p.cacheMu.Unlock()
+	if ok {
 		return v
 	}
-	v := compute()
+	v = compute()
+	p.cacheMu.Lock()
 	p.cache[key] = v
+	p.cacheMu.Unlock()
 	return v
 }
 

@@ -1,0 +1,122 @@
+package analysis
+
+// Reachability and root-annotation substrate shared by the
+// serving-layer analyzers (statecodec, snapshotonce, hotalloc): a
+// function can be declared an analysis root with a
+//
+//	// lint:<directive>
+//
+// line in its doc comment, and the set of functions transitively
+// reachable from such roots is computed over the static call graph —
+// including calls made inside function literals, which the plain
+// Program.Callees edges exclude. Dynamic calls (func values, interface
+// methods) contribute no edges here, the same conservative posture the
+// rest of the suite takes; analyzers that need soundness against them
+// consult Program.HasUnresolvedCalls.
+
+import (
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// hasDirective reports whether the declaration's doc comment contains
+// a `// lint:<directive>` line (exact match after trimming, so
+// "lint:codec encode" does not match a root tagged "lint:codec").
+func hasDirective(d *FuncDecl, directive string) bool {
+	if d.Decl.Doc == nil {
+		return false
+	}
+	for _, c := range d.Decl.Doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == directive {
+			return true
+		}
+	}
+	return false
+}
+
+// annotatedRoots returns every declared function whose doc comment
+// carries the `// lint:<directive>` line, in source order.
+func annotatedRoots(prog *Program, directive string) []*FuncDecl {
+	var out []*FuncDecl
+	for _, d := range prog.Decls() {
+		if hasDirective(d, directive) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// calleesWithLits returns the call-graph edges of every declared
+// function with function-literal bodies included: a call made inside a
+// closure the function creates is an edge of the function itself. This
+// is the edge set reachability wants — a hot path that allocates
+// inside a sort comparator still allocates — computed once per
+// program.
+func calleesWithLits(prog *Program) map[*types.Func][]*types.Func {
+	return prog.Cache("reach.calleesWithLits", func() any {
+		out := make(map[*types.Func][]*types.Func, len(prog.decls))
+		for fn, d := range prog.decls {
+			callees, _ := callsIn(d.Pkg.Info, d.Decl.Body, true)
+			out[fn] = callees
+		}
+		return out
+	}).(map[*types.Func][]*types.Func)
+}
+
+// reachableFrom computes, for every declared function transitively
+// reachable from the roots (through statically resolved calls,
+// closures included), the sorted set of root display names it is
+// reachable from. Roots are reachable from themselves.
+func reachableFrom(prog *Program, roots []*FuncDecl) map[*types.Func][]string {
+	edges := calleesWithLits(prog)
+	rootSets := make(map[*types.Func]map[string]bool)
+	for _, root := range roots {
+		name := funcDisplayName(root.Fn)
+		// BFS from this root; every function it reaches records the
+		// root's name for diagnostics.
+		queue := []*types.Func{root.Fn}
+		for len(queue) > 0 {
+			fn := queue[0]
+			queue = queue[1:]
+			set := rootSets[fn]
+			if set == nil {
+				set = make(map[string]bool)
+				rootSets[fn] = set
+			}
+			if set[name] {
+				continue
+			}
+			set[name] = true
+			for _, callee := range edges[fn] {
+				if _, declared := prog.decls[callee]; declared {
+					queue = append(queue, callee)
+				}
+			}
+		}
+	}
+	out := make(map[*types.Func][]string, len(rootSets))
+	for fn, set := range rootSets {
+		names := make([]string, 0, len(set))
+		for n := range set {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		out[fn] = names
+	}
+	return out
+}
+
+// funcDisplayName renders a function for diagnostics: "Name" for
+// package-level functions, "Type.Name" for methods.
+func funcDisplayName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return fn.Name()
+	}
+	if named := namedOf(sig.Recv().Type()); named != nil {
+		return named.Obj().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}

@@ -91,20 +91,25 @@ func WriteJSON(w io.Writer, root string, findings []Finding) error {
 }
 
 // Suppression is one justified-ignore directive for the audit report.
+// Package is the import path of the package the directive lives in,
+// empty when the producing tool has no package notion (lsdschema's
+// constraint files).
 type Suppression struct {
-	File   string
-	Line   int
-	Check  string
-	Reason string
+	File    string
+	Line    int
+	Package string
+	Check   string
+	Reason  string
 }
 
 // jsonSuppression is one directive in -suppressions -format json
 // output.
 type jsonSuppression struct {
-	File   string `json:"file"`
-	Line   int    `json:"line"`
-	Check  string `json:"check"`
-	Reason string `json:"reason"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Package string `json:"package,omitempty"`
+	Check   string `json:"check"`
+	Reason  string `json:"reason"`
 }
 
 // WriteSuppressionsJSON emits the suppression inventory as a JSON
@@ -113,10 +118,11 @@ func WriteSuppressionsJSON(w io.Writer, root string, sups []Suppression) error {
 	out := make([]jsonSuppression, 0, len(sups))
 	for _, s := range sups {
 		out = append(out, jsonSuppression{
-			File:   RelPath(root, s.File),
-			Line:   s.Line,
-			Check:  s.Check,
-			Reason: s.Reason,
+			File:    RelPath(root, s.File),
+			Line:    s.Line,
+			Package: s.Package,
+			Check:   s.Check,
+			Reason:  s.Reason,
 		})
 	}
 	enc := json.NewEncoder(w)
@@ -125,14 +131,19 @@ func WriteSuppressionsJSON(w io.Writer, root string, sups []Suppression) error {
 }
 
 // WriteSuppressionsText prints the suppression inventory one directive
-// per line, flagging directives whose mandatory reason is missing.
+// per line — with the owning package in brackets when known — and
+// flags directives whose mandatory reason is missing.
 func WriteSuppressionsText(w io.Writer, root string, sups []Suppression) error {
 	for _, s := range sups {
 		reason := s.Reason
 		if reason == "" {
 			reason = "(missing reason)"
 		}
-		if _, err := fmt.Fprintf(w, "%s:%d: %s: %s\n", RelPath(root, s.File), s.Line, s.Check, reason); err != nil {
+		pkg := ""
+		if s.Package != "" {
+			pkg = " [" + s.Package + "]"
+		}
+		if _, err := fmt.Fprintf(w, "%s:%d:%s %s: %s\n", RelPath(root, s.File), s.Line, pkg, s.Check, reason); err != nil {
 			return err
 		}
 	}

@@ -125,6 +125,69 @@ func TestWriteSARIFClampsRegionsAndIndexesRules(t *testing.T) {
 	}
 }
 
+// TestWriteSARIFEmpty checks the zero-finding log is still a complete,
+// valid document: version, one run, the declared rule table, and a
+// results array that is [] rather than null (CI uploaders reject
+// null).
+func TestWriteSARIFEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, "/mod", "toolx", []Rule{{ID: "alpha", Doc: "doc a"}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []json.RawMessage `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("empty sarif does not parse: %v\n%s", err, buf.String())
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version %q runs %d, want 2.1.0 with one run", log.Version, len(log.Runs))
+	}
+	if len(log.Runs[0].Tool.Driver.Rules) != 1 {
+		t.Errorf("rule table %v, want the one declared rule", log.Runs[0].Tool.Driver.Rules)
+	}
+	if log.Runs[0].Results == nil {
+		t.Errorf("results is null, want []:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), `"results": []`) {
+		t.Errorf("results not serialized as an empty array:\n%s", buf.String())
+	}
+}
+
+// TestWriteSARIFOutsideRoot checks findings in files outside the
+// module root (absolute elsewhere, or virtual paths) keep their
+// original path in the artifact URI instead of gaining ../
+// components.
+func TestWriteSARIFOutsideRoot(t *testing.T) {
+	findings := []Finding{
+		{File: "/elsewhere/x.go", Line: 2, Column: 1, Check: "alpha", Message: "m"},
+		{File: "virtual/dom/schema.dtd", Line: 5, Column: 3, Check: "alpha", Message: "m"},
+	}
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, "/mod", "toolx", []Rule{{ID: "alpha"}}, findings); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "..") {
+		t.Errorf("outside-root path relativized into ../ escape:\n%s", out)
+	}
+	for _, uri := range []string{"/elsewhere/x.go", "virtual/dom/schema.dtd"} {
+		if !strings.Contains(out, `"uri": "`+uri+`"`) {
+			t.Errorf("artifact uri %q missing from sarif:\n%s", uri, out)
+		}
+	}
+}
+
 func TestWriteSuppressions(t *testing.T) {
 	sups := []Suppression{
 		{File: "/mod/a.go", Line: 4, Check: "alpha", Reason: "because"},
@@ -152,5 +215,76 @@ func TestWriteSuppressions(t *testing.T) {
 	}
 	if len(got) != 2 || got[0].Reason != "because" || got[1].Reason != "" {
 		t.Errorf("json inventory = %+v, want justified then empty reason", got)
+	}
+}
+
+// TestWriteSuppressionsPackage checks the inventory carries the owning
+// package: bracketed in text when present, omitted entirely when the
+// producer has no package notion.
+func TestWriteSuppressionsPackage(t *testing.T) {
+	sups := []Suppression{
+		{File: "/mod/a.go", Line: 4, Package: "repro/internal/learn", Check: "alpha", Reason: "because"},
+		{File: "/mod/b.dtd", Line: 9, Check: "beta", Reason: "schema side"},
+	}
+	var buf bytes.Buffer
+	if err := WriteSuppressionsText(&buf, "/mod", sups); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, "a.go:4: [repro/internal/learn] alpha: because") {
+		t.Errorf("text inventory missing bracketed package:\n%s", text)
+	}
+	if strings.Contains(text, "b.dtd:9: [") {
+		t.Errorf("package-less entry grew a bracket:\n%s", text)
+	}
+
+	buf.Reset()
+	if err := WriteSuppressionsJSON(&buf, "/mod", sups); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"package": "repro/internal/learn"`) {
+		t.Errorf("json inventory missing package field:\n%s", buf.String())
+	}
+	var got []jsonSuppression
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got[1].Package != "" {
+		t.Errorf("package-less entry = %+v, want empty (omitted) package", got[1])
+	}
+}
+
+// TestWriteSuppressionsMultilineReason checks a reason containing
+// newlines survives both writers: JSON escapes it losslessly, and the
+// text writer emits it verbatim without corrupting its own record
+// separator contract (one directive starts per file:line prefix).
+func TestWriteSuppressionsMultilineReason(t *testing.T) {
+	reason := "first line\nsecond line"
+	sups := []Suppression{
+		{File: "/mod/a.go", Line: 4, Check: "alpha", Reason: reason},
+		{File: "/mod/b.go", Line: 7, Check: "beta", Reason: "single"},
+	}
+	var buf bytes.Buffer
+	if err := WriteSuppressionsJSON(&buf, "/mod", sups); err != nil {
+		t.Fatal(err)
+	}
+	var got []jsonSuppression
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("json with multi-line reason does not parse: %v", err)
+	}
+	if got[0].Reason != reason {
+		t.Errorf("json reason = %q, want %q round-tripped", got[0].Reason, reason)
+	}
+
+	buf.Reset()
+	if err := WriteSuppressionsText(&buf, "/mod", sups); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, "first line\nsecond line") {
+		t.Errorf("text inventory lost the multi-line reason:\n%s", text)
+	}
+	if !strings.Contains(text, "b.go:7: beta: single") {
+		t.Errorf("entry after the multi-line reason corrupted:\n%s", text)
 	}
 }

@@ -1,0 +1,254 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// StateCodec enforces that serialized state round-trips: for every
+// named struct the artifact codec touches, each exported field must
+// flow into an encode call in code reachable from the
+// `// lint:codec encode` root and receive a decode assignment in code
+// reachable from the `// lint:codec decode` root. Adding a field to a
+// learner state struct without updating both halves of the codec is
+// therefore a lint error, not a silent artifact-drift bug that waits
+// for a golden file to notice.
+//
+// The field flow is interprocedural: reads and writes are collected
+// over every function transitively reachable from the annotated roots
+// (closures included), so a field encoded through a helper three calls
+// down still counts. A struct qualifies for checking when at least one
+// of its exported fields is read on the encode side AND at least one
+// is written on the decode side — structs the codec never touches are
+// nobody's business here. Fields that are deliberately not persisted
+// (code, process-local budgets) carry a justified //lint:ignore on
+// their declaration line.
+var StateCodec = &Analyzer{
+	Name: "statecodec",
+	Doc:  "exported fields of codec-touched state structs must be both encoded and decoded",
+	Run:  runStateCodec,
+}
+
+// codecFlow is the program-wide field-flow result: which struct fields
+// are read in encode-reachable code and written in decode-reachable
+// code.
+type codecFlow struct {
+	encoded map[*types.Var]bool
+	decoded map[*types.Var]bool
+}
+
+func runStateCodec(pass *Pass) {
+	flow := stateCodecFlow(pass.Prog)
+	if flow == nil {
+		return // no annotated codec roots in this program
+	}
+	// Report once per struct, in the package that declares it.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			if ts.Assign.IsValid() {
+				// An alias (type Config = core.Config) resolves to a
+				// struct owned by another package; that package's own
+				// pass reports it.
+				return true
+			}
+			tn, ok := pass.Info.Defs[ts.Name].(*types.TypeName)
+			if !ok {
+				return true
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				return true
+			}
+			checkCodecStruct(pass, tn, st, flow)
+			return true
+		})
+	}
+}
+
+// checkCodecStruct reports the exported fields of a codec-touched
+// struct that miss one or both halves of the round-trip.
+func checkCodecStruct(pass *Pass, tn *types.TypeName, st *types.Struct, flow *codecFlow) {
+	encAny, decAny := false, false
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Exported() {
+			continue
+		}
+		if flow.encoded[f] {
+			encAny = true
+		}
+		if flow.decoded[f] {
+			decAny = true
+		}
+	}
+	if !encAny || !decAny {
+		return // not a struct the codec serializes
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Exported() {
+			continue
+		}
+		missEnc, missDec := !flow.encoded[f], !flow.decoded[f]
+		switch {
+		case missEnc && missDec:
+			pass.Reportf(f.Pos(),
+				"exported field %s.%s does not round-trip through the artifact codec: it neither flows into an encode call nor receives a decode assignment",
+				tn.Name(), f.Name())
+		case missEnc:
+			pass.Reportf(f.Pos(),
+				"exported field %s.%s flows into no encode call reachable from the lint:codec encode root; saved artifacts silently drop it",
+				tn.Name(), f.Name())
+		case missDec:
+			pass.Reportf(f.Pos(),
+				"exported field %s.%s receives no decode assignment reachable from the lint:codec decode root; restored artifacts silently zero it",
+				tn.Name(), f.Name())
+		}
+	}
+}
+
+// stateCodecFlow computes the program-wide encode/decode field flow
+// once per lint run, or nil when the program carries no codec root
+// annotations.
+func stateCodecFlow(prog *Program) *codecFlow {
+	v := prog.Cache("statecodec.flow", func() any {
+		encRoots := annotatedRoots(prog, "lint:codec encode")
+		decRoots := annotatedRoots(prog, "lint:codec decode")
+		if len(encRoots) == 0 || len(decRoots) == 0 {
+			return (*codecFlow)(nil)
+		}
+		flow := &codecFlow{
+			encoded: make(map[*types.Var]bool),
+			decoded: make(map[*types.Var]bool),
+		}
+		for fn := range reachableFrom(prog, encRoots) {
+			if d := prog.DeclOf(fn); d != nil {
+				collectFieldAccesses(d, flow.encoded, nil)
+			}
+		}
+		for fn := range reachableFrom(prog, decRoots) {
+			if d := prog.DeclOf(fn); d != nil {
+				collectFieldAccesses(d, nil, flow.decoded)
+			}
+		}
+		return flow
+	})
+	return v.(*codecFlow)
+}
+
+// collectFieldAccesses records every struct-field read and write in
+// the function body (closures included). Reads are field selections in
+// value position; writes are fields on an assignment's left-hand path
+// (writing st.Config.Folds populates both Folds and Config), keyed
+// composite-literal fields (unkeyed literals write every field), and
+// fields whose address is taken — a callee receiving &st.Config writes
+// through the pointer, which is exactly the decodeInto idiom. Either
+// destination map may be nil when the caller only wants one side.
+func collectFieldAccesses(d *FuncDecl, reads, writes map[*types.Var]bool) {
+	info := d.Pkg.Info
+	addField := func(dst map[*types.Var]bool, v *types.Var) {
+		if dst != nil && v != nil {
+			dst[v] = true
+		}
+	}
+	// markWritePath peels an assignment target, marking every field
+	// along the path written; subexpressions that merely locate the
+	// target (index expressions) fall back to the read walk.
+	var walkReads func(n ast.Node)
+	markWritePath := func(e ast.Expr) {
+		for {
+			switch x := ast.Unparen(e).(type) {
+			case *ast.SelectorExpr:
+				if sel, ok := info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+					if v, ok := sel.Obj().(*types.Var); ok {
+						addField(writes, v)
+					}
+				}
+				e = x.X
+			case *ast.IndexExpr:
+				walkReads(x.Index)
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			default:
+				walkReads(e)
+				return
+			}
+		}
+	}
+	walkReads = func(n ast.Node) {
+		if n == nil {
+			return
+		}
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					markWritePath(lhs)
+				}
+				for _, rhs := range n.Rhs {
+					walkReads(rhs)
+				}
+				return false
+			case *ast.IncDecStmt:
+				// x.F++ both reads and writes the field.
+				markWritePath(n.X)
+				walkReads(n.X)
+				return false
+			case *ast.UnaryExpr:
+				if n.Op.String() == "&" {
+					markWritePath(n.X)
+				}
+				return true
+			case *ast.SelectorExpr:
+				if sel, ok := info.Selections[n]; ok && sel.Kind() == types.FieldVal {
+					if v, ok := sel.Obj().(*types.Var); ok {
+						addField(reads, v)
+					}
+				}
+				return true
+			case *ast.CompositeLit:
+				markCompositeFields(info, n, writes, addField)
+				return true
+			}
+			return true
+		})
+	}
+	walkReads(d.Decl.Body)
+}
+
+// markCompositeFields records the struct fields a composite literal
+// populates: the keyed fields, or every field when the literal is
+// positional.
+func markCompositeFields(info *types.Info, lit *ast.CompositeLit, writes map[*types.Var]bool, addField func(map[*types.Var]bool, *types.Var)) {
+	t := info.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	keyed := false
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		keyed = true
+		if id, ok := kv.Key.(*ast.Ident); ok {
+			if v, ok := info.Uses[id].(*types.Var); ok {
+				addField(writes, v)
+			}
+		}
+	}
+	if !keyed && len(lit.Elts) > 0 {
+		for i := 0; i < st.NumFields(); i++ {
+			addField(writes, st.Field(i))
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// Package boundedread exercises the boundedread analyzer: lengths
+// read from the wire must pass a relational bounds check before they
+// reach make or io.ReadFull, including through callee parameters.
+package boundedread
+
+import (
+	"bytes"
+	"io"
+)
+
+type reader struct {
+	src io.Reader
+	buf []byte
+}
+
+func (r *reader) uvarint() uint64 {
+	if len(r.buf) == 0 {
+		return 0
+	}
+	v := uint64(r.buf[0])
+	r.buf = r.buf[1:]
+	return v
+}
+
+// decodeBad allocates straight from the wire: a corrupt input picks
+// the allocation size.
+func decodeBad(r *reader) []uint64 {
+	n := r.uvarint()
+	return make([]uint64, n)
+}
+
+// decodeIndirect launders the unchecked length through a helper; the
+// violation is only visible once alloc's parameter is known to reach
+// make.
+func decodeIndirect(r *reader) []byte {
+	n := r.uvarint()
+	return alloc(int(n))
+}
+
+func alloc(n int) []byte {
+	return make([]byte, n)
+}
+
+// decodeGood bounds-checks against the remaining input before
+// allocating (true negative).
+func decodeGood(r *reader) []uint64 {
+	n := r.uvarint()
+	if n > uint64(len(r.buf)) {
+		return nil
+	}
+	return make([]uint64, n)
+}
+
+// decodeCheckedHelper is clean for the same reason interprocedurally:
+// alloc is only a sink for unchecked values, and this one was checked
+// first (true negative).
+func decodeCheckedHelper(r *reader) []byte {
+	n := r.uvarint()
+	if n > 1024 {
+		return nil
+	}
+	return alloc(int(n))
+}
+
+// decodeReadFull slices a fixed buffer by an unchecked wire length
+// and hands it to io.ReadFull.
+func decodeReadFull(r *reader) []byte {
+	n := r.uvarint()
+	buf := make([]byte, 64)
+	if _, err := io.ReadFull(r.src, buf[:n]); err != nil {
+		return nil
+	}
+	return buf
+}
+
+// decodeTrusted reads from a buffer this process just encoded, so the
+// length is trusted end-to-end; the unchecked make is deliberate.
+func decodeTrusted(data []byte) []byte {
+	r := &reader{src: bytes.NewReader(nil), buf: data}
+	n := r.uvarint()
+	//lint:ignore boundedread length comes from an in-process round-trip buffer, not untrusted input
+	return make([]byte, n)
+}

@@ -1,0 +1,75 @@
+// Package statecodec exercises the statecodec analyzer: every
+// exported field of a codec-touched struct must flow into an encode
+// call and receive a decode assignment, interprocedurally from the
+// lint:codec roots. All field traffic here happens inside helpers, so
+// every diagnostic (and every clean field) depends on call-graph
+// reachability, not on scanning the root bodies.
+package statecodec
+
+// State is the serialized learner state. Names round-trips through
+// helpers on both sides (clean); Weights is decoded but never
+// encoded; Bias is encoded but never decoded; Epoch is missed by both
+// halves.
+type State struct {
+	Names   []string
+	Weights []float64
+	Bias    float64
+	Epoch   int
+	//lint:ignore statecodec Cache is rebuilt from Names on first use; deliberately not persisted.
+	Cache map[string]int
+}
+
+// Extra is never touched by the codec, so none of its fields are
+// required to round-trip (true negative).
+type Extra struct {
+	A int
+	B int
+}
+
+type writer struct{ out []byte }
+
+func (w *writer) strs(v []string) { w.out = append(w.out, byte(len(v))) }
+func (w *writer) f64(v float64)   { w.out = append(w.out, byte(v)) }
+
+type reader struct{ in []byte }
+
+func (r *reader) strs() []string  { return nil }
+func (r *reader) f64s() []float64 { return nil }
+
+// Encode serializes st. The field reads live in helpers: without
+// interprocedural reach the analyzer would see no encode traffic at
+// all.
+//
+// lint:codec encode
+func Encode(st *State) []byte {
+	w := &writer{}
+	encodeNames(w, st)
+	encodeBias(w, st)
+	return w.out
+}
+
+func encodeNames(w *writer, st *State) { w.strs(st.Names) }
+
+func encodeBias(w *writer, st *State) { w.f64(st.Bias) }
+
+// Decode restores a State, again entirely through helpers.
+//
+// lint:codec decode
+func Decode(data []byte) *State {
+	r := &reader{in: data}
+	st := &State{}
+	decodeNames(r, st)
+	decodeWeights(r, st)
+	return st
+}
+
+func decodeNames(r *reader, st *State) { st.Names = r.strs() }
+
+func decodeWeights(r *reader, st *State) { st.Weights = r.f64s() }
+
+// Rebuild populates Extra outside any codec root; these writes must
+// not drag Extra into the checked set.
+func Rebuild(e *Extra) {
+	e.A = 1
+	e.B = 2
+}

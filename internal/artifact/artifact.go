@@ -87,6 +87,8 @@ func (d *Decoded) System(workers int) (*core.System, error) {
 
 // Encode serializes a trained-system snapshot under the given model
 // name into a self-contained artifact.
+//
+// lint:codec encode
 func Encode(name string, st *core.SystemState) ([]byte, error) {
 	if st == nil {
 		return nil, fmt.Errorf("artifact: nil system state")
@@ -161,6 +163,8 @@ func Load(path string) (*Decoded, error) {
 
 // Decode parses an artifact. It verifies the checksum before decoding
 // any payload and never panics on corrupted or truncated input.
+//
+// lint:codec decode
 func Decode(data []byte) (*Decoded, error) {
 	if len(data) < len(magic)+2+1+checksumSize {
 		return nil, fmt.Errorf("artifact: %d bytes is too short to be an artifact", len(data))

@@ -91,6 +91,8 @@ type LearnerSpec struct {
 // zero value is not usable; start from DefaultConfig.
 type Config struct {
 	// BaseLearners are the non-structural base learners.
+	//
+	//lint:ignore statecodec learner factories are code, not data; artifacts persist each learner's trained state under its name and restore binds factories by name at load time
 	BaseLearners []LearnerSpec
 	// UseXMLLearner enables the XML learner of §5.
 	UseXMLLearner bool
@@ -105,6 +107,8 @@ type Config struct {
 	// sensitivity experiments sweep this.
 	MaxListings int
 	// Handler tunes the A* search; nil uses defaults.
+	//
+	//lint:ignore statecodec the constraint handler holds domain constraints supplied per deployment, not trained state; artifacts deliberately exclude it (see state.go)
 	Handler *constraint.Handler
 	// Seed drives the cross-validation shuffles.
 	Seed int64
@@ -113,6 +117,8 @@ type Config struct {
 	// serial fallback, n > 1 uses n workers. Every parallel stage
 	// merges its results in deterministic task order, so Train and
 	// Match produce bit-identical output at every setting.
+	//
+	//lint:ignore statecodec a process-local concurrency budget; persisting it would pin a saved model to the machine that trained it
 	Workers int
 }
 

@@ -173,6 +173,7 @@ func (p Prediction) Clone() Prediction {
 
 // Uniform returns the uniform prediction over labels.
 func Uniform(labels []string) Prediction {
+	//lint:ignore hotalloc Prediction is a map by API contract and the result escapes to the caller; Uniform only runs on the untrained fallback path
 	p := make(Prediction, len(labels))
 	if len(labels) == 0 {
 		return p.Normalize() // no-op on the empty prediction

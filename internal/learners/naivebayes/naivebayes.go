@@ -172,6 +172,8 @@ func (l *Learner) TrainBags(labels []string, bags []text.Bag, bagLabels []string
 
 // Predict computes the posterior distribution over labels for the
 // instance's content.
+//
+// lint:hot
 func (l *Learner) Predict(in learn.Instance) learn.Prediction {
 	return l.PredictBag(text.NewBag(Tokens(in.Content)))
 }
@@ -184,6 +186,7 @@ func (l *Learner) PredictBag(bag text.Bag) learn.Prediction {
 		return learn.Uniform(l.labels)
 	}
 	sb := l.vocab.SparseBag(bag)
+	//lint:ignore hotalloc the result Prediction is a map by API contract and escapes to the caller; scoring itself runs on stack buffers below
 	p := make(learn.Prediction, len(l.labels))
 	maxLog := math.Inf(-1)
 	// Stack buffer for the per-label log scores; label sets are small.

@@ -171,6 +171,8 @@ func (c *Classifier) Train(labels []string, examples []learn.Example) error {
 // smoothed and normalized to a confidence distribution. The returned
 // prediction may be shared with the classifier's cache and other
 // callers; callers must treat it as read-only.
+//
+// lint:hot
 func (c *Classifier) Predict(in learn.Instance) learn.Prediction {
 	extracted := c.extract(in)
 	if p, ok := c.cached(extracted); ok {
@@ -206,10 +208,12 @@ func (c *Classifier) cached(extracted string) (learn.Prediction, bool) {
 func (c *Classifier) insertCache(extracted string, p learn.Prediction) {
 	c.cacheMu.Lock()
 	if c.cacheNew == nil {
+		//lint:ignore hotalloc one-time lazy init of the cache generation map, amortized over every later hit
 		c.cacheNew = make(map[string]learn.Prediction, 256)
 	}
 	if _, exists := c.cacheNew[extracted]; !exists && len(c.cacheNew) >= maxCacheEntries/2 {
 		c.cacheOld = c.cacheNew
+		//lint:ignore hotalloc generation rotation allocates once per maxCacheEntries/2 inserts, amortized to nothing per prediction
 		c.cacheNew = make(map[string]learn.Prediction, 256)
 	}
 	c.cacheNew[extracted] = p
@@ -218,6 +222,7 @@ func (c *Classifier) insertCache(extracted string, p learn.Prediction) {
 
 // predict computes the normalized prediction for one extracted text.
 func (c *Classifier) predict(extracted string) learn.Prediction {
+	//lint:ignore hotalloc the result Prediction is a map by API contract and is retained by the cache, so it must be freshly allocated per distinct input
 	p := make(learn.Prediction, len(c.labels))
 	if c.corpus == nil || len(c.docLabels) == 0 {
 		for _, l := range c.labels {

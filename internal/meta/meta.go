@@ -56,6 +56,8 @@ type Config struct {
 	// Workers bounds the concurrency of the per-learner (and per-fold)
 	// cross-validation: 0 or negative = one worker per CPU, 1 = serial.
 	// The fitted weights are identical at every setting.
+	//
+	//lint:ignore statecodec a process-local concurrency budget; persisting it would pin a saved model to the machine that trained it
 	Workers int
 }
 

@@ -17,6 +17,7 @@ type Bag map[string]int
 
 // NewBag builds a Bag from a token slice.
 func NewBag(tokens []string) Bag {
+	//lint:ignore hotalloc Bag is the construction-side map representation; predict paths vectorize each distinct text once (whirl's cache absorbs repeats) and never iterate a Bag in scoring
 	b := make(Bag, len(tokens))
 	for _, t := range tokens {
 		b[t]++
@@ -93,6 +94,8 @@ func (v Vector) Len() int { return len(v.Terms) + len(v.OOV) }
 // summation order — and therefore the exact result — is independent of
 // call site and run. Out-of-vocabulary terms match only each other:
 // by construction they are exactly the tokens no vocabulary id names.
+//
+// lint:hot
 func (v Vector) Dot(u Vector) float64 {
 	s := 0.0
 	a, b := v.Terms, u.Terms
