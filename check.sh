@@ -7,9 +7,10 @@
 #
 # It fails on unformatted files, go vet findings, failing lsdlint or
 # lsdschema self-tests, lsdlint findings in the Go tree, lsdschema
-# findings in the domain schemas and constraint sets, a bench-smoke
-# allocation regression, or a broken train → save → serve → match path
-# (the lsdserve smoke at the end).
+# findings in the domain schemas and constraint sets, a suppression
+# inventory that drifted from the lint/suppressions.txt baseline, a
+# bench-smoke allocation regression, or a broken train → save → serve
+# → match path (the lsdserve smoke at the end).
 set -e
 cd "$(dirname "$0")"
 
@@ -38,6 +39,21 @@ go run ./cmd/lsdlint -timing -budget 120s ./...
 # lsdschema with no arguments checks every built-in datagen domain:
 # mediated schemas, constraint sets, and synthesized source schemas.
 go run ./cmd/lsdschema
+
+# Suppression baseline: the tree's lint:ignore inventory must match
+# lint/suppressions.txt exactly. Adding or removing a justified
+# suppression is fine — but only as a reviewed change to the committed
+# baseline (see lint/README.md), so suppression debt cannot drift in
+# silently.
+supfile="$(mktemp)"
+go run ./cmd/lsdlint -suppressions ./... > "$supfile" 2>/dev/null
+go run ./cmd/lsdschema -suppressions >> "$supfile" 2>/dev/null
+if ! diff -u lint/suppressions.txt "$supfile"; then
+	rm -f "$supfile"
+	echo "check.sh: suppression inventory drifted from lint/suppressions.txt; regenerate it (lint/README.md) and commit the diff" >&2
+	exit 1
+fi
+rm -f "$supfile"
 
 # bench-smoke: re-measure the predict micro-benchmarks and fail on an
 # allocs/op regression beyond tolerance against the latest committed

@@ -2,6 +2,7 @@ package main
 
 import (
 	"io"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/report"
@@ -52,6 +53,16 @@ func rules(analyzers []*analysis.Analyzer) []report.Rule {
 
 func writeJSON(w io.Writer, root string, diags []analysis.Diagnostic) error {
 	return report.WriteJSON(w, root, findings(diags))
+}
+
+// writeTimedJSON emits the -timing -format json document: findings
+// plus per-analyzer wall-clock cost and the run total.
+func writeTimedJSON(w io.Writer, root string, diags []analysis.Diagnostic, timings []analysis.AnalyzerTiming, total time.Duration) error {
+	ts := make([]report.Timing, 0, len(timings))
+	for _, tm := range timings {
+		ts = append(ts, report.Timing{Check: tm.Name, Ms: float64(tm.Elapsed.Microseconds()) / 1000})
+	}
+	return report.WriteTimedJSON(w, root, findings(diags), ts, float64(total.Microseconds())/1000)
 }
 
 func writeSARIF(w io.Writer, root string, analyzers []*analysis.Analyzer, diags []analysis.Diagnostic) error {

@@ -72,6 +72,52 @@ func TestRunJSONFormat(t *testing.T) {
 	}
 }
 
+// TestRunTimedJSON checks -timing -format json: the timings ride
+// inside one JSON document (findings, per-analyzer cost, run total)
+// instead of going to stderr, so CI can archive the suite's cost
+// beside its SARIF log.
+func TestRunTimedJSON(t *testing.T) {
+	dir := writeModule(t, map[string]string{"a.go": dirtySrc})
+	var out, errb bytes.Buffer
+	if code := run([]string{"-root", dir, "-format", "json", "-timing", "./..."}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d with findings, want 1; stderr: %s", code, errb.String())
+	}
+	if strings.Contains(errb.String(), "timing") {
+		t.Errorf("timing leaked to stderr in json format: %s", errb.String())
+	}
+	var doc struct {
+		Findings []struct {
+			Check string `json:"check"`
+		} `json:"findings"`
+		Timings []struct {
+			Check string  `json:"check"`
+			Ms    float64 `json:"ms"`
+		} `json:"timings"`
+		TotalMs float64 `json:"total_ms"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not the timed JSON object: %v\n%s", err, out.String())
+	}
+	if len(doc.Findings) == 0 {
+		t.Error("timed json has no findings for a dirty tree")
+	}
+	seen := make(map[string]bool)
+	for _, tm := range doc.Timings {
+		if tm.Ms < 0 {
+			t.Errorf("analyzer %s has negative wall-clock %vms", tm.Check, tm.Ms)
+		}
+		seen[tm.Check] = true
+	}
+	for _, want := range []string{"maprangefloat", "ctxflow", "goroleak", "errflow"} {
+		if !seen[want] {
+			t.Errorf("timings missing analyzer %s (got %v)", want, seen)
+		}
+	}
+	if doc.TotalMs <= 0 {
+		t.Errorf("total_ms = %v, want > 0", doc.TotalMs)
+	}
+}
+
 // TestRunSARIFValid is the driver acceptance test for -format sarif:
 // the emitted log must be well-formed SARIF 2.1.0 with internally
 // consistent rule references.

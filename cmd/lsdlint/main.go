@@ -20,8 +20,10 @@
 // only those analyzers, and !-prefixed names exclude from the full
 // suite instead ("-checks hotalloc,statecodec" or
 // "-checks !lockorder"); an unknown name is a usage error. -timing
-// prints each analyzer's cumulative wall-clock cost to stderr, and
-// -budget fails the run (exit 1) when the whole lint — load plus
+// prints each analyzer's cumulative wall-clock cost to stderr — or,
+// with -format json, folds it into the output document as a "timings"
+// array plus "total_ms", the shape CI archives beside the SARIF log —
+// and -budget fails the run (exit 1) when the whole lint — load plus
 // analysis — exceeds the given duration, keeping the whole-program
 // framework's cost visible in CI as the tree grows.
 //
@@ -117,7 +119,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "lsdlint:", err)
 		return 2
 	}
-	if *timingFlag {
+	// With -format json the timings ride inside the JSON document (the
+	// shape CI archives beside the SARIF log); every other format keeps
+	// them on stderr for humans.
+	if *timingFlag && *formatFlag != "json" {
 		for _, tm := range timings {
 			fmt.Fprintf(stderr, "lsdlint: timing %-16s %8.1fms\n", tm.Name, float64(tm.Elapsed.Microseconds())/1000)
 		}
@@ -125,6 +130,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	switch *formatFlag {
 	case "json":
+		if *timingFlag {
+			if err := writeTimedJSON(stdout, root, diags, timings, total); err != nil {
+				fmt.Fprintln(stderr, "lsdlint:", err)
+				return 2
+			}
+			break
+		}
 		if err := writeJSON(stdout, root, diags); err != nil {
 			fmt.Fprintln(stderr, "lsdlint:", err)
 			return 2

@@ -38,6 +38,20 @@
 //   - hotalloc: functions reachable from `// lint:hot` roots avoid
 //     fmt.Sprintf-style formatting, map allocation, and unhinted
 //     append-in-loop growth.
+//   - ctxflow: request-reachable fan-out through parallel.Map/ForEach
+//     runs under a context derived from the request, and
+//     context.Background/TODO in request-reachable code is a finding
+//     (client disconnect must cancel in-flight work).
+//   - goroleak: every go statement has a visible termination path —
+//     WaitGroup Add/Done pairing, matched or buffered channels, or a
+//     context-bounded loop.
+//   - errflow: errors from io/json/artifact/parallel calls in request-
+//     or codec-reachable code are checked, returned, or explicitly
+//     suppressed, never silently discarded.
+//
+// The last three share the value-flow substrate in flow.go: def-use
+// chains inside a function, plus interprocedural param→sink and
+// param→result summaries over the static call graph.
 //
 // Findings can be suppressed with a justified directive on (or
 // immediately above) the offending line:
@@ -123,6 +137,9 @@ func DefaultAnalyzers() []*Analyzer {
 		SnapshotOnce,
 		BoundedRead,
 		HotAlloc,
+		CtxFlow,
+		GoroLeak,
+		ErrFlow,
 	}
 }
 

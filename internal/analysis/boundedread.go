@@ -4,7 +4,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"sort"
 	"strings"
 )
 
@@ -18,163 +17,39 @@ import (
 // unchecked one is an attacker-sized allocation; the fuzz target found
 // this class dynamically, this analyzer makes it a compile-time error.
 //
-// Taint tracking is flow-insensitive per variable but ordered by
-// source position: an assignment from a wire read taints the target,
-// a relational comparison (<, >, <=, >=) mentioning the variable
-// clears it, and a sink use while still tainted reports. The
-// interprocedural half is a fixpoint over "sink parameters": a
-// parameter that reaches a sink unchecked inside its function turns
-// every call site passing a tainted value at that position into a
-// sink itself. Intentional unchecked reads (e.g. a trusted in-memory
-// buffer) suppress with //lint:ignore boundedread.
+// The analyzer is a client of the shared value-flow substrate
+// (flow.go): wire reads are sources, relational comparisons (<, >,
+// <=, >=) mentioning a variable are sanitizers, and make/io.ReadFull
+// arguments are sinks, with the substrate's param→sink fixpoint
+// turning a parameter that reaches a sink unchecked into a sink at
+// every call site. Intentional unchecked reads (e.g. a trusted
+// in-memory buffer) suppress with //lint:ignore boundedread.
 var BoundedRead = &Analyzer{
 	Name: "boundedread",
 	Doc:  "wire-read lengths must be bounds-checked before reaching make or io.ReadFull",
 	Run:  runBoundedRead,
 }
 
+// boundedReadSpec configures the shared flow engine for the wire-length
+// class. Result summaries stay off: a helper's return value is a fresh
+// allocation, not the length itself, so the blanket expression walk is
+// the faithful model here.
+var boundedReadSpec = &TaintSpec{
+	Key:         "boundedread",
+	SourceName:  "wire read",
+	IsSource:    isWireLenRead,
+	Sinks:       boundedReadSinks,
+	Sanitizes:   relationalCheckClears,
+	ForwardDesc: "make/io.ReadFull",
+}
+
 func runBoundedRead(pass *Pass) {
-	for _, diag := range boundedReadDiags(pass.Prog)[pass.Pkg] {
-		pass.Reportf(diag.pos, "%s", diag.msg)
-	}
-}
-
-type brDiag struct {
-	pos token.Pos
-	msg string
-}
-
-// boundedReadDiags runs the whole-program taint analysis once: a
-// fixpoint pass growing the sink-parameter sets, then a reporting
-// pass over every function with the stable sets.
-func boundedReadDiags(prog *Program) map[*types.Package][]brDiag {
-	return prog.Cache("boundedread.diags", func() any {
-		sinkParams := make(map[*types.Func]map[int]bool)
-		for changed := true; changed; {
-			changed = false
-			for _, d := range prog.Decls() {
-				for i := range brSimulate(d, sinkParams, nil) {
-					if sinkParams[d.Fn] == nil {
-						sinkParams[d.Fn] = make(map[int]bool)
-					}
-					if !sinkParams[d.Fn][i] {
-						sinkParams[d.Fn][i] = true
-						changed = true
-					}
-				}
-			}
+	for _, f := range TaintFlow(pass.Prog, boundedReadSpec)[pass.Pkg] {
+		if !f.Origins[SourceOrigin] {
+			continue
 		}
-		diags := make(map[*types.Package][]brDiag)
-		for _, d := range prog.Decls() {
-			pkg := d.Pkg.Pkg
-			brSimulate(d, sinkParams, func(pos token.Pos, msg string) {
-				diags[pkg] = append(diags[pkg], brDiag{pos, msg})
-			})
-		}
-		return diags
-	}).(map[*types.Package][]brDiag)
-}
-
-// brEvent is one position-ordered step of the per-function
-// simulation.
-type brEvent struct {
-	pos token.Pos
-
-	// assign: lhs receives the taint of rhs (clearing it when rhs is
-	// clean).
-	lhs *types.Var
-	rhs ast.Expr
-
-	// check: a relational comparison mentioning these vars clears
-	// their taint.
-	checked []*types.Var
-
-	// sink: arg flows into sinkDesc; sinkCallee is set when the sink
-	// is a call forwarding into another function's sink parameter.
-	arg        ast.Expr
-	sinkDesc   string
-	sinkCallee *types.Func
-}
-
-// wireOrigin is the taint origin meaning "read from the wire here, in
-// this function"; non-negative origins mean "came in as parameter i".
-const wireOrigin = -1
-
-// brSimulate replays a function body in source order against the
-// current sink-parameter sets. Wire reads taint with wireOrigin;
-// parameters are pre-tainted with their own index. A sink reached by
-// wireOrigin taint reports through report (when non-nil); a sink
-// reached by parameter taint marks that parameter in the returned
-// set, to be folded into the caller-side fixpoint.
-func brSimulate(d *FuncDecl, sinkParams map[*types.Func]map[int]bool, report func(token.Pos, string)) map[int]bool {
-	info := d.Pkg.Info
-	events := brCollect(d, sinkParams)
-
-	taint := make(map[*types.Var]map[int]bool)
-	sig := d.Fn.Type().(*types.Signature)
-	for i := 0; i < sig.Params().Len(); i++ {
-		taint[sig.Params().At(i)] = map[int]bool{i: true}
+		pass.Reportf(f.Pos, "%s", brMessage(f.Names, f.Desc, f.Callee))
 	}
-
-	// originsOf evaluates an expression's taint: the union of the
-	// origins of every tainted variable it mentions, plus wireOrigin
-	// when it contains a wire read directly.
-	originsOf := func(e ast.Expr) (map[int]bool, []string) {
-		origins := make(map[int]bool)
-		var names []string
-		ast.Inspect(e, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.Ident:
-				if v, ok := info.Uses[n].(*types.Var); ok {
-					if os := taint[v]; len(os) > 0 {
-						for o := range os {
-							origins[o] = true
-						}
-						names = append(names, v.Name())
-					}
-				}
-			case *ast.CallExpr:
-				if isWireLenRead(info, n) {
-					origins[wireOrigin] = true
-					names = append(names, "wire read")
-				}
-			}
-			return true
-		})
-		sort.Strings(names)
-		return origins, names
-	}
-
-	leaked := make(map[int]bool)
-	for _, ev := range events {
-		switch {
-		case ev.lhs != nil:
-			origins, _ := originsOf(ev.rhs)
-			if len(origins) > 0 {
-				taint[ev.lhs] = origins
-			} else {
-				delete(taint, ev.lhs)
-			}
-		case ev.checked != nil:
-			for _, v := range ev.checked {
-				delete(taint, v)
-			}
-		case ev.arg != nil:
-			origins, names := originsOf(ev.arg)
-			if len(origins) == 0 {
-				continue
-			}
-			for o := range origins {
-				if o >= 0 {
-					leaked[o] = true
-				}
-			}
-			if origins[wireOrigin] && report != nil {
-				report(ev.pos, brMessage(names, ev.sinkDesc, ev.sinkCallee))
-			}
-		}
-	}
-	return leaked
 }
 
 func brMessage(names []string, sinkDesc string, callee *types.Func) string {
@@ -190,98 +65,55 @@ func brMessage(names []string, sinkDesc string, callee *types.Func) string {
 		" without a bounds check; a corrupt artifact controls this value"
 }
 
-// brCollect walks the body (closures included) and returns the
-// simulation events sorted by source position.
-func brCollect(d *FuncDecl, sinkParams map[*types.Func]map[int]bool) []brEvent {
-	info := d.Pkg.Info
-	var events []brEvent
-	ast.Inspect(d.Decl.Body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.AssignStmt:
-			brCollectAssign(n, info, &events)
-		case *ast.BinaryExpr:
-			switch n.Op {
-			case token.LSS, token.GTR, token.LEQ, token.GEQ:
-				var vars []*types.Var
-				ast.Inspect(n, func(m ast.Node) bool {
-					if id, ok := m.(*ast.Ident); ok {
-						if v, ok := info.Uses[id].(*types.Var); ok {
-							vars = append(vars, v)
-						}
-					}
-					return true
-				})
-				if len(vars) > 0 {
-					events = append(events, brEvent{pos: n.Pos(), checked: vars})
-				}
-			}
-		case *ast.CallExpr:
-			brCollectSinks(n, info, sinkParams, &events)
-		}
-		return true
-	})
-	sort.SliceStable(events, func(i, j int) bool { return events[i].pos < events[j].pos })
-	return events
-}
-
-// brCollectAssign turns an assignment into per-variable taint events.
-// Pair-wise when the counts line up; a single multi-valued RHS taints
-// every target.
-func brCollectAssign(n *ast.AssignStmt, info *types.Info, events *[]brEvent) {
-	lhsVar := func(e ast.Expr) *types.Var {
-		id, ok := ast.Unparen(e).(*ast.Ident)
-		if !ok {
-			return nil
-		}
-		switch obj := info.Defs[id].(type) {
-		case *types.Var:
-			return obj
-		}
-		v, _ := info.Uses[id].(*types.Var)
-		return v
-	}
-	for i, lhs := range n.Lhs {
-		v := lhsVar(lhs)
-		if v == nil {
-			continue
-		}
-		rhs := n.Rhs[0]
-		if len(n.Rhs) == len(n.Lhs) {
-			rhs = n.Rhs[i]
-		}
-		*events = append(*events, brEvent{pos: n.Pos(), lhs: v, rhs: rhs})
-	}
-}
-
-// brCollectSinks records the call's sink arguments: make size/cap
-// arguments, any io.ReadFull argument, and arguments landing on a
-// callee's known sink parameters.
-func brCollectSinks(call *ast.CallExpr, info *types.Info, sinkParams map[*types.Func]map[int]bool, events *[]brEvent) {
+// boundedReadSinks declares the allocation sinks: make size/cap
+// arguments and any io.ReadFull argument.
+func boundedReadSinks(info *types.Info, call *ast.CallExpr) []TaintSink {
 	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
 		if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "make" {
+			var sinks []TaintSink
 			for _, arg := range call.Args[1:] {
-				*events = append(*events, brEvent{pos: arg.Pos(), arg: arg, sinkDesc: "make"})
+				sinks = append(sinks, TaintSink{Arg: arg, Desc: "make"})
 			}
-			return
+			return sinks
 		}
 	}
 	callee := CalleeOf(info, call)
 	if callee == nil {
-		return
+		return nil
 	}
 	if callee.Name() == "ReadFull" && callee.Pkg() != nil && callee.Pkg().Path() == "io" {
+		var sinks []TaintSink
 		for _, arg := range call.Args {
-			*events = append(*events, brEvent{pos: arg.Pos(), arg: arg, sinkDesc: "io.ReadFull"})
+			sinks = append(sinks, TaintSink{Arg: arg, Desc: "io.ReadFull"})
 		}
-		return
+		return sinks
 	}
-	if params := sinkParams[callee]; len(params) > 0 {
-		for i, arg := range call.Args {
-			if params[i] {
-				*events = append(*events, brEvent{pos: arg.Pos(), arg: arg, sinkDesc: "make/io.ReadFull", sinkCallee: callee})
+	return nil
+}
+
+// relationalCheckClears treats a relational comparison as a sanitizer
+// for every variable it mentions: the code demonstrably compared the
+// value against something before using it.
+func relationalCheckClears(info *types.Info, n ast.Node) []*types.Var {
+	be, ok := n.(*ast.BinaryExpr)
+	if !ok {
+		return nil
+	}
+	switch be.Op {
+	case token.LSS, token.GTR, token.LEQ, token.GEQ:
+	default:
+		return nil
+	}
+	var vars []*types.Var
+	ast.Inspect(be, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok {
+			if v, ok := info.Uses[id].(*types.Var); ok {
+				vars = append(vars, v)
 			}
 		}
-	}
+		return true
+	})
+	return vars
 }
 
 // isWireLenRead reports whether the call reads a length/count from

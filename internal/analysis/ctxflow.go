@@ -1,0 +1,221 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// CtxFlow enforces request-lifecycle cancellation: in code reachable
+// from an HTTP handler (a declared function with the
+// (http.ResponseWriter, *http.Request) shape — the same shape
+// snapshotonce keys on), work fanned out through parallel.Map or
+// parallel.ForEach must run under a context derived from the request,
+// so a disconnected client cancels its in-flight work instead of
+// burning the worker pool.
+//
+// Two rules, both over the shared value-flow substrate (flow.go):
+//
+//   - context.Background() or context.TODO() anywhere in
+//     request-reachable code is a finding: it detaches everything
+//     downstream from the request lifetime.
+//   - the context argument of every parallel.Map/ForEach call in
+//     request-reachable code must derive from the request — from an
+//     r.Context() call or from a context.Context parameter (callers of
+//     such a parameter are checked in turn through the substrate's
+//     param→sink summaries, so laundering a detached context through a
+//     helper is still caught at the helper's call site). Derivation
+//     follows the def-use chain: contexts wrapped by
+//     context.WithCancel/WithTimeout/WithValue keep their parent's
+//     origin.
+//
+// Deliberately detached work (a background refresh kicked off by a
+// request, a lifecycle that must outlive the response) suppresses with
+// //lint:ignore ctxflow and a reason.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "request-reachable fan-out must run under the request's context, not context.Background/TODO",
+	Run:  runCtxFlow,
+}
+
+// ctxFlowSpec configures the flow engine: sources are r.Context()
+// calls, pre-tainted parameters are the context.Context-typed ones,
+// and sinks are the context arguments of parallel.Map/ForEach. Result
+// summaries are on so a declared helper's return value carries exactly
+// the context taint that flows through it.
+var ctxFlowSpec = &TaintSpec{
+	Key:                "ctxflow",
+	SourceName:         "request context",
+	IsSource:           isRequestContextCall,
+	Sinks:              ctxFanoutSinks,
+	TaintParam:         isContextParam,
+	ForwardDesc:        "parallel.Map/ForEach",
+	UseResultSummaries: true,
+	TrustLitParams:     true,
+}
+
+func runCtxFlow(pass *Pass) {
+	type ctxDiag struct {
+		pos token.Pos
+		msg string
+	}
+	diags := pass.Prog.Cache("ctxflow.diags", func() any {
+		reach := requestReachable(pass.Prog)
+		out := make(map[*types.Package][]ctxDiag)
+		// Rule 1: no detached contexts in request-reachable code. The
+		// positions double as a dedupe set for rule 2, so one
+		// parallel.Map(context.Background(), …) call reports once.
+		detached := make(map[token.Pos]bool)
+		for _, d := range pass.Prog.Decls() {
+			roots := reach[d.Fn]
+			if len(roots) == 0 {
+				continue
+			}
+			pkg := d.Pkg.Pkg
+			info := d.Pkg.Info
+			ast.Inspect(d.Decl.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name, ok := detachedContextCall(info, call); ok {
+					detached[call.Pos()] = true
+					out[pkg] = append(out[pkg], ctxDiag{call.Pos(), "context." + name +
+						"() detaches this work from the request (reachable from handler " +
+						strings.Join(roots, ", ") + "); derive the context from the request so client disconnect cancels it"})
+				}
+				return true
+			})
+		}
+		// Rule 2: fan-out contexts must derive from the request. A sink
+		// argument whose origin set is empty traces to neither an
+		// r.Context() call nor a context parameter of the enclosing
+		// function.
+		include := func(d *FuncDecl) bool { return len(reach[d.Fn]) > 0 }
+		spec := *ctxFlowSpec
+		spec.Include = include
+		for pkg, findings := range TaintFlow(pass.Prog, &spec) {
+			for _, f := range findings {
+				if len(f.Origins) > 0 {
+					continue
+				}
+				if p, ok := containsDetachedContext(pkgInfo(pass.Prog, pkg), f.Arg); ok && detached[p] {
+					continue // rule 1 already reported this expression
+				}
+				msg := "the context passed to " + f.Desc + " does not derive from the request context"
+				if f.Callee != nil {
+					msg = "this argument is forwarded by " + funcDisplayName(f.Callee) +
+						" into " + f.Desc + " but does not derive from the request context"
+				}
+				out[pkg] = append(out[pkg], ctxDiag{f.Pos, msg +
+					"; request-reachable fan-out must be cancellable by client disconnect"})
+			}
+		}
+		for pkg := range out {
+			sort.SliceStable(out[pkg], func(i, j int) bool { return out[pkg][i].pos < out[pkg][j].pos })
+		}
+		return out
+	}).(map[*types.Package][]ctxDiag)
+	for _, d := range diags[pass.Pkg] {
+		pass.Reportf(d.pos, "%s", d.msg)
+	}
+}
+
+// requestReachable maps every declared function reachable from an
+// HTTP-handler-shaped declaration (closures included) to the sorted
+// handler names it is reachable from.
+func requestReachable(prog *Program) map[*types.Func][]string {
+	return prog.Cache("ctxflow.requestReachable", func() any {
+		var roots []*FuncDecl
+		for _, d := range prog.Decls() {
+			if isHTTPHandlerShape(d.Fn) {
+				roots = append(roots, d)
+			}
+		}
+		return reachableFrom(prog, roots)
+	}).(map[*types.Func][]string)
+}
+
+// detachedContextCall reports whether the call is context.Background()
+// or context.TODO(), returning the function name.
+func detachedContextCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := CalleeOf(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return "", false
+	}
+	if name := fn.Name(); name == "Background" || name == "TODO" {
+		return name, true
+	}
+	return "", false
+}
+
+// containsDetachedContext returns the position of a Background/TODO
+// call inside the expression, if any.
+func containsDetachedContext(info *types.Info, e ast.Expr) (token.Pos, bool) {
+	var pos token.Pos
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && !found {
+			if _, ok := detachedContextCall(info, call); ok {
+				pos, found = call.Pos(), true
+			}
+		}
+		return !found
+	})
+	return pos, found
+}
+
+// isRequestContextCall reports whether the call is Context() on an
+// *http.Request receiver — the canonical way a handler obtains the
+// request-scoped context.
+func isRequestContextCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	selection, ok := info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal || selection.Obj().Name() != "Context" {
+		return false
+	}
+	named := namedOf(selection.Recv())
+	return named != nil && isNetHTTPType(named.Obj(), "Request")
+}
+
+// ctxFanoutSinks declares the context argument of parallel.Map and
+// parallel.ForEach a sink. The match is by package name so the
+// analyzer's fixtures can exercise the real pool package.
+func ctxFanoutSinks(info *types.Info, call *ast.CallExpr) []TaintSink {
+	fn := CalleeOf(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Name() != "parallel" {
+		return nil
+	}
+	name := fn.Name()
+	if (name != "Map" && name != "ForEach") || len(call.Args) == 0 {
+		return nil
+	}
+	return []TaintSink{{Arg: call.Args[0], Desc: "parallel." + name}}
+}
+
+// isContextParam reports whether the variable's type is
+// context.Context.
+func isContextParam(v *types.Var) bool {
+	named := namedOf(v.Type())
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// pkgInfo finds the loaded package's type info by its types.Package,
+// for analyses that report across package boundaries.
+func pkgInfo(prog *Program, pkg *types.Package) *types.Info {
+	for _, p := range prog.Pkgs {
+		if p.Pkg == pkg {
+			return p.Info
+		}
+	}
+	return nil
+}

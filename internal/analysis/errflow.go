@@ -1,0 +1,254 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ErrFlow polices error disposal on the paths where a swallowed error
+// turns into silent data corruption or a wrong HTTP response: code
+// reachable from an HTTP-handler-shaped function or from the
+// `// lint:codec encode` / `// lint:codec decode` artifact roots. In
+// that scope, a call into an error-bearing API (io, encoding/json, the
+// artifact codec, the parallel pool) must have its error consumed:
+//
+//   - a call statement that drops the results entirely is a finding;
+//   - an assignment that puts the error in the blank identifier is a
+//     finding;
+//   - an assignment to a named variable that is then only
+//     blank-discarded (or never read) is a finding.
+//
+// Checking, returning, or passing the error onward all count as
+// consumption. A deliberate drop (best-effort write after the response
+// is committed) suppresses with //lint:ignore errflow and a reason.
+// The scope is computed over the same reachability substrate the other
+// serving-layer analyzers use, so a helper three calls below a handler
+// is checked even though it is not handler-shaped itself.
+var ErrFlow = &Analyzer{
+	Name: "errflow",
+	Doc:  "request- and codec-reachable code must check, return, or explicitly suppress io/json/artifact/parallel errors",
+	Run:  runErrFlow,
+}
+
+// errFlowPkgs names the packages whose error results matter on serving
+// and codec paths (matched by package name, so fixtures can model the
+// module-local ones).
+var errFlowPkgs = map[string]bool{
+	"io":       true,
+	"json":     true,
+	"artifact": true,
+	"parallel": true,
+}
+
+func runErrFlow(pass *Pass) {
+	type errDiag struct {
+		pos token.Pos
+		msg string
+	}
+	diags := pass.Prog.Cache("errflow.diags", func() any {
+		reach := errFlowReachable(pass.Prog)
+		out := make(map[*types.Package][]errDiag)
+		for _, d := range pass.Prog.Decls() {
+			roots := reach[d.Fn]
+			if len(roots) == 0 {
+				continue
+			}
+			pkg := d.Pkg.Pkg
+			info := d.Pkg.Info
+			where := "(reachable from " + rootList(roots) + ")"
+			report := func(pos token.Pos, what, fn string) {
+				out[pkg] = append(out[pkg], errDiag{pos, "the error returned by " + fn + " is " + what +
+					" in request/codec-reachable code " + where + "; check it, return it, or suppress it with a justified //lint:ignore errflow"})
+			}
+			ast.Inspect(d.Decl.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ExprStmt:
+					if call, fn := errProducer(info, n.X); call != nil {
+						report(call.Pos(), "dropped with the call statement", fn)
+					}
+				case *ast.AssignStmt:
+					for _, bind := range errBindings(info, n.Lhs, n.Rhs) {
+						checkErrBinding(info, d.Decl.Body, bind, report)
+					}
+				case *ast.ValueSpec:
+					if len(n.Values) == 1 {
+						lhs := make([]ast.Expr, len(n.Names))
+						for i, name := range n.Names {
+							lhs[i] = name
+						}
+						for _, bind := range errBindings(info, lhs, n.Values) {
+							checkErrBinding(info, d.Decl.Body, bind, report)
+						}
+					}
+				}
+				return true
+			})
+		}
+		for pkg := range out {
+			sort.SliceStable(out[pkg], func(i, j int) bool { return out[pkg][i].pos < out[pkg][j].pos })
+		}
+		return out
+	}).(map[*types.Package][]errDiag)
+	for _, d := range diags[pass.Pkg] {
+		pass.Reportf(d.pos, "%s", d.msg)
+	}
+}
+
+// errFlowReachable merges the handler-reachable set with the set
+// reachable from the codec roots: every function in either is in
+// errflow's scope, tagged with the sorted root names for diagnostics.
+func errFlowReachable(prog *Program) map[*types.Func][]string {
+	return prog.Cache("errflow.reachable", func() any {
+		codecRoots := append(annotatedRoots(prog, "lint:codec encode"),
+			annotatedRoots(prog, "lint:codec decode")...)
+		merged := make(map[*types.Func]map[string]bool)
+		add := func(m map[*types.Func][]string) {
+			for fn, roots := range m {
+				set := merged[fn]
+				if set == nil {
+					set = make(map[string]bool)
+					merged[fn] = set
+				}
+				for _, r := range roots {
+					set[r] = true
+				}
+			}
+		}
+		add(requestReachable(prog))
+		add(reachableFrom(prog, codecRoots))
+		out := make(map[*types.Func][]string, len(merged))
+		for fn, set := range merged {
+			names := make([]string, 0, len(set))
+			for n := range set {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			out[fn] = names
+		}
+		return out
+	}).(map[*types.Func][]string)
+}
+
+// rootList renders the reachability roots for a message, capped so a
+// helper reachable from every handler stays readable.
+func rootList(roots []string) string {
+	if len(roots) > 3 {
+		return strings.Join(roots[:3], ", ") + ", …"
+	}
+	return strings.Join(roots, ", ")
+}
+
+// errProducer reports whether the expression is a statically resolved
+// call into one of the watched packages whose last result is error,
+// returning the call and its display name.
+func errProducer(info *types.Info, e ast.Expr) (*ast.CallExpr, string) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil, ""
+	}
+	fn := CalleeOf(info, call)
+	if fn == nil || fn.Pkg() == nil || !errFlowPkgs[fn.Pkg().Name()] {
+		return nil, ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return nil, ""
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	if !types.Identical(last, types.Universe.Lookup("error").Type()) {
+		return nil, ""
+	}
+	return call, fn.Pkg().Name() + "." + funcDisplayName(fn)
+}
+
+// errBinding is one (error-position LHS, producing call) pair pulled
+// out of an assignment.
+type errBinding struct {
+	lhs  ast.Expr
+	call *ast.CallExpr
+	fn   string
+}
+
+// errBindings extracts the error-position bindings of an assignment:
+// for `out, err := json.Marshal(v)` the last LHS against the call; for
+// pairwise assignments, each LHS whose RHS is a single-result producer.
+func errBindings(info *types.Info, lhs, rhs []ast.Expr) []errBinding {
+	var out []errBinding
+	if len(rhs) == 1 && len(lhs) > 1 {
+		if call, fn := errProducer(info, rhs[0]); call != nil {
+			out = append(out, errBinding{lhs[len(lhs)-1], call, fn})
+		}
+		return out
+	}
+	if len(lhs) != len(rhs) {
+		return nil
+	}
+	for i := range rhs {
+		call, fn := errProducer(info, rhs[i])
+		if call == nil {
+			continue
+		}
+		sig := CalleeOf(info, call).Type().(*types.Signature)
+		if sig.Results().Len() == 1 {
+			out = append(out, errBinding{lhs[i], call, fn})
+		}
+	}
+	return out
+}
+
+// checkErrBinding reports a binding whose error lands in the blank
+// identifier, or in a variable the function then only blank-discards
+// (or never reads).
+func checkErrBinding(info *types.Info, body *ast.BlockStmt, bind errBinding, report func(token.Pos, string, string)) {
+	id, ok := ast.Unparen(bind.lhs).(*ast.Ident)
+	if !ok {
+		return // assigned into a field or element: consumed
+	}
+	if id.Name == "_" {
+		report(bind.call.Pos(), "discarded into the blank identifier", bind.fn)
+		return
+	}
+	obj := info.Defs[id]
+	if obj == nil {
+		obj = info.Uses[id]
+	}
+	if obj == nil {
+		return
+	}
+	realUses, blankDiscards := 0, 0
+	ast.Inspect(body, func(n ast.Node) bool {
+		if a, ok := n.(*ast.AssignStmt); ok && isBlankDiscardOf(info, a, obj) {
+			blankDiscards++
+			return false
+		}
+		if use, ok := n.(*ast.Ident); ok && use != id && info.Uses[use] == obj {
+			realUses++
+		}
+		return true
+	})
+	if realUses > 0 {
+		return
+	}
+	what := "never read after this assignment"
+	if blankDiscards > 0 {
+		what = "only blank-discarded after this assignment"
+	}
+	report(bind.call.Pos(), what, bind.fn)
+}
+
+// isBlankDiscardOf reports whether the assignment is exactly `_ = v`
+// for the given object.
+func isBlankDiscardOf(info *types.Info, a *ast.AssignStmt, obj types.Object) bool {
+	if len(a.Lhs) != 1 || len(a.Rhs) != 1 {
+		return false
+	}
+	lhs, ok := ast.Unparen(a.Lhs[0]).(*ast.Ident)
+	if !ok || lhs.Name != "_" {
+		return false
+	}
+	rhs, ok := ast.Unparen(a.Rhs[0]).(*ast.Ident)
+	return ok && info.Uses[rhs] == obj
+}

@@ -1,0 +1,425 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// flow.go is the shared value-flow/taint substrate the request-lifecycle
+// analyzers build on (boundedread, ctxflow, and — for its def-use
+// queries — errflow). It generalizes the tracking boundedread
+// originally carried privately:
+//
+//   - Intraprocedural def-use chains replayed in source-position order
+//     over go/ast + go/types: assignments (including var declarations)
+//     propagate the taint of their right-hand side to the target
+//     variable, expressions propagate through any syntax that mentions
+//     a tainted variable (composite literals, index/slice expressions,
+//     call arguments), and function-literal bodies are replayed as part
+//     of the enclosing function, so closures see — and leak — the same
+//     taint state.
+//   - An interprocedural fixpoint over the Program call graph with two
+//     per-function summaries: param→sink (a parameter that reaches a
+//     sink inside its function turns every call site's argument at that
+//     position into a sink of the caller) and, when the spec opts in,
+//     param→result (a call's results carry the taint of exactly the
+//     argument positions the callee's return values derive from,
+//     instead of the blanket "mentions a tainted name" approximation).
+//   - Pluggable predicates: what originates taint (IsSource), what must
+//     not receive it (Sinks), and what clears it (Sanitizes).
+//
+// The engine reports every sink reach — tainted or not — with the
+// origin set observed at the sink; analyzers decide what is a finding
+// (boundedread: source taint reached a sink; ctxflow: no request
+// origin reached a context sink). Results are computed once per
+// program per spec and cached under the spec's key.
+
+// SourceOrigin is the taint origin meaning "originated at a source
+// call inside this function". Non-negative origins mean "came in as
+// parameter i of this function".
+const SourceOrigin = -1
+
+// TaintSink is one argument position of a call that the spec declares
+// a sink.
+type TaintSink struct {
+	// Arg is the argument expression flowing into the sink.
+	Arg ast.Expr
+	// Desc names the sink in diagnostics ("make", "io.ReadFull",
+	// "parallel.Map", …).
+	Desc string
+}
+
+// TaintSpec configures one run of the value-flow engine.
+type TaintSpec struct {
+	// Key caches the whole-program result on the Program.
+	Key string
+	// SourceName labels SourceOrigin taint in finding name lists
+	// ("wire read", "request context", …).
+	SourceName string
+	// IsSource classifies a call expression as a taint source.
+	IsSource func(info *types.Info, call *ast.CallExpr) bool
+	// Sinks returns the call's intrinsic sink arguments, if any.
+	Sinks func(info *types.Info, call *ast.CallExpr) []TaintSink
+	// Sanitizes returns the variables whose taint the node clears
+	// (e.g. a relational bounds check). Nil means nothing sanitizes.
+	Sanitizes func(info *types.Info, n ast.Node) []*types.Var
+	// TaintParam selects which parameters enter their function
+	// pre-tainted with their own index. Nil taints every parameter.
+	TaintParam func(v *types.Var) bool
+	// Include selects the functions findings are reported in. Nil
+	// reports everywhere. The param→sink fixpoint always runs over the
+	// whole program so summaries stay correct at the boundary.
+	Include func(d *FuncDecl) bool
+	// ForwardDesc describes propagated sinks — call sites whose callee
+	// forwards the argument into a sink of its own.
+	ForwardDesc string
+	// TrustLitParams treats function-literal parameters selected by
+	// TaintParam as source-derived: a closure's context parameter is
+	// supplied by whoever invokes the closure, and the value fed to
+	// that invoker is checked at its own call site, so re-reporting it
+	// inside the closure would double-count one root cause.
+	TrustLitParams bool
+	// UseResultSummaries switches call-result taint from the blanket
+	// expression walk (a call is tainted if any argument mentions a
+	// tainted name) to the param→result summary of declared callees.
+	UseResultSummaries bool
+}
+
+// TaintFinding is one sink reach observed during the whole-program
+// run. Origins holds what the argument derived from at that point:
+// SourceOrigin, parameter indexes of the enclosing function, or
+// nothing (the value is untraceable to any source or parameter).
+type TaintFinding struct {
+	Pos token.Pos
+	// Fn is the function (or method) containing the sink.
+	Fn *types.Func
+	// Arg is the argument expression that reached the sink.
+	Arg ast.Expr
+	// Origins is the taint origin set at the sink; empty when the
+	// value derives from neither a source nor a parameter.
+	Origins map[int]bool
+	// Names lists the tainted variable names (and SourceName, for
+	// direct source reads) the argument mentions, sorted and deduped.
+	Names []string
+	// Desc is the sink description from the spec.
+	Desc string
+	// Callee is non-nil when the sink is a propagated one: the
+	// argument lands on a parameter the callee forwards into a sink.
+	Callee *types.Func
+}
+
+// flowSummary is the engine's per-function summary.
+type flowSummary struct {
+	// sinkParams marks parameters that reach a sink in the body
+	// (directly or through further calls) while still tainted.
+	sinkParams map[int]bool
+	// resultParams marks parameters the function's results may derive
+	// from; resultSource records results deriving from a source call.
+	// Only maintained when the spec opts into result summaries.
+	resultParams map[int]bool
+	resultSource bool
+}
+
+func newFlowSummary() *flowSummary {
+	return &flowSummary{sinkParams: make(map[int]bool), resultParams: make(map[int]bool)}
+}
+
+// TaintFlow runs the spec's whole-program taint analysis once per
+// program: a fixpoint growing the per-function summaries, then a
+// reporting pass over every included function with the stable
+// summaries. Findings are grouped by package and ordered by
+// declaration position, so per-package reporting is deterministic.
+func TaintFlow(prog *Program, spec *TaintSpec) map[*types.Package][]TaintFinding {
+	return prog.Cache("flow."+spec.Key, func() any {
+		summaries := make(map[*types.Func]*flowSummary)
+		for _, d := range prog.Decls() {
+			summaries[d.Fn] = newFlowSummary()
+		}
+		for changed := true; changed; {
+			changed = false
+			for _, d := range prog.Decls() {
+				got := flowSimulate(d, spec, summaries, nil)
+				have := summaries[d.Fn]
+				for i := range got.sinkParams {
+					if !have.sinkParams[i] {
+						have.sinkParams[i] = true
+						changed = true
+					}
+				}
+				for i := range got.resultParams {
+					if !have.resultParams[i] {
+						have.resultParams[i] = true
+						changed = true
+					}
+				}
+				if got.resultSource && !have.resultSource {
+					have.resultSource = true
+					changed = true
+				}
+			}
+		}
+		findings := make(map[*types.Package][]TaintFinding)
+		for _, d := range prog.Decls() {
+			if spec.Include != nil && !spec.Include(d) {
+				continue
+			}
+			fn, pkg := d.Fn, d.Pkg.Pkg
+			flowSimulate(d, spec, summaries, func(f TaintFinding) {
+				f.Fn = fn
+				findings[pkg] = append(findings[pkg], f)
+			})
+		}
+		return findings
+	}).(map[*types.Package][]TaintFinding)
+}
+
+// flowEvent is one position-ordered step of the per-function replay.
+type flowEvent struct {
+	pos token.Pos
+
+	// assign: lhs receives the taint of rhs (cleared when rhs is
+	// clean).
+	lhs *types.Var
+	rhs ast.Expr
+
+	// sanitize: clear these variables' taint.
+	sanitize []*types.Var
+
+	// sink: arg flows into the sink described by desc; callee is set
+	// for propagated sinks.
+	arg    ast.Expr
+	desc   string
+	callee *types.Func
+
+	// ret: the expressions a return statement publishes (result
+	// summaries only).
+	results []ast.Expr
+}
+
+// flowSimulate replays one function body in source order against the
+// current summaries. Selected parameters are pre-tainted with their own
+// index; sources taint with SourceOrigin. Every sink reach is handed to
+// emit (when non-nil) with the origin set observed there; parameter
+// origins reaching sinks are folded into the returned summary, as are
+// the origins of returned expressions when result summaries are on.
+func flowSimulate(d *FuncDecl, spec *TaintSpec, summaries map[*types.Func]*flowSummary, emit func(TaintFinding)) *flowSummary {
+	info := d.Pkg.Info
+	events := flowCollect(d, spec, summaries)
+
+	taint := make(map[*types.Var]map[int]bool)
+	sig := d.Fn.Type().(*types.Signature)
+	for i := 0; i < sig.Params().Len(); i++ {
+		v := sig.Params().At(i)
+		if spec.TaintParam == nil || spec.TaintParam(v) {
+			taint[v] = map[int]bool{i: true}
+		}
+	}
+	if spec.TrustLitParams {
+		ast.Inspect(d.Decl.Body, func(n ast.Node) bool {
+			lit, ok := n.(*ast.FuncLit)
+			if !ok || lit.Type.Params == nil {
+				return true
+			}
+			for _, field := range lit.Type.Params.List {
+				for _, id := range field.Names {
+					if v, ok := info.Defs[id].(*types.Var); ok {
+						if spec.TaintParam == nil || spec.TaintParam(v) {
+							taint[v] = map[int]bool{SourceOrigin: true}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	out := newFlowSummary()
+	for _, ev := range events {
+		switch {
+		case ev.lhs != nil:
+			origins, _ := flowOrigins(info, spec, summaries, taint, ev.rhs)
+			if len(origins) > 0 {
+				taint[ev.lhs] = origins
+			} else {
+				delete(taint, ev.lhs)
+			}
+		case ev.sanitize != nil:
+			for _, v := range ev.sanitize {
+				delete(taint, v)
+			}
+		case ev.arg != nil:
+			origins, names := flowOrigins(info, spec, summaries, taint, ev.arg)
+			for o := range origins {
+				if o >= 0 {
+					out.sinkParams[o] = true
+				}
+			}
+			if emit != nil {
+				emit(TaintFinding{
+					Pos: ev.pos, Arg: ev.arg, Origins: origins,
+					Names: names, Desc: ev.desc, Callee: ev.callee,
+				})
+			}
+		case ev.results != nil:
+			for _, res := range ev.results {
+				origins, _ := flowOrigins(info, spec, summaries, taint, res)
+				for o := range origins {
+					if o >= 0 {
+						out.resultParams[o] = true
+					} else {
+						out.resultSource = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// flowOrigins evaluates an expression's taint: the union of the
+// origins of every tainted variable it mentions plus SourceOrigin for
+// direct source calls, alongside the sorted, deduped names involved.
+// With result summaries on, a call to a declared function contributes
+// only the taint its summary says flows through — the taint of the
+// argument positions its results derive from, plus SourceOrigin when
+// its results derive from a source — instead of every mentioned name.
+func flowOrigins(info *types.Info, spec *TaintSpec, summaries map[*types.Func]*flowSummary, taint map[*types.Var]map[int]bool, e ast.Expr) (map[int]bool, []string) {
+	origins := make(map[int]bool)
+	nameSet := make(map[string]bool)
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				if v, ok := info.Uses[n].(*types.Var); ok {
+					if os := taint[v]; len(os) > 0 {
+						for o := range os {
+							origins[o] = true
+						}
+						nameSet[v.Name()] = true
+					}
+				}
+			case *ast.CallExpr:
+				if spec.IsSource != nil && spec.IsSource(info, n) {
+					origins[SourceOrigin] = true
+					nameSet[spec.SourceName] = true
+					return true
+				}
+				if spec.UseResultSummaries {
+					if callee := CalleeOf(info, n); callee != nil {
+						if sum, ok := summaries[callee]; ok {
+							for p := range sum.resultParams {
+								if p < len(n.Args) {
+									walk(n.Args[p])
+								}
+							}
+							if sum.resultSource {
+								origins[SourceOrigin] = true
+								nameSet[spec.SourceName] = true
+							}
+							return false
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(e)
+	names := make([]string, 0, len(nameSet))
+	for n := range nameSet {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return origins, names
+}
+
+// flowCollect walks the body (closures included) and returns the
+// replay events sorted stably by source position.
+func flowCollect(d *FuncDecl, spec *TaintSpec, summaries map[*types.Func]*flowSummary) []flowEvent {
+	info := d.Pkg.Info
+	var events []flowEvent
+	ast.Inspect(d.Decl.Body, func(n ast.Node) bool {
+		if spec.Sanitizes != nil {
+			if vars := spec.Sanitizes(info, n); len(vars) > 0 {
+				events = append(events, flowEvent{pos: n.Pos(), sanitize: vars})
+			}
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			flowCollectAssign(n.Pos(), n.Lhs, n.Rhs, info, &events)
+		case *ast.ValueSpec:
+			if len(n.Values) > 0 {
+				lhs := make([]ast.Expr, len(n.Names))
+				for i, id := range n.Names {
+					lhs[i] = id
+				}
+				flowCollectAssign(n.Pos(), lhs, n.Values, info, &events)
+			}
+		case *ast.CallExpr:
+			flowCollectSinks(n, info, spec, summaries, &events)
+		case *ast.ReturnStmt:
+			if spec.UseResultSummaries && len(n.Results) > 0 {
+				events = append(events, flowEvent{pos: n.Pos(), results: n.Results})
+			}
+		}
+		return true
+	})
+	sort.SliceStable(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	return events
+}
+
+// flowCollectAssign turns an assignment (or var declaration) into
+// per-variable taint events: pair-wise when the counts line up, and a
+// single multi-valued RHS taints every target.
+func flowCollectAssign(pos token.Pos, lhs, rhs []ast.Expr, info *types.Info, events *[]flowEvent) {
+	lhsVar := func(e ast.Expr) *types.Var {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		if v, ok := info.Defs[id].(*types.Var); ok {
+			return v
+		}
+		v, _ := info.Uses[id].(*types.Var)
+		return v
+	}
+	for i, l := range lhs {
+		v := lhsVar(l)
+		if v == nil {
+			continue
+		}
+		r := rhs[0]
+		if len(rhs) == len(lhs) {
+			r = rhs[i]
+		}
+		*events = append(*events, flowEvent{pos: pos, lhs: v, rhs: r})
+	}
+}
+
+// flowCollectSinks records the call's sink arguments: the spec's
+// intrinsic sinks plus arguments landing on a callee's known
+// forwarding parameters.
+func flowCollectSinks(call *ast.CallExpr, info *types.Info, spec *TaintSpec, summaries map[*types.Func]*flowSummary, events *[]flowEvent) {
+	if spec.Sinks != nil {
+		if sinks := spec.Sinks(info, call); len(sinks) > 0 {
+			for _, s := range sinks {
+				*events = append(*events, flowEvent{pos: s.Arg.Pos(), arg: s.Arg, desc: s.Desc})
+			}
+			return
+		}
+	}
+	callee := CalleeOf(info, call)
+	if callee == nil {
+		return
+	}
+	if sum, ok := summaries[callee]; ok && len(sum.sinkParams) > 0 {
+		for i, arg := range call.Args {
+			if sum.sinkParams[i] {
+				*events = append(*events, flowEvent{pos: arg.Pos(), arg: arg, desc: spec.ForwardDesc, callee: callee})
+			}
+		}
+	}
+}

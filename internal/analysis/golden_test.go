@@ -36,6 +36,9 @@ func TestGolden(t *testing.T) {
 		{"snapshotonce", analysis.SnapshotOnce},
 		{"boundedread", analysis.BoundedRead},
 		{"hotalloc", analysis.HotAlloc},
+		{"ctxflow", analysis.CtxFlow},
+		{"goroleak", analysis.GoroLeak},
+		{"errflow", analysis.ErrFlow},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,523 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoroLeak demands a visible termination path for every go statement:
+// a goroutine that outlives its request (or the process phase that
+// spawned it) holds its stack, its captured references, and — in the
+// serve path — a worker slot, forever. The analyzer accepts any of
+// three witnesses:
+//
+//   - WaitGroup pairing: the goroutine calls Done on a sync.WaitGroup
+//     the launching function Adds to (directly, or through a parameter
+//     of a named callee resolved via the call graph).
+//   - Matched channels: every channel send has a visible receive in
+//     the launching function or a nonzero buffer; receives and ranges
+//     are matched by a visible send or close; selects carry a default
+//     or a matched communication.
+//   - Context bounds: an otherwise-unbounded loop observes
+//     ctx.Done()/ctx.Err(), so cancellation ends it.
+//
+// The launched body is resolved through the whole-program view: `go
+// f()` is checked against f's declaration, with channel and WaitGroup
+// parameters substituted by the launch-site arguments. Loops with a
+// condition or a data range are treated as bounded — the analyzer
+// hunts leaks, not slow loops. Process-lifetime daemons suppress with
+// //lint:ignore goroleak and a reason.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "every go statement needs a visible termination path (WaitGroup pairing, matched channels, or a context bound)",
+	Run:  runGoroLeak,
+}
+
+// launched is a resolved goroutine body: its syntax, the type info of
+// the package it is declared in, and the parameter→argument
+// substitution for named callees (and parameterized literals).
+type launched struct {
+	body   *ast.BlockStmt
+	info   *types.Info
+	params []*types.Var
+	args   []ast.Expr
+}
+
+// scope is one body the matcher may search for channel counterparts
+// (the launching function, and the goroutine body itself).
+type scope struct {
+	node ast.Node
+	info *types.Info
+}
+
+func runGoroLeak(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				l, ok := resolveLaunched(pass, g.Call)
+				if !ok {
+					pass.Reportf(g.Pos(), "goroutine body is not statically visible (dynamic call); no termination path can be checked")
+					return true
+				}
+				scopes := []scope{{fd.Body, pass.Info}, {l.body, l.info}}
+				if waitGroupPaired(l, fd.Body, pass.Info) {
+					return true
+				}
+				if hazard := goroHazard(l, scopes); hazard != "" {
+					pass.Reportf(g.Pos(), "goroutine has no visible termination path: %s; pair it with a WaitGroup, match its channels, or bound it with a context", hazard)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// resolveLaunched maps a go statement's call to the body that will
+// run: a function literal's own body, or the declaration of a
+// statically resolved callee with its parameters bound to the
+// launch-site arguments.
+func resolveLaunched(pass *Pass, call *ast.CallExpr) (launched, bool) {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return launched{body: lit.Body, info: pass.Info, params: litParams(pass.Info, lit), args: call.Args}, true
+	}
+	callee := CalleeOf(pass.Info, call)
+	if callee == nil {
+		return launched{}, false
+	}
+	d := pass.Prog.DeclOf(callee)
+	if d == nil {
+		return launched{}, false
+	}
+	sig := callee.Type().(*types.Signature)
+	params := make([]*types.Var, sig.Params().Len())
+	for i := range params {
+		params[i] = sig.Params().At(i)
+	}
+	return launched{body: d.Decl.Body, info: d.Pkg.Info, params: params, args: call.Args}, true
+}
+
+func litParams(info *types.Info, lit *ast.FuncLit) []*types.Var {
+	var out []*types.Var
+	if lit.Type.Params == nil {
+		return nil
+	}
+	for _, field := range lit.Type.Params.List {
+		for _, id := range field.Names {
+			v, _ := info.Defs[id].(*types.Var)
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// substitute maps an object that is a parameter of the launched body
+// to the root object of the corresponding launch-site argument, so
+// `go drain(&wg)` pairs with the launcher's wg.Add.
+func (l launched) substitute(obj types.Object) types.Object {
+	for i, p := range l.params {
+		if p == obj && i < len(l.args) {
+			// The outer info resolves the argument; for literals and
+			// same-package callees they coincide, and for cross-package
+			// callees the argument was resolved by the caller's info —
+			// rootObj only needs Uses/Defs, which the shared file set
+			// keeps consistent. Fall back to the object itself when the
+			// argument has no identifier root.
+			if sub := rootObj(l.info, l.args[i]); sub != nil {
+				return sub
+			}
+		}
+	}
+	return obj
+}
+
+// rootObj resolves the identifier object an expression is rooted at:
+// the variable of an ident, the field of a selector, through parens,
+// unary &/*, and indexing.
+func rootObj(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := info.Uses[e]; obj != nil {
+			return obj
+		}
+		return info.Defs[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	case *ast.UnaryExpr:
+		return rootObj(info, e.X)
+	case *ast.StarExpr:
+		return rootObj(info, e.X)
+	case *ast.IndexExpr:
+		return rootObj(info, e.X)
+	}
+	return nil
+}
+
+// waitGroupPaired reports whether the goroutine calls Done on a
+// sync.WaitGroup the launching function Adds to.
+func waitGroupPaired(l launched, launcherBody *ast.BlockStmt, launcherInfo *types.Info) bool {
+	doneObjs := make(map[types.Object]bool)
+	ast.Inspect(l.body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if recv := waitGroupMethodRecv(l.info, call, "Done"); recv != nil {
+			if obj := rootObj(l.info, recv); obj != nil {
+				doneObjs[l.substitute(obj)] = true
+			}
+		}
+		return true
+	})
+	if len(doneObjs) == 0 {
+		return false
+	}
+	paired := false
+	ast.Inspect(launcherBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if recv := waitGroupMethodRecv(launcherInfo, call, "Add"); recv != nil {
+			if obj := rootObj(launcherInfo, recv); obj != nil && doneObjs[obj] {
+				paired = true
+			}
+		}
+		return true
+	})
+	return paired
+}
+
+// waitGroupMethodRecv returns the receiver expression when the call is
+// <recv>.<name>() on a sync.WaitGroup.
+func waitGroupMethodRecv(info *types.Info, call *ast.CallExpr, name string) ast.Expr {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return nil
+	}
+	selection, ok := info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return nil
+	}
+	named := namedOf(selection.Recv())
+	if named == nil {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Name() != "WaitGroup" || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return nil
+	}
+	return sel.X
+}
+
+// goroHazard scans the launched body for constructs that can block or
+// spin forever without a visible counterpart, returning a description
+// of the first one (or "" when every construct has a termination
+// witness).
+func goroHazard(l launched, scopes []scope) string {
+	hazard := ""
+	report := func(msg string) {
+		if hazard == "" {
+			hazard = msg
+		}
+	}
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		if n == nil || hazard != "" {
+			return
+		}
+		ast.Inspect(n, func(n ast.Node) bool {
+			if hazard != "" {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				return false // a nested goroutine is its own check
+			case *ast.ForStmt:
+				if n.Cond == nil && !mentionsCtxBound(l.info, n.Body) && !loopHasMatchedRecv(l, n.Body, scopes) {
+					report("an unconditional for-loop never observes ctx.Done()/ctx.Err() or a closed channel")
+					return false
+				}
+				return true // bounded (or ctx/channel-bounded): scan the body for channel hazards
+			case *ast.RangeStmt:
+				if _, ok := l.info.Types[n.X].Type.Underlying().(*types.Chan); ok {
+					if !chanMatched(l, n.X, scopes, chanClosed) {
+						report("ranges over a channel no one visibly closes")
+						return false
+					}
+				}
+				return true
+			case *ast.SendStmt:
+				if !chanMatched(l, n.Chan, scopes, chanReceivedOrBuffered) {
+					report("sends on a channel with no visible receive or buffer")
+					return false
+				}
+			case *ast.UnaryExpr:
+				if n.Op.String() == "<-" {
+					if !chanMatched(l, n.X, scopes, chanSentOrClosed) {
+						report("receives from a channel with no visible send or close")
+						return false
+					}
+				}
+			case *ast.SelectStmt:
+				if !selectHasExit(l, n, scopes) {
+					report("selects with no default, context case, or matched communication")
+					return false
+				}
+				// Case bodies are scanned; the comm clauses were judged
+				// as a unit by selectHasExit.
+				for _, clause := range n.Body.List {
+					if cc, ok := clause.(*ast.CommClause); ok {
+						for _, stmt := range cc.Body {
+							walk(stmt)
+						}
+					}
+				}
+				return false
+			}
+			return true
+		})
+	}
+	walk(l.body)
+	return hazard
+}
+
+// mentionsCtxBound reports whether the node calls Done or Err on a
+// context.Context value — the loop can observe cancellation.
+func mentionsCtxBound(info *types.Info, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		if name != "Done" && name != "Err" {
+			return true
+		}
+		if tv, ok := info.Types[sel.X]; ok {
+			if named := namedOf(tv.Type); named != nil {
+				obj := named.Obj()
+				if obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context" {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// loopHasMatchedRecv reports whether the unconditional loop contains a
+// receive (or select receive case) on a channel with a visible send or
+// close — a wake-up that can carry a shutdown signal.
+func loopHasMatchedRecv(l launched, body ast.Node, scopes []scope) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if u, ok := n.(*ast.UnaryExpr); ok && u.Op.String() == "<-" {
+			if chanMatched(l, u.X, scopes, chanSentOrClosed) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// selectHasExit reports whether a select statement has a visible way
+// to proceed: a default clause, a receive on ctx.Done(), or at least
+// one communication whose counterpart is visible.
+func selectHasExit(l launched, sel *ast.SelectStmt, scopes []scope) bool {
+	for _, clause := range sel.Body.List {
+		cc, ok := clause.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil {
+			return true // default: the select cannot block
+		}
+		switch comm := cc.Comm.(type) {
+		case *ast.SendStmt:
+			if chanMatched(l, comm.Chan, scopes, chanReceivedOrBuffered) {
+				return true
+			}
+		default:
+			// Receive: <-ch as a statement, or v := <-ch.
+			var ch ast.Expr
+			ast.Inspect(cc.Comm, func(n ast.Node) bool {
+				if u, ok := n.(*ast.UnaryExpr); ok && u.Op.String() == "<-" && ch == nil {
+					ch = u.X
+				}
+				return ch == nil
+			})
+			if ch == nil {
+				continue
+			}
+			if mentionsCtxBound(l.info, cc.Comm) {
+				return true
+			}
+			if chanMatched(l, ch, scopes, chanSentOrClosed) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// chanMatched resolves the channel expression to its root object
+// (substituting launched parameters with launch-site arguments) and
+// asks the matcher whether any scope shows the needed counterpart.
+// Channels with no identifier root (call results like time.After) are
+// optimistically accepted — there is nothing stable to match them on.
+func chanMatched(l launched, ch ast.Expr, scopes []scope, match func(types.Object, []scope) bool) bool {
+	obj := rootObj(l.info, ch)
+	if obj == nil {
+		return true
+	}
+	return match(l.substitute(obj), scopes)
+}
+
+// chanReceivedOrBuffered: a send terminates if some scope receives
+// from the channel (unary receive, range, or select receive case) or
+// the channel is assigned a make with a nonzero buffer.
+func chanReceivedOrBuffered(obj types.Object, scopes []scope) bool {
+	for _, s := range scopes {
+		found := false
+		ast.Inspect(s.node, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.UnaryExpr:
+				if n.Op.String() == "<-" && rootObj(s.info, n.X) == obj {
+					found = true
+				}
+			case *ast.RangeStmt:
+				if rootObj(s.info, n.X) == obj {
+					if _, ok := s.info.Types[n.X].Type.Underlying().(*types.Chan); ok {
+						found = true
+					}
+				}
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i, lhs := range n.Lhs {
+						if rootObj(s.info, lhs) == obj && isBufferedMake(s.info, n.Rhs[i]) {
+							found = true
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					if s.info.Defs[name] == obj && i < len(n.Values) && isBufferedMake(s.info, n.Values[i]) {
+						found = true
+					}
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// chanSentOrClosed: a receive (or range) terminates if some scope
+// sends on or closes the channel.
+func chanSentOrClosed(obj types.Object, scopes []scope) bool {
+	for _, s := range scopes {
+		found := false
+		ast.Inspect(s.node, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.SendStmt:
+				if rootObj(s.info, n.Chan) == obj {
+					found = true
+				}
+			case *ast.CallExpr:
+				if isCloseOf(s.info, n, obj) {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// chanClosed: a range over the channel terminates only on close.
+func chanClosed(obj types.Object, scopes []scope) bool {
+	for _, s := range scopes {
+		found := false
+		ast.Inspect(s.node, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok && isCloseOf(s.info, call, obj) {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// isCloseOf reports whether the call is close(<expr rooted at obj>).
+func isCloseOf(info *types.Info, call *ast.CallExpr, obj types.Object) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "close" {
+		return false
+	}
+	return len(call.Args) == 1 && rootObj(info, call.Args[0]) == obj
+}
+
+// isBufferedMake reports whether the expression is make(chan T, n)
+// with a buffer argument that is not the constant zero. A non-constant
+// buffer is accepted optimistically — the author sized it for a
+// reason.
+func isBufferedMake(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "make" {
+		return false
+	}
+	if _, ok := info.Types[call.Args[0]].Type.Underlying().(*types.Chan); !ok {
+		return false
+	}
+	if tv, ok := info.Types[call.Args[1]]; ok && tv.Value != nil && tv.Value.String() == "0" {
+		return false
+	}
+	return true
+}

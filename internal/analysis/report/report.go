@@ -90,6 +90,48 @@ func WriteJSON(w io.Writer, root string, findings []Finding) error {
 	return enc.Encode(out)
 }
 
+// Timing is one analyzer's cumulative wall-clock cost across a lint
+// run, in milliseconds.
+type Timing struct {
+	Check string  `json:"check"`
+	Ms    float64 `json:"ms"`
+}
+
+// timedLog is the -timing -format json shape: the findings array the
+// plain json format emits, wrapped beside per-analyzer timings and the
+// run's total (load + analysis), so CI can archive the suite's cost
+// next to its SARIF log and watch it over time.
+type timedLog struct {
+	Findings []jsonFinding `json:"findings"`
+	Timings  []Timing      `json:"timings"`
+	TotalMs  float64       `json:"total_ms"`
+}
+
+// WriteTimedJSON emits findings plus per-analyzer wall-clock timings
+// as one JSON object with root-relative paths.
+func WriteTimedJSON(w io.Writer, root string, findings []Finding, timings []Timing, totalMs float64) error {
+	out := timedLog{
+		Findings: make([]jsonFinding, 0, len(findings)),
+		Timings:  timings,
+		TotalMs:  totalMs,
+	}
+	if out.Timings == nil {
+		out.Timings = []Timing{}
+	}
+	for _, f := range findings {
+		out.Findings = append(out.Findings, jsonFinding{
+			File:    RelPath(root, f.File),
+			Line:    f.Line,
+			Column:  f.Column,
+			Check:   f.Check,
+			Message: f.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(out)
+}
+
 // Suppression is one justified-ignore directive for the audit report.
 // Package is the import path of the package the directive lives in,
 // empty when the producing tool has no package notion (lsdschema's

@@ -1,0 +1,89 @@
+// Package ctxflow exercises the ctxflow analyzer: code reachable from
+// an HTTP-handler-shaped function must fan work out under a context
+// derived from the request, and context.Background()/TODO() in
+// request-reachable code is a finding. The fixture mirrors the real
+// serve-path defect this analyzer was built to catch: a batch handler
+// fanning out under context.Background so a disconnected client keeps
+// burning the worker pool.
+package ctxflow
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"repro/internal/parallel"
+)
+
+type ctxKey struct{}
+
+// detachedCtx lives outside any request lifetime; fanning out under it
+// is untraceable to a request.
+var detachedCtx = context.Background()
+
+// handleBatch reproduces the pre-fix serve bug: the batch fans out
+// under context.Background, so client disconnect cancels nothing.
+func handleBatch(w http.ResponseWriter, r *http.Request) {
+	out, _ := parallel.Map(context.Background(), 4, 8,
+		func(_ context.Context, i int) (int, error) { return i, nil })
+	_ = out
+}
+
+// fanOut forwards its context parameter into the pool; through the
+// param→sink summary its callers must pass a request-derived context.
+func fanOut(ctx context.Context, n int) {
+	_ = parallel.ForEach(ctx, 2, n, func(context.Context, int) error { return nil })
+}
+
+// handleLaundered launders a detached context through fanOut: the TODO
+// is one finding, and the forwarded argument a second, interprocedural
+// one.
+func handleLaundered(w http.ResponseWriter, r *http.Request) {
+	ctx := context.TODO()
+	fanOut(ctx, 4)
+}
+
+// handleStored fans out under the package-level context: no request
+// origin is reachable along the def-use chain.
+func handleStored(w http.ResponseWriter, r *http.Request) {
+	_ = parallel.ForEach(detachedCtx, 2, 4, func(context.Context, int) error { return nil })
+}
+
+// handleGood passes the request context straight into the pool
+// (true negative).
+func handleGood(w http.ResponseWriter, r *http.Request) {
+	_ = parallel.ForEach(r.Context(), 2, 4, func(context.Context, int) error { return nil })
+}
+
+// handleDerived wraps the request context; derived contexts keep their
+// parent's origin (true negative).
+func handleDerived(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), time.Second)
+	defer cancel()
+	fanOut(ctx, 4)
+}
+
+// derive re-parents a value onto the request context; the param→result
+// summary carries the origin through the return value.
+func derive(ctx context.Context) context.Context {
+	return context.WithValue(ctx, ctxKey{}, "v")
+}
+
+// handleViaHelper reaches the pool through two helpers — a deriving
+// one and a forwarding one — and stays clean (true negative).
+func handleViaHelper(w http.ResponseWriter, r *http.Request) {
+	fanOut(derive(r.Context()), 4)
+}
+
+// refresh is not request-reachable: Background here is the correct
+// lifetime (true negative).
+func refresh() {
+	_ = parallel.ForEach(context.Background(), 2, 4, func(context.Context, int) error { return nil })
+}
+
+// handleAudit deliberately detaches its fan-out from the request and
+// says why (suppressed).
+func handleAudit(w http.ResponseWriter, r *http.Request) {
+	//lint:ignore ctxflow the audit trail must be written even when the client goes away
+	_ = parallel.ForEach(context.Background(), 1, 1, func(context.Context, int) error { return nil })
+}

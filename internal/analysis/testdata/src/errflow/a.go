@@ -1,0 +1,107 @@
+// Package errflow exercises the errflow analyzer: in code reachable
+// from an HTTP handler or from the artifact codec roots, errors from
+// io/json/artifact/parallel calls must be checked, returned, or
+// explicitly suppressed. The true positives mirror the real serve-path
+// defect (`responses, _ := parallel.Map(...)`) and the classic dropped
+// Encode; the negatives show every accepted consumption shape.
+package errflow
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+
+	"repro/internal/parallel"
+)
+
+// handleDrop drops the Encode result — and its error — on the floor.
+func handleDrop(w http.ResponseWriter, r *http.Request) {
+	enc := json.NewEncoder(w)
+	enc.Encode(map[string]int{"a": 1})
+}
+
+// handleBlank blank-discards a Marshal error.
+func handleBlank(w http.ResponseWriter, r *http.Request) {
+	out, _ := json.Marshal(r.URL.Query())
+	w.Write(out)
+}
+
+// handleFan reproduces the pre-fix serve bug: the pool's cancellation
+// error vanishes into the blank identifier.
+func handleFan(w http.ResponseWriter, r *http.Request) {
+	out, _ := parallel.Map(r.Context(), 2, 2,
+		func(_ context.Context, i int) (int, error) { return i, nil })
+	if len(out) == 2 {
+		w.WriteHeader(http.StatusOK)
+	}
+}
+
+// handleShelved parks the error in a variable and then only
+// blank-discards it.
+func handleShelved(w http.ResponseWriter, r *http.Request) {
+	err := json.NewEncoder(w).Encode("x")
+	_ = err
+}
+
+// decodeInto is request-reachable only through its caller; the blank
+// discard is found via the reachability substrate, not the shape of
+// the function itself.
+func decodeInto(r *http.Request, v *struct{}) {
+	_ = json.NewDecoder(r.Body).Decode(v)
+}
+
+// handleIndirect makes decodeInto request-reachable.
+func handleIndirect(w http.ResponseWriter, r *http.Request) {
+	var v struct{}
+	decodeInto(r, &v)
+}
+
+// decodeState is the codec root: errflow's scope is handlers plus the
+// artifact codec paths.
+//
+// lint:codec decode
+func decodeState(r io.Reader) {
+	header := make([]byte, 8)
+	io.ReadFull(r, header)
+	body := make([]byte, 16)
+	if n, err := readAll(r, body); err != nil || n != len(body) {
+		return
+	}
+}
+
+// readAll returns the producer's error to its caller (true negative,
+// codec-reachable).
+func readAll(r io.Reader, buf []byte) (int, error) {
+	return io.ReadFull(r, buf)
+}
+
+// handleChecked checks the error on the spot (true negative).
+func handleChecked(w http.ResponseWriter, r *http.Request) {
+	if err := json.NewEncoder(w).Encode("ok"); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// handleForwarded hands the error to another consumer (true negative).
+func handleForwarded(w http.ResponseWriter, r *http.Request) {
+	_, err := json.Marshal(r.URL.Query())
+	logErr(err)
+}
+
+func logErr(error) {}
+
+// offPath drops an error outside errflow's scope: not reachable from
+// any handler or codec root (true negative).
+func offPath(v any) {
+	data, _ := json.Marshal(v)
+	_ = data
+}
+
+// handleNotify fires a best-effort notification after the response is
+// committed (suppressed).
+func handleNotify(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusAccepted)
+	//lint:ignore errflow the notification is best-effort; the response status is already written
+	_ = json.NewEncoder(w).Encode("bye")
+}

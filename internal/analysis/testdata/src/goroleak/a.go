@@ -1,0 +1,126 @@
+// Package goroleak exercises the goroleak analyzer: every go
+// statement needs a visible termination path — WaitGroup pairing,
+// matched channels, or a context bound. True positives model leaked
+// goroutines (unbounded spins, unmatched sends and receives); true
+// negatives model the repo's real launch shapes (the worker pool's
+// Add/Done pairing, lsdserve's buffered errc, ctx-bounded loops,
+// range-over-closed-channel pipelines).
+package goroleak
+
+import (
+	"context"
+	"sync"
+)
+
+// spin never terminates; launching it is the leak the analyzer hunts.
+func spin() {
+	for {
+	}
+}
+
+// startSpin leaks through the call graph: the launched body is spin's
+// declaration, resolved interprocedurally.
+func startSpin() {
+	go spin()
+}
+
+// startSend leaks on an unbuffered send nobody receives: the goroutine
+// blocks forever holding its captured references.
+func startSend() {
+	done := make(chan struct{})
+	go func() {
+		done <- struct{}{}
+	}()
+}
+
+// startRecv leaks on a receive with no visible send or close.
+func startRecv(stop chan struct{}) {
+	go func() {
+		<-stop
+	}()
+}
+
+// startRange leaks ranging over a channel no one closes.
+func startRange(in chan int) {
+	go func() {
+		for range in {
+		}
+	}()
+}
+
+// startWorkers is WaitGroup-paired: every worker Dones a group the
+// launcher Adds to (true negative — the parallel.Map shape).
+func startWorkers(n int) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// drain Dones through a parameter; the pairing is matched via the
+// launch-site argument (true negative, interprocedural).
+func drain(wg *sync.WaitGroup) {
+	defer wg.Done()
+}
+
+// startDrain launches a named callee whose WaitGroup parameter is the
+// launcher's Added group (true negative).
+func startDrain() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go drain(&wg)
+	wg.Wait()
+}
+
+// startBuffered sends its one result into a buffered channel the
+// launcher receives from — the lsdserve errc shape (true negative).
+func startBuffered() error {
+	errc := make(chan error, 1)
+	go func() {
+		errc <- work()
+	}()
+	return <-errc
+}
+
+func work() error { return nil }
+
+// startCtxBounded loops forever but observes ctx.Done(), so request
+// cancellation ends it (true negative).
+func startCtxBounded(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
+		}
+	}()
+}
+
+// startPipeline ranges over a channel the launcher visibly closes
+// (true negative).
+func startPipeline(items []int) {
+	ch := make(chan int)
+	go func() {
+		for range ch {
+		}
+	}()
+	for _, v := range items {
+		ch <- v
+	}
+	close(ch)
+}
+
+// startDaemon runs for the life of the process by design (suppressed).
+func startDaemon() {
+	//lint:ignore goroleak process-lifetime daemon; exits with the process
+	go func() {
+		for {
+		}
+	}()
+}

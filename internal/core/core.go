@@ -448,6 +448,7 @@ func (s *System) Match(src *Source, feedback ...constraint.Constraint) (*MatchRe
 		}
 		spans[ti] = span{start, len(jobs)}
 	}
+	//lint:ignore ctxflow Match's public API takes no context yet; plumbing request cancellation through System.Match is tracked in ROADMAP
 	combined, err := parallel.Map(context.Background(), s.cfg.Workers, len(jobs),
 		func(_ context.Context, i int) (learn.Prediction, error) {
 			base := make([]learn.Prediction, len(s.learners))
@@ -509,7 +510,8 @@ func collectColumns(med *Mediated, src *Source, maxListings, workers int) map[st
 	if maxListings > 0 && len(listings) > maxListings {
 		listings = listings[:maxListings]
 	}
-	perListing, _ := parallel.Map(context.Background(), workers, len(listings),
+	//lint:ignore ctxflow collectColumns has no caller-supplied context yet; match-path cancellation plumbing is tracked in ROADMAP
+	perListing, _ := parallel.Map(context.Background(), workers, len(listings), //lint:ignore errflow without a cancellable context the pool's only error cannot occur, and the walk itself never fails
 		func(_ context.Context, i int) (map[string][]learn.Instance, error) {
 			m := make(map[string][]learn.Instance)
 			listings[i].Walk(func(n *xmltree.Node, path []string) {

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -12,6 +13,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/artifact"
 	"repro/internal/core"
@@ -291,6 +293,45 @@ func TestBatchHandler(t *testing.T) {
 			t.Fatalf("status %d, want 400", resp.StatusCode)
 		}
 	})
+}
+
+// TestBatchCancellation models a client that disconnects while its
+// batch is in flight: the request context is already canceled when the
+// fan-out starts, so the handler must abort promptly with nginx's 499
+// instead of matching every element for a reader that is gone.
+func TestBatchCancellation(t *testing.T) {
+	_, srv, _ := newTestServer(t)
+	batch := BatchRequest{Requests: make([]MatchRequest, 8), Workers: 1}
+	for i := range batch.Requests {
+		batch.Requests[i] = MatchRequest{Model: "houses", DTD: modeltest.SourceDTD, XML: modeltest.SourceXML}
+	}
+	raw, err := json.Marshal(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the client is gone before the first element dispatches
+	req := httptest.NewRequest("POST", "/v1/batch", bytes.NewReader(raw)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	start := time.Now()
+	srv.Handler().ServeHTTP(rec, req)
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("canceled batch took %v; cancellation must abort the fan-out promptly", elapsed)
+	}
+	if rec.Code != statusClientClosedRequest {
+		t.Fatalf("status %d, want %d: %s", rec.Code, statusClientClosedRequest, rec.Body)
+	}
+	var full BatchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &full); err == nil && len(full.Responses) == len(batch.Requests) {
+		t.Errorf("canceled batch still completed all %d requests", len(full.Responses))
+	}
+	var body errorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(body.Error, "cancel") {
+		t.Errorf("error %q does not mention cancellation", body.Error)
+	}
 }
 
 func TestAdminLoad(t *testing.T) {

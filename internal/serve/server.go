@@ -113,6 +113,11 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// statusClientClosedRequest is nginx's nonstandard 499: the client
+// closed the connection before the server finished the reply. The
+// stdlib defines no constant for it.
+const statusClientClosedRequest = 499
+
 // Handler returns the HTTP handler tree.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -129,6 +134,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
+	//lint:ignore errflow the status line is already written; an Encode failure means the client is gone and there is no channel left to report on
 	_ = enc.Encode(v)
 }
 
@@ -196,14 +202,23 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if workers > s.opts.MaxWorkers || workers <= 0 {
 		workers = s.opts.MaxWorkers
 	}
-	// Fan the batch out across the worker pool; responses come back
-	// positionally, so the reply order always mirrors request order.
-	responses, _ := parallel.Map(context.Background(), workers, len(req.Requests),
+	// Fan the batch out across the worker pool under the request's
+	// context: responses come back positionally, so the reply order
+	// always mirrors request order, and a client disconnect cancels
+	// the undispatched remainder instead of burning the pool on an
+	// answer nobody will read.
+	responses, err := parallel.Map(r.Context(), workers, len(req.Requests),
 		func(_ context.Context, i int) (MatchResponse, error) {
 			resp, status := s.match(&req.Requests[i])
 			resp.Status = status
 			return resp, nil
 		})
+	if err != nil {
+		// The task function never fails, so the only error here is the
+		// context's: the client went away mid-batch.
+		writeError(w, statusClientClosedRequest, "batch canceled: %v", err)
+		return
+	}
 	writeJSON(w, http.StatusOK, BatchResponse{Responses: responses})
 }
 
