@@ -13,6 +13,7 @@ package repro_test
 // variable LSD_BENCH_FULL=1 for the paper-scale protocol.
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"testing"
@@ -381,7 +382,7 @@ func BenchmarkMatch(b *testing.B) {
 	sys, test := trainedSystem(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sys.Match(test); err != nil {
+		if _, err := sys.Match(context.Background(), test); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -392,7 +393,7 @@ func benchMatchWorkers(b *testing.B, workers int) {
 	sys, test := trainedSystemWorkers(b, workers)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sys.Match(test); err != nil {
+		if _, err := sys.Match(context.Background(), test); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -419,7 +420,10 @@ func benchLearnerPredict(b *testing.B, spec core.LearnerSpec) {
 	if err := l.Train(med.Labels(), trainExamples); err != nil {
 		b.Fatal(err)
 	}
-	cols := core.CollectColumns(med, specs[3].Generate(40, 1), 0)
+	cols, err := core.CollectColumns(context.Background(), med, specs[3].Generate(40, 1), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
 	var instances []learn.Instance
 	for _, is := range cols {
 		instances = append(instances, is...)

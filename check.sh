@@ -48,9 +48,23 @@ go run ./cmd/lsdschema
 supfile="$(mktemp)"
 go run ./cmd/lsdlint -suppressions ./... > "$supfile" 2>/dev/null
 go run ./cmd/lsdschema -suppressions >> "$supfile" 2>/dev/null
-if ! diff -u lint/suppressions.txt "$supfile"; then
+if ! diff -u --label "committed baseline (lint/suppressions.txt)" \
+	--label "live tree inventory" lint/suppressions.txt "$supfile"; then
 	rm -f "$supfile"
-	echo "check.sh: suppression inventory drifted from lint/suppressions.txt; regenerate it (lint/README.md) and commit the diff" >&2
+	cat >&2 <<'EOM'
+
+check.sh: the tree's lint:ignore inventory drifted from the committed
+baseline. In the diff above, '-' lines are suppressions the baseline
+expects but the tree no longer carries (delete them from the baseline),
+and '+' lines are suppressions in the tree that have not been reviewed
+into the baseline. If the drift is intentional, regenerate the baseline
+and commit it with the change that caused it:
+
+    go run ./cmd/lsdlint -suppressions ./... > lint/suppressions.txt
+    go run ./cmd/lsdschema -suppressions >> lint/suppressions.txt
+
+then re-run ./check.sh. Suppression policy: lint/README.md.
+EOM
 	exit 1
 fi
 rm -f "$supfile"

@@ -23,6 +23,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -117,7 +118,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	res, err := sys.Match(target, constraints...)
+	res, err := sys.Match(context.Background(), target, constraints...)
 	if err != nil {
 		return fmt.Errorf("match: %w", err)
 	}

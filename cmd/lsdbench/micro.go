@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -80,7 +81,10 @@ func microPredictSetup(spec core.LearnerSpec) (learn.Learner, []learn.Instance, 
 	if err := l.Train(med.Labels(), trainExamples); err != nil {
 		return nil, nil, err
 	}
-	cols := core.CollectColumns(med, specs[3].Generate(40, 1), 0)
+	cols, err := core.CollectColumns(context.Background(), med, specs[3].Generate(40, 1), 0)
+	if err != nil {
+		return nil, nil, err
+	}
 	var instances []learn.Instance
 	for _, is := range cols {
 		instances = append(instances, is...)
@@ -106,7 +110,7 @@ func runMicro() ([]benchRecord, error) {
 		return nil, err
 	}
 	records = append(records, measureMicro("Match", microIters["Match"], func() {
-		if _, err := sys.Match(test); err != nil {
+		if _, err := sys.Match(context.Background(), test); err != nil {
 			panic(err)
 		}
 	}))

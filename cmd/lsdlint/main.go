@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	lsdlint [-root dir] [-format text|json|sarif] [-checks list] [-timing] [-budget d] [-suppressions] [patterns...]
+//	lsdlint [-root dir] [-format text|json|sarif] [-checks list] [-timing] [-budget d] [-suppressions] [-debug-summaries] [patterns...]
 //
 // Patterns follow go-tool conventions relative to the module root:
 // "./..." (the default) lints every package, "./internal/..." a
@@ -31,14 +31,27 @@
 // "//lint:ignore <check> <reason>" comment on or directly above the
 // offending line. -suppressions inventories every such directive (text
 // or json format) instead of linting, so suppressed findings stay
-// auditable; its exit status is 0 unless loading fails.
+// auditable; its exit status is 0 unless loading fails. -checks
+// narrows the inventory the same way it narrows a lint run:
+// suppressions naming an excluded analyzer are omitted, so a partial
+// run diffs against a partial baseline.
+//
+// -debug-summaries dumps the interprocedural mutation/escape
+// summaries (internal/analysis mutsum) that sharedread, poolescape,
+// cowstore, workerpure, and hotalloc reason with, as a JSON array to
+// stdout, instead of linting — one record per summarized function with
+// its per-slot mutated, appended, and escaping paths. CI archives the
+// dump beside the SARIF log so analyzer findings can be traced back to
+// the summary facts that produced them.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -56,11 +69,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	rootFlag := fs.String("root", "", "module root directory (default: found from the working directory)")
 	formatFlag := fs.String("format", "text", "output format: text, json, or sarif")
 	supFlag := fs.Bool("suppressions", false, "report every //lint:ignore directive instead of linting")
+	debugSumFlag := fs.Bool("debug-summaries", false, "dump the interprocedural mutation/escape summaries as JSON instead of linting")
 	checksFlag := fs.String("checks", "", "comma-separated analyzers to run, or !name entries to exclude")
 	timingFlag := fs.Bool("timing", false, "print per-analyzer wall-clock timing to stderr")
 	budgetFlag := fs.Duration("budget", 0, "fail when the whole lint run exceeds this duration (0 disables)")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: lsdlint [-root dir] [-format text|json|sarif] [-checks list] [-timing] [-budget d] [-suppressions] [patterns...]")
+		fmt.Fprintln(stderr, "usage: lsdlint [-root dir] [-format text|json|sarif] [-checks list] [-timing] [-budget d] [-suppressions] [-debug-summaries] [patterns...]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -74,6 +88,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *supFlag && *formatFlag == "sarif" {
 		fmt.Fprintln(stderr, "lsdlint: -suppressions supports text and json formats only")
+		return 2
+	}
+	if *supFlag && *debugSumFlag {
+		fmt.Fprintln(stderr, "lsdlint: -suppressions and -debug-summaries are mutually exclusive")
 		return 2
 	}
 
@@ -102,7 +120,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *supFlag {
-		return runSuppressions(root, modpath, paths, *formatFlag, stdout, stderr)
+		return runSuppressions(root, modpath, paths, *formatFlag, *checksFlag, stdout, stderr)
+	}
+	if *debugSumFlag {
+		return runDebugSummaries(root, modpath, paths, stdout, stderr)
 	}
 
 	analyzers := analysis.DefaultAnalyzers()
@@ -167,12 +188,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 // runSuppressions prints the //lint:ignore inventory. The report is
 // informational: the exit status is 0 even when directives exist
-// (malformed ones are ordinary findings of a normal lint run).
-func runSuppressions(root, modpath string, paths []string, format string, stdout, stderr io.Writer) int {
+// (malformed ones are ordinary findings of a normal lint run). A
+// -checks spec narrows the inventory to the selected analyzers, so a
+// partial lint run diffs against a matching partial baseline instead
+// of tripping over suppressions for checks it never ran.
+func runSuppressions(root, modpath string, paths []string, format, checks string, stdout, stderr io.Writer) int {
 	sups, err := analysis.Suppressions(root, modpath, paths)
 	if err != nil {
 		fmt.Fprintln(stderr, "lsdlint:", err)
 		return 2
+	}
+	if checks != "" {
+		selected, err := analysis.SelectChecks(analysis.DefaultAnalyzers(), checks)
+		if err != nil {
+			fmt.Fprintln(stderr, "lsdlint:", err)
+			return 2
+		}
+		keep := make(map[string]bool, len(selected))
+		for _, a := range selected {
+			keep[a.Name] = true
+		}
+		kept := sups[:0]
+		for _, s := range sups {
+			if keep[s.Check] {
+				kept = append(kept, s)
+			}
+		}
+		sups = kept
 	}
 	if format == "json" {
 		if err := writeSuppressionsJSON(stdout, root, sups); err != nil {
@@ -186,6 +228,31 @@ func runSuppressions(root, modpath string, paths []string, format string, stdout
 		return 2
 	}
 	fmt.Fprintf(stderr, "lsdlint: %d suppression(s)\n", len(sups))
+	return 0
+}
+
+// runDebugSummaries dumps the mutation/escape summary substrate as an
+// indented JSON array, file paths relativized to the module root so
+// the artifact is stable across checkouts. Exit status 0 unless
+// loading fails.
+func runDebugSummaries(root, modpath string, paths []string, stdout, stderr io.Writer) int {
+	recs, err := analysis.MutationSummaryDump(root, modpath, paths)
+	if err != nil {
+		fmt.Fprintln(stderr, "lsdlint:", err)
+		return 2
+	}
+	for i := range recs {
+		if rel, err := filepath.Rel(root, recs[i].File); err == nil {
+			recs[i].File = filepath.ToSlash(rel)
+		}
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(recs); err != nil {
+		fmt.Fprintln(stderr, "lsdlint:", err)
+		return 2
+	}
+	fmt.Fprintf(stderr, "lsdlint: %d function summaries\n", len(recs))
 	return 0
 }
 

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -172,5 +173,135 @@ func TestRunBudgetExceededExitsOne(t *testing.T) {
 	}
 	if !strings.Contains(errb.String(), "budget") {
 		t.Errorf("stderr missing budget message: %s", errb.String())
+	}
+}
+
+// suppressedSrc carries one justified directive per check so the
+// -suppressions inventory has entries for two different analyzers.
+const suppressedSrc = `package m
+
+func total(m map[string]float64) float64 {
+	s := 0.0
+	//lint:ignore maprangefloat driver test: order-independent sum
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+func stamp(p map[string]float64) {
+	//lint:ignore seedflow driver test: not a seed at all
+	p["k"] = 1
+}
+`
+
+func TestRunSuppressionsChecksFilter(t *testing.T) {
+	dir := writeModule(t, map[string]string{"a.go": suppressedSrc})
+	var out, errb bytes.Buffer
+	// Unfiltered inventory lists both directives.
+	if code := run([]string{"-root", dir, "-suppressions", "./..."}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d for suppressions report, want 0; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "maprangefloat") || !strings.Contains(out.String(), "seedflow") {
+		t.Fatalf("unfiltered inventory missing a directive:\n%s", out.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	// Selecting one check drops the other check's suppression.
+	if code := run([]string{"-root", dir, "-suppressions", "-checks", "maprangefloat", "./..."}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d for filtered report, want 0; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "maprangefloat") {
+		t.Errorf("filtered inventory missing the selected check:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "seedflow") {
+		t.Errorf("filtered inventory still lists the excluded check:\n%s", out.String())
+	}
+	if !strings.Contains(errb.String(), "1 suppression(s)") {
+		t.Errorf("stderr summary = %q, want 1 suppression(s)", errb.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	// !-exclusion works the same way.
+	if code := run([]string{"-root", dir, "-suppressions", "-checks", "!maprangefloat", "./..."}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d for !-filtered report, want 0; stderr: %s", code, errb.String())
+	}
+	if strings.Contains(out.String(), "maprangefloat") {
+		t.Errorf("!-filtered inventory still lists the excluded check:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "seedflow") {
+		t.Errorf("!-filtered inventory missing the kept check:\n%s", out.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	// An unknown check name fails loudly even in inventory mode.
+	if code := run([]string{"-root", dir, "-suppressions", "-checks", "nosuchcheck", "./..."}, &out, &errb); code != 2 {
+		t.Errorf("exit %d for unknown check in inventory mode, want 2", code)
+	}
+}
+
+// mutatorSrc has one function with a non-empty mutation summary and
+// one pure function, so the -debug-summaries dump is non-trivial.
+const mutatorSrc = `package m
+
+func Bump(counts map[string]int, key string) {
+	counts[key]++
+}
+
+func Pure(x int) int { return x + 1 }
+`
+
+func TestRunDebugSummaries(t *testing.T) {
+	dir := writeModule(t, map[string]string{"a.go": mutatorSrc})
+	var out, errb bytes.Buffer
+	if code := run([]string{"-root", dir, "-debug-summaries", "./..."}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d for -debug-summaries, want 0; stderr: %s", code, errb.String())
+	}
+	var recs []struct {
+		Func  string `json:"func"`
+		File  string `json:"file"`
+		Line  int    `json:"line"`
+		Slots []struct {
+			Index   int      `json:"index"`
+			Name    string   `json:"name"`
+			Mutates []string `json:"mutates"`
+		} `json:"slots"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &recs); err != nil {
+		t.Fatalf("dump does not parse as JSON: %v\n%s", err, out.String())
+	}
+	var bump bool
+	for _, r := range recs {
+		if r.Func != "example.com/m.Bump" {
+			continue
+		}
+		bump = true
+		if r.File != "a.go" {
+			t.Errorf("Bump file = %q, want module-relative a.go", r.File)
+		}
+		if len(r.Slots) != 1 || r.Slots[0].Name != "counts" || len(r.Slots[0].Mutates) == 0 {
+			t.Errorf("Bump slots = %+v, want counts with a mutation path", r.Slots)
+		}
+	}
+	if !bump {
+		t.Fatalf("dump has no record for Bump:\n%s", out.String())
+	}
+	for _, r := range recs {
+		if r.Func == "example.com/m.Pure" {
+			t.Errorf("Pure has an empty summary and should not be dumped")
+		}
+	}
+	if !strings.Contains(errb.String(), "function summaries") {
+		t.Errorf("stderr summary missing: %s", errb.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	// The two instead-of-linting modes cannot be combined.
+	if code := run([]string{"-root", dir, "-suppressions", "-debug-summaries", "./..."}, &out, &errb); code != 2 {
+		t.Errorf("exit %d combining -suppressions and -debug-summaries, want 2", code)
 	}
 }

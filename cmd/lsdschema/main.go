@@ -13,7 +13,9 @@
 //
 // -checks mirrors lsdlint's flag: a comma-separated list of check
 // names keeps only those checks' findings, !-prefixed names exclude
-// instead, and an unknown name is a usage error.
+// instead, and an unknown name is a usage error. It narrows the
+// -suppressions inventory the same way: directives naming an excluded
+// check are omitted.
 //
 // With file arguments, each file is parsed as a DTD and checked; with
 // none, the built-in datagen domains are checked instead — every
@@ -92,7 +94,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	files := fs.Args()
 	if *supFlag {
-		return runSuppressions(root, files, *formatFlag, stdout, stderr)
+		return runSuppressions(root, files, *formatFlag, keep, stdout, stderr)
 	}
 
 	var findings []schemacheck.Finding
@@ -164,7 +166,7 @@ func checkFile(root, file string, stderr io.Writer) ([]schemacheck.Finding, int)
 // directives exist (malformed ones are ordinary findings of a normal
 // run). With no files there is nothing to inventory: the built-in
 // domains are hand-built values without DTD text.
-func runSuppressions(root string, files []string, format string, stdout, stderr io.Writer) int {
+func runSuppressions(root string, files []string, format string, keep func(string) bool, stdout, stderr io.Writer) int {
 	var sups []schemacheck.Suppression
 	for _, file := range files {
 		text, err := os.ReadFile(file)
@@ -173,6 +175,17 @@ func runSuppressions(root string, files []string, format string, stdout, stderr 
 			return 2
 		}
 		sups = append(sups, schemacheck.Suppressions(file, string(text))...)
+	}
+	// Mirror the lint path: a -checks spec narrows the inventory to the
+	// selected checks so partial runs diff against partial baselines.
+	if keep != nil {
+		kept := sups[:0]
+		for _, s := range sups {
+			if keep(s.Check) {
+				kept = append(kept, s)
+			}
+		}
+		sups = kept
 	}
 	if format == "json" {
 		if err := report.WriteSuppressionsJSON(stdout, root, sups); err != nil {

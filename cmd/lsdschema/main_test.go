@@ -372,3 +372,32 @@ func TestRunMultipleFiles(t *testing.T) {
 		t.Errorf("findings missing or out of argument order:\n%s", text)
 	}
 }
+
+func TestRunSuppressionsChecksFilter(t *testing.T) {
+	dir, path := writeDTD(t, "dirty.dtd", dirtyDTD)
+	var out, errb bytes.Buffer
+	// Selecting a check the directives do not name empties the
+	// inventory; the malformed directive (no check) drops too.
+	if code := run([]string{"-root", dir, "-suppressions", "-checks", "unreachable", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d for filtered report, want 0; stderr: %s", code, errb.String())
+	}
+	if strings.Contains(out.String(), "ambiguity") {
+		t.Errorf("filtered inventory still lists the excluded check:\n%s", out.String())
+	}
+	if !strings.Contains(errb.String(), "0 suppression(s)") {
+		t.Errorf("stderr summary = %q, want 0 suppression(s)", errb.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	// Selecting the named check keeps its directive.
+	if code := run([]string{"-root", dir, "-suppressions", "-checks", "ambiguity", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d for filtered report, want 0; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "ambiguity: justified for the driver tests") {
+		t.Errorf("filtered inventory missing the selected check's directive:\n%s", out.String())
+	}
+	if !strings.Contains(errb.String(), "1 suppression(s)") {
+		t.Errorf("stderr summary = %q, want 1 suppression(s)", errb.String())
+	}
+}

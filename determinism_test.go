@@ -7,6 +7,7 @@ package repro_test
 // free.
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -115,7 +116,7 @@ func TestTrainDeterministic(t *testing.T) {
 // matching fans out over the pool.
 func TestMatchDeterministic(t *testing.T) {
 	sys, test := trainDomain(t, 1)
-	res, err := sys.Match(test)
+	res, err := sys.Match(context.Background(), test)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestMatchDeterministic(t *testing.T) {
 	}
 	for _, w := range workerSettings()[1:] {
 		sys, test := trainDomain(t, w)
-		res, err := sys.Match(test)
+		res, err := sys.Match(context.Background(), test)
 		if err != nil {
 			t.Fatalf("workers=%d: Match: %v", w, err)
 		}
@@ -158,7 +159,7 @@ func TestSaveLoadDeterministic(t *testing.T) {
 			if err != nil {
 				t.Fatalf("Train: %v", err)
 			}
-			res, err := sys.Match(test)
+			res, err := sys.Match(context.Background(), test)
 			if err != nil {
 				t.Fatalf("Match: %v", err)
 			}
@@ -180,7 +181,7 @@ func TestSaveLoadDeterministic(t *testing.T) {
 				if err != nil {
 					t.Fatalf("workers=%d: System: %v", w, err)
 				}
-				res, err := restored.Match(test)
+				res, err := restored.Match(context.Background(), test)
 				if err != nil {
 					t.Fatalf("workers=%d: Match: %v", w, err)
 				}
@@ -198,11 +199,11 @@ func TestSaveLoadDeterministic(t *testing.T) {
 // pass must not change the second pass's output.
 func TestMatchRepeatedDeterministic(t *testing.T) {
 	sys, test := trainDomain(t, 4)
-	first, err := sys.Match(test)
+	first, err := sys.Match(context.Background(), test)
 	if err != nil {
 		t.Fatal(err)
 	}
-	second, err := sys.Match(test)
+	second, err := sys.Match(context.Background(), test)
 	if err != nil {
 		t.Fatal(err)
 	}

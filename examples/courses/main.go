@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -50,7 +51,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("train (%s): %v", run.name, err)
 		}
-		res, err := sys.Match(test)
+		res, err := sys.Match(context.Background(), test)
 		if err != nil {
 			log.Fatalf("match (%s): %v", run.name, err)
 		}
@@ -63,7 +64,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := sys.Match(test)
+	res, err := sys.Match(context.Background(), test)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,7 +34,7 @@ func main() {
 
 	var feedback []lsd.Constraint
 	for round := 0; ; round++ {
-		res, err := sys.Match(test, feedback...)
+		res, err := sys.Match(context.Background(), test, feedback...)
 		if err != nil {
 			log.Fatalf("match: %v", err)
 		}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,7 +34,7 @@ func main() {
 	engine := lsd.NewEngine(mediated.Schema)
 	for _, spec := range specs[3:] {
 		src := spec.Generate(listings, 1)
-		res, err := sys.Match(src)
+		res, err := sys.Match(context.Background(), src)
 		if err != nil {
 			log.Fatalf("match %s: %v", src.Name, err)
 		}

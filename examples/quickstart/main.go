@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -102,7 +103,7 @@ func main() {
 
 	// Matching phase: propose mappings for the unseen source.
 	greathomes := source("greathomes.com", greathomesDTD, greathomesData, nil)
-	res, err := sys.Match(greathomes)
+	res, err := sys.Match(context.Background(), greathomes)
 	if err != nil {
 		log.Fatalf("match: %v", err)
 	}

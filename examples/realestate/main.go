@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -36,7 +37,7 @@ func main() {
 
 	for _, spec := range specs[3:] {
 		test := spec.Generate(listings, 1)
-		res, err := sys.Match(test)
+		res, err := sys.Match(context.Background(), test)
 		if err != nil {
 			log.Fatalf("match %s: %v", test.Name, err)
 		}

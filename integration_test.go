@@ -5,6 +5,7 @@ package repro_test
 // complement the per-package unit tests with whole-pipeline checks.
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -33,7 +34,7 @@ func TestEndToEndRealEstate(t *testing.T) {
 	}
 
 	test := specs[3].Generate(30, 1)
-	res, err := sys.Match(test)
+	res, err := sys.Match(context.Background(), test)
 	if err != nil {
 		t.Fatalf("Match: %v", err)
 	}
@@ -52,7 +53,7 @@ func TestEndToEndRealEstate(t *testing.T) {
 		}
 	}
 	if wrongTag != "" {
-		res2, err := sys.Match(test, lsd.MustMatch(wrongTag, test.LabelOf(wrongTag)))
+		res2, err := sys.Match(context.Background(), test, lsd.MustMatch(wrongTag, test.LabelOf(wrongTag)))
 		if err != nil {
 			t.Fatalf("Match with feedback: %v", err)
 		}
@@ -104,7 +105,7 @@ func TestEndToEndHierarchyPartialMappings(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sys.Match(specs[3].Generate(20, 1))
+	res, err := sys.Match(context.Background(), specs[3].Generate(20, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +135,7 @@ func TestDescribeListsEveryTag(t *testing.T) {
 		t.Fatal(err)
 	}
 	test := specs[4].Generate(10, 1)
-	res, err := sys.Match(test)
+	res, err := sys.Match(context.Background(), test)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -48,10 +48,26 @@
 //   - errflow: errors from io/json/artifact/parallel calls in request-
 //     or codec-reachable code are checked, returned, or explicitly
 //     suppressed, never silently discarded.
+//   - sharedread: values returned by `// lint:shared` functions (the
+//     WHIRL cache-hit path, Learner.Predict) are read-only — no caller
+//     may mutate them, directly or through a callee that writes its
+//     parameter.
+//   - poolescape: values from sync.Pool.Get or `// lint:scratch`
+//     accessors are released back to the pool and never escape the
+//     acquiring function (fields, caches, goroutines, returns).
+//   - cowstore: values published through the serve registry's
+//     atomic.Pointer.Store are frozen after publication, and Load
+//     snapshots are never written through.
 //
-// The last three share the value-flow substrate in flow.go: def-use
-// chains inside a function, plus interprocedural param→sink and
-// param→result summaries over the static call graph.
+// ctxflow, goroleak, and errflow share the value-flow substrate in
+// flow.go: def-use chains inside a function, plus interprocedural
+// param→sink and param→result summaries over the static call graph.
+// sharedread, poolescape, and cowstore share the mutation/escape
+// summary substrate in mutsum.go: per-function summaries of which
+// parameters a function mutates (and through which field/element
+// paths) and which escape, iterated to fixpoint over the call graph;
+// workerpure and hotalloc consult the same summaries to see writes and
+// appends a callee performs on a worker's or hot path's behalf.
 //
 // Findings can be suppressed with a justified directive on (or
 // immediately above) the offending line:
@@ -140,6 +156,9 @@ func DefaultAnalyzers() []*Analyzer {
 		CtxFlow,
 		GoroLeak,
 		ErrFlow,
+		SharedRead,
+		PoolEscape,
+		CowStore,
 	}
 }
 

@@ -39,6 +39,9 @@ func TestGolden(t *testing.T) {
 		{"ctxflow", analysis.CtxFlow},
 		{"goroleak", analysis.GoroLeak},
 		{"errflow", analysis.ErrFlow},
+		{"sharedread", analysis.SharedRead},
+		{"poolescape", analysis.PoolEscape},
+		{"cowstore", analysis.CowStore},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -21,6 +21,10 @@ import (
 //   - append inside a loop whose destination has no capacity hint — no
 //     three-argument make and no buf[:0] re-slice of a caller-owned
 //     buffer — so the slice regrows every few iterations
+//   - calls inside a loop that hand an unhinted buffer to a callee
+//     whose mutation summary (mutsum.go) records an in-place append
+//     through that parameter — the same regrowth, laundered through a
+//     helper
 //
 // The complement of the dynamic gate: the bench catches regressions
 // after they land, this names the exact site before. Deliberate
@@ -34,12 +38,13 @@ var HotAlloc = &Analyzer{
 
 func runHotAlloc(pass *Pass) {
 	reach := hotReach(pass.Prog)
+	sums := MutSummaries(pass.Prog)
 	for _, d := range pass.Prog.Decls() {
 		if d.Pkg.Pkg != pass.Pkg {
 			continue
 		}
 		if roots := reach[d.Fn]; roots != nil {
-			checkHotBody(pass, d, roots)
+			checkHotBody(pass, d, roots, sums)
 		}
 	}
 }
@@ -53,7 +58,7 @@ func hotReach(prog *Program) map[*types.Func][]string {
 }
 
 // checkHotBody reports the allocation sites in one hot function.
-func checkHotBody(pass *Pass, d *FuncDecl, roots []string) {
+func checkHotBody(pass *Pass, d *FuncDecl, roots []string, sums map[*types.Func]*MutSummary) {
 	info := d.Pkg.Info
 	via := "hot path reachable from " + strings.Join(roots, ", ")
 	hinted := capacityHintedVars(info, d.Decl.Body)
@@ -80,7 +85,7 @@ func checkHotBody(pass *Pass, d *FuncDecl, roots []string) {
 					pass.Reportf(n.Pos(), "map literal allocates in a %s; reuse a scratch map or restructure", via)
 				}
 			case *ast.CallExpr:
-				checkHotCall(pass, info, n, inLoop, hinted, via)
+				checkHotCall(pass, info, n, inLoop, hinted, via, sums)
 			}
 			return true
 		})
@@ -88,15 +93,20 @@ func checkHotBody(pass *Pass, d *FuncDecl, roots []string) {
 	walk(d.Decl.Body, false)
 }
 
-// checkHotCall flags one call site: fmt formatting, map makes, and
-// unhinted appends in loops.
-func checkHotCall(pass *Pass, info *types.Info, call *ast.CallExpr, inLoop bool, hinted map[*types.Var]bool, via string) {
+// checkHotCall flags one call site: fmt formatting, map makes,
+// unhinted appends in loops, and loop calls that grow an unhinted
+// buffer through a callee's in-place append (the summary case).
+func checkHotCall(pass *Pass, info *types.Info, call *ast.CallExpr, inLoop bool, hinted map[*types.Var]bool, via string, sums map[*types.Func]*MutSummary) {
 	if fn := CalleeOf(info, call); fn != nil {
 		if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
 			switch fn.Name() {
 			case "Sprintf", "Sprint", "Sprintln", "Errorf":
 				pass.Reportf(call.Pos(), "fmt.%s allocates in a %s; build the string outside the hot path or with a reused buffer", fn.Name(), via)
 			}
+			return
+		}
+		if inLoop {
+			checkHotCalleeAppend(pass, info, call, hinted, via, sums)
 		}
 		return
 	}
@@ -126,6 +136,39 @@ func checkHotCall(pass *Pass, info *types.Info, call *ast.CallExpr, inLoop bool,
 			return
 		}
 		pass.Reportf(call.Pos(), "append to %s inside a loop in a %s without a capacity hint; pre-size with make(..., 0, n) or reuse a buffer via buf[:0]", dst.Name, via)
+	}
+}
+
+// checkHotCalleeAppend flags a loop call whose callee's mutation
+// summary appends in place through a parameter (or the receiver) that
+// resolves to a local buffer without a capacity hint: the regrowth is
+// the same as a direct unhinted append, just hidden behind the call.
+func checkHotCalleeAppend(pass *Pass, info *types.Info, call *ast.CallExpr, hinted map[*types.Var]bool, via string, sums map[*types.Func]*MutSummary) {
+	callee, slotArgs := calleeSlotArgs(info, call)
+	if callee == nil {
+		return
+	}
+	sum := sums[callee]
+	if sum == nil {
+		return
+	}
+	for j, args := range slotArgs {
+		if !sum.Appends(j) {
+			continue
+		}
+		for _, arg := range args {
+			p := peelRef(info, arg)
+			v, ok := p.obj.(*types.Var)
+			if !ok || hinted[v] {
+				continue
+			}
+			if !p.addrOf && !isRefType(info.TypeOf(arg)) {
+				continue
+			}
+			pass.Reportf(arg.Pos(),
+				"%s appends to %s in place, called inside a loop in a %s, and %s has no capacity hint; pre-size with make(..., 0, n) or reuse a buffer via buf[:0]",
+				callee.Name(), v.Name(), via, v.Name())
+		}
 	}
 }
 

@@ -15,6 +15,7 @@ package analysis
 // consult Program.HasUnresolvedCalls.
 
 import (
+	"go/ast"
 	"go/types"
 	"sort"
 	"strings"
@@ -24,10 +25,17 @@ import (
 // a `// lint:<directive>` line (exact match after trimming, so
 // "lint:codec encode" does not match a root tagged "lint:codec").
 func hasDirective(d *FuncDecl, directive string) bool {
-	if d.Decl.Doc == nil {
+	return commentGroupHasDirective(d.Decl.Doc, directive)
+}
+
+// commentGroupHasDirective reports whether the group contains a
+// `// lint:<directive>` line (exact match after trimming); it serves
+// both declaration doc comments and interface-method doc comments.
+func commentGroupHasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
 		return false
 	}
-	for _, c := range d.Decl.Doc.List {
+	for _, c := range doc.List {
 		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
 		if text == directive {
 			return true

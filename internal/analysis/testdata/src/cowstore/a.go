@@ -1,0 +1,97 @@
+// Package cowstore exercises the cowstore analyzer: values published
+// through atomic.Pointer.Store are frozen after publication, and Load
+// snapshots are read-only.
+package cowstore
+
+import "sync/atomic"
+
+type model struct {
+	name string
+	rank int
+}
+
+type registry struct {
+	models atomic.Pointer[map[string]*model]
+}
+
+// goodPublish builds the next map, publishes it, and stops writing:
+// the intended copy-on-write window (true negative).
+func (r *registry) goodPublish(m *model) {
+	cur := r.models.Load()
+	next := make(map[string]*model, len(*cur)+1)
+	for k, v := range *cur {
+		next[k] = v
+	}
+	next[m.name] = m
+	r.models.Store(&next)
+}
+
+// badPublish keeps writing after Store.
+func (r *registry) badPublish(m *model) {
+	next := map[string]*model{}
+	r.models.Store(&next)
+	next[m.name] = m // want: write after publication
+}
+
+// insert writes into the map it is handed; its mutation summary is how
+// the interprocedural case sees the write.
+func insert(ms map[string]*model, m *model) {
+	ms[m.name] = m
+}
+
+// badHelper launders the post-publication write through a callee — the
+// interprocedural true positive.
+func (r *registry) badHelper(m *model) {
+	next := map[string]*model{}
+	r.models.Store(&next)
+	insert(next, m) // want: callee mutates published value
+}
+
+// badSnapshot mutates a loaded snapshot in place.
+func (r *registry) badSnapshot(m *model) {
+	cur := *r.models.Load()
+	cur[m.name] = m // want: snapshot write
+}
+
+// badSnapshotDirect writes through the Load expression itself.
+func (r *registry) badSnapshotDirect(m *model) {
+	(*r.models.Load())[m.name] = m // want: write through Load
+}
+
+// lookup returns a value out of the snapshot: a snapshot accessor, so
+// its callers inherit the read-only contract.
+func (r *registry) lookup(name string) *model {
+	return (*r.models.Load())[name]
+}
+
+// badViaAccessor mutates the snapshot-derived value a helper returned.
+func (r *registry) badViaAccessor(name string) {
+	m := r.lookup(name)
+	m.rank = 1 // want: snapshot-derived write
+}
+
+// badRangedValue mutates a value reached by ranging over the snapshot.
+func (r *registry) badRangedValue() {
+	for _, v := range *r.models.Load() {
+		v.rank++ // want: ranged snapshot value
+	}
+}
+
+// goodRead reads the snapshot and copies what it needs (true
+// negative).
+func (r *registry) goodRead(name string) model {
+	if m := r.lookup(name); m != nil {
+		return *m
+	}
+	return model{}
+}
+
+// tolerated patches a just-published map during single-goroutine
+// startup, before the registry is visible to any reader; the
+// suppression documents why that is safe here.
+func (r *registry) tolerated(m *model) {
+	next := map[string]*model{}
+	r.models.Store(&next)
+	//lint:ignore cowstore fixture exercises suppression
+	next[m.name] = m
+}

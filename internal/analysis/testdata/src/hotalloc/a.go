@@ -70,6 +70,36 @@ func (s *scorer) Warm(keys []string) {
 	_ = presized(len(keys))
 }
 
+// grow appends through its pointer argument; its mutation summary
+// carries the in-place growth to every call site.
+func grow(dst *[]float64, v float64) {
+	*dst = append(*dst, v)
+}
+
+// push grows the receiver's scratch slice.
+func (s *scorer) push(v float64) {
+	s.scratch = append(s.scratch, v)
+}
+
+// Accumulate is hot and launders loop growth through helpers: the
+// unhinted destinations are findings, the pre-sized one is not.
+//
+// lint:hot
+func (s *scorer) Accumulate(xs []float64) []float64 {
+	var buf []float64
+	for _, x := range xs {
+		grow(&buf, x) // unhinted: regrows through the helper
+	}
+	hinted := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		grow(&hinted, x) // pre-sized: true negative
+	}
+	for _, x := range xs {
+		s.push(x) // receiver scratch regrows every call
+	}
+	return append(buf, hinted...)
+}
+
 // describe allocates freely but is not reachable from any hot root
 // (true negative).
 func describe(n int) string {

@@ -1,0 +1,117 @@
+// Package poolescape exercises the poolescape analyzer: values
+// acquired from sync.Pool.Get or `// lint:scratch` accessors must be
+// released back to the pool and must not escape the acquiring
+// function.
+package poolescape
+
+import "sync"
+
+type scorer struct {
+	pool  sync.Pool
+	keep  []float64
+	saved map[string][]float64
+}
+
+// getScratch hands out a pooled dense buffer.
+//
+// lint:scratch
+func (s *scorer) getScratch(n int) []float64 {
+	if b, ok := s.pool.Get().(*[]float64); ok && cap(*b) >= n {
+		return (*b)[:n]
+	}
+	return make([]float64, n)
+}
+
+// putScratch zeroes and returns a buffer to the pool: a releasing
+// helper the release rule recognizes through the call graph.
+func (s *scorer) putScratch(b []float64) {
+	for i := range b {
+		b[i] = 0
+	}
+	s.pool.Put(&b)
+}
+
+// goodUse acquires, uses, and releases (true negative).
+func (s *scorer) goodUse(n int) float64 {
+	buf := s.getScratch(n)
+	buf[0] = 1
+	total := buf[0]
+	s.putScratch(buf)
+	return total
+}
+
+// badLeak acquires and drops the buffer without releasing it.
+func (s *scorer) badLeak(n int) {
+	buf := s.getScratch(n) // want: never released
+	buf[0] = 1
+}
+
+// badReturn hands the pooled buffer to the caller without declaring
+// itself an accessor: the silent hand-off is the finding.
+func (s *scorer) badReturn(n int) []float64 {
+	buf := s.getScratch(n)
+	return buf // want: returned without lint:scratch
+}
+
+// badField parks the pooled buffer in a struct field.
+func (s *scorer) badField(n int) {
+	buf := s.getScratch(n)
+	s.keep = buf // want: stored into receiver state
+}
+
+// badGo hands the pooled buffer to a goroutine that may outlive the
+// request.
+func (s *scorer) badGo(n int) {
+	buf := s.getScratch(n)
+	go func() {
+		buf[0] = 1
+	}() // want: captured by goroutine
+	s.putScratch(buf)
+}
+
+// stash keeps a reference beyond the call; its mutation/escape summary
+// records the parameter escaping into receiver state.
+func (s *scorer) stash(key string, b []float64) {
+	s.saved[key] = b
+}
+
+// badCallee passes the pooled buffer to a helper that stashes it — the
+// interprocedural true positive.
+func (s *scorer) badCallee(n int) {
+	buf := s.getScratch(n)
+	s.stash("k", buf) // want: escapes via stash
+	s.putScratch(buf)
+}
+
+// viaHelper returns pooled memory it acquired from getScratch; the
+// annotation declares the hand-off deliberate, so the return is its
+// job, not a finding.
+//
+// lint:scratch
+func (s *scorer) viaHelper(n int) []float64 {
+	return s.getScratch(n)
+}
+
+// badFromHelper acquires through the derived accessor and never
+// releases.
+func (s *scorer) badFromHelper(n int) float64 {
+	buf := s.viaHelper(n) // want: never released
+	return buf[0]
+}
+
+// badDirect uses sync.Pool.Get without any accessor and lets the value
+// escape into a package-level variable.
+var spill []float64
+
+func badDirect(p *sync.Pool) {
+	buf := p.Get().(*[]float64)
+	spill = *buf // want: stored into package-level spill
+	p.Put(buf)
+}
+
+// tolerated carries a justified suppression on the acquisition.
+func (s *scorer) tolerated(n int) {
+	//lint:ignore poolescape fixture exercises suppression
+	buf := s.getScratch(n)
+	_ = buf
+}

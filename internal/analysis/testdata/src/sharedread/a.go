@@ -1,0 +1,149 @@
+// Package sharedread exercises the sharedread analyzer: values
+// returned by `// lint:shared` functions (and interface methods) are
+// read-only; callers must Clone before modifying.
+package sharedread
+
+type pred map[string]float64
+
+var canonical = pred{"a": 1}
+
+// cache returns the shared canonical prediction for key; callers must
+// not mutate it.
+//
+// lint:shared
+func cache(key string) pred {
+	return canonical
+}
+
+// scale mutates its argument in place — the callee the interprocedural
+// case launders a write through.
+func scale(p pred, by float64) {
+	p["a"] *= by
+}
+
+// reset mutates its receiver.
+func (p pred) reset() {
+	p["a"] = 0
+}
+
+// bad mutates the shared value directly.
+func bad() {
+	p := cache("x")
+	p["a"] = 2 // want: direct write
+}
+
+// badDelete shrinks the shared map.
+func badDelete() {
+	p := cache("x")
+	delete(p, "a") // want: delete
+}
+
+// badAlias mutates through a second name for the same storage.
+func badAlias() {
+	p := cache("x")
+	q := p
+	q["a"] = 2 // want: write through alias
+}
+
+// badCallee passes the shared value to a helper whose summary mutates
+// its parameter — the interprocedural true positive.
+func badCallee() {
+	p := cache("x")
+	scale(p, 2) // want: callee mutates
+}
+
+// badMethod mutates through a method on the shared value.
+func badMethod() {
+	p := cache("x")
+	p.reset() // want: receiver mutated
+}
+
+// badStored keeps shared values in a slice and mutates one through the
+// container — the preds[i] = l.Predict(in) pattern from the stacker.
+func badStored() {
+	preds := make([]pred, 2)
+	preds[0] = cache("x")
+	preds[0]["a"] = 2 // want: write through the container
+	p := preds[1]
+	p["b"] = 3 // want: element read keeps tracking
+}
+
+// badStoredCallee hands a container element to a mutating helper.
+func badStoredCallee() {
+	preds := make([]pred, 1)
+	preds[0] = cache("x")
+	scale(preds[0], 2) // want: callee mutates the stored shared value
+}
+
+// goodReplace overwrites container slots that held shared values (true
+// negative: replacing the reference is not mutating the value).
+func goodReplace() {
+	preds := make([]pred, 2)
+	preds[0] = cache("x")
+	preds[0] = pred{"a": 1}
+	preds[1] = nil
+	_ = preds
+}
+
+// goodClone copies before mutating (true negative).
+func goodClone() pred {
+	p := cache("x")
+	q := make(pred, len(p))
+	for k, v := range p {
+		q[k] = v
+	}
+	q["a"] = 2
+	return q
+}
+
+// goodRead only reads (true negative).
+func goodRead() float64 {
+	return cache("x")["a"]
+}
+
+// tolerated carries a justified suppression.
+func tolerated() {
+	p := cache("x")
+	//lint:ignore sharedread fixture exercises suppression
+	p["a"] = 3
+}
+
+// predictor's Predict hands out shared cached predictions: the
+// annotation sits on the interface method, and binds every
+// implementation.
+type predictor interface {
+	// Predict returns the shared cached prediction for key.
+	//
+	// lint:shared
+	Predict(key string) pred
+}
+
+// badIface mutates a prediction obtained through the interface
+// (dynamic dispatch resolves to the annotated interface method).
+func badIface(pr predictor) {
+	p := pr.Predict("x")
+	p["a"] = 1 // want: interface contract
+}
+
+type impl struct{}
+
+func (impl) Predict(key string) pred { return canonical }
+
+// badImpl mutates a prediction obtained from a concrete implementation
+// of the shared interface method: the contract propagates to
+// implementations.
+func badImpl(m impl) {
+	p := m.Predict("x")
+	p["a"] = 1 // want: implementation inherits the contract
+}
+
+// viaHelper forwards a shared call's result, so it is itself shared.
+func viaHelper(key string) pred {
+	return cache(key)
+}
+
+// badDerived mutates a value from the derived helper.
+func badDerived() {
+	p := viaHelper("x")
+	p["a"] = 1 // want: derived producer
+}

@@ -32,6 +32,17 @@ func bump() {
 	hits++
 }
 
+// record mutates the map it is handed; its mutation summary is how the
+// laundered-capture case is seen.
+func record(m map[string]int, k string) {
+	m[k]++
+}
+
+// fill appends into the slice its pointer argument addresses.
+func fill(dst *[]string, v string) {
+	*dst = append(*dst, v)
+}
+
 func positives(ctx context.Context, xs []float64, c *collector) {
 	// Direct package-level write.
 	_ = parallel.ForEach(ctx, 4, len(xs), func(ctx context.Context, i int) error {
@@ -56,7 +67,20 @@ func positives(ctx context.Context, xs []float64, c *collector) {
 		bump()
 		return nil
 	})
-	_ = sum
+	// Captured map handed to a mutating helper: the callee's mutation
+	// summary exposes the laundered write.
+	counts := map[string]int{}
+	_ = parallel.ForEach(ctx, 4, len(xs), func(ctx context.Context, i int) error {
+		record(counts, "seen")
+		return nil
+	})
+	// Captured slice grown in place through a helper.
+	var names []string
+	_ = parallel.ForEach(ctx, 4, len(xs), func(ctx context.Context, i int) error {
+		fill(&names, "x")
+		return nil
+	})
+	_, _, _ = sum, counts, names
 }
 
 func negatives(ctx context.Context, xs []float64, c *collector) ([]float64, error) {
@@ -82,6 +106,21 @@ func negatives(ctx context.Context, xs []float64, c *collector) ([]float64, erro
 		out[i] = acc
 		return nil
 	})
+	// Slot-indexed element handed to a mutating helper: each task owns
+	// its slot, so the laundered write is still private.
+	rows := make([][]string, len(xs))
+	_ = parallel.ForEach(ctx, 4, len(xs), func(ctx context.Context, i int) error {
+		fill(&rows[i], "x")
+		return nil
+	})
+	// Closure-local value handed to a mutating helper stays private.
+	_ = parallel.ForEach(ctx, 4, len(xs), func(ctx context.Context, i int) error {
+		local := map[string]int{}
+		record(local, "k")
+		out[i] = float64(len(local))
+		return nil
+	})
+	_ = rows
 	// Guarded targets: the guardedby analyzer owns their locking
 	// discipline.
 	_ = parallel.ForEach(ctx, 4, len(xs), func(ctx context.Context, i int) error {

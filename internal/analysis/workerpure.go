@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"sort"
 	"strings"
@@ -19,13 +20,13 @@ import (
 // shared map, package-level state — is a data race under the fan-out
 // and breaks the bit-identical-at-every-worker-count guarantee.
 //
-// The check is interprocedural for package-level state: the closure's
-// statically resolved callees are summarized over the call graph, so a
-// worker that mutates a package-level variable through a helper chain
-// is caught, not just a direct assignment. Captured-variable writes
-// are checked in the closure body itself (callees cannot reach the
-// closure's captures except through pointers, which the summary does
-// not chase).
+// The check is interprocedural twice over: package-level state is
+// summarized over the call graph (a worker that mutates a package
+// variable through a helper chain is caught, not just a direct
+// assignment), and arguments handed to callees are checked against the
+// callees' mutation/escape summaries (mutsum.go), so a worker that
+// passes a captured map or slice to a helper that writes it is caught
+// too — writes laundered through a call no longer hide.
 var WorkerPure = &Analyzer{
 	Name: "workerpure",
 	Doc:  "closures passed to parallel.Map/ForEach must only write their own result slot",
@@ -42,6 +43,7 @@ type pkgWriteFact struct {
 func runWorkerPure(pass *Pass) {
 	guards := workerPureGuards(pass.Prog)
 	writes := workerPureWrites(pass.Prog, guards)
+	sums := MutSummaries(pass.Prog)
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
@@ -56,7 +58,7 @@ func runWorkerPure(pass *Pass) {
 			if !ok {
 				return true
 			}
-			checkWorkerClosure(pass, name, lit, guards, writes)
+			checkWorkerClosure(pass, name, lit, guards, writes, sums)
 			return true
 		})
 	}
@@ -83,7 +85,7 @@ func parallelPoolCall(pass *Pass, call *ast.CallExpr) (string, bool) {
 // checkWorkerClosure verifies one worker literal: direct writes in the
 // body (captured variables and package-level state) and transitive
 // package-level writes through its statically resolved callees.
-func checkWorkerClosure(pass *Pass, pool string, lit *ast.FuncLit, guards map[string]bool, writes map[*types.Func]map[pkgWriteFact]bool) {
+func checkWorkerClosure(pass *Pass, pool string, lit *ast.FuncLit, guards map[string]bool, writes map[*types.Func]map[pkgWriteFact]bool, sums map[*types.Func]*MutSummary) {
 	idxParams := intParamObjs(pass, lit)
 	ast.Inspect(lit, func(n ast.Node) bool {
 		switch n := n.(type) {
@@ -93,6 +95,8 @@ func checkWorkerClosure(pass *Pass, pool string, lit *ast.FuncLit, guards map[st
 			}
 		case *ast.IncDecStmt:
 			checkWorkerWrite(pass, pool, lit, n.X, idxParams, guards)
+		case *ast.CallExpr:
+			checkWorkerCallArgs(pass, pool, lit, n, idxParams, guards, sums)
 		}
 		return true
 	})
@@ -124,6 +128,56 @@ func checkWorkerClosure(pass *Pass, pool string, lit *ast.FuncLit, guards map[st
 			pass.Reportf(pos,
 				"worker closure passed to parallel.%s calls %s, which writes package-level %s; workers must be pure apart from their own result slot",
 				pool, callee.Name(), f.display)
+		}
+	}
+}
+
+// checkWorkerCallArgs catches the laundered write: the closure passes a
+// captured (or package-level) map, slice, or pointer to a callee whose
+// mutation/escape summary (mutsum.go) records a write to that
+// parameter. The same exemptions as direct writes apply — values the
+// closure declares itself, slot-indexed elements (&out[i]), and
+// `// guarded by`-tagged targets are fine.
+func checkWorkerCallArgs(pass *Pass, pool string, lit *ast.FuncLit, call *ast.CallExpr, idxParams map[types.Object]bool, guards map[string]bool, sums map[*types.Func]*MutSummary) {
+	callee, slotArgs := calleeSlotArgs(pass.Info, call)
+	if callee == nil {
+		return
+	}
+	sum := sums[callee]
+	if sum == nil {
+		return
+	}
+	for j, args := range slotArgs {
+		paths := sum.Mutates(j)
+		if len(paths) == 0 {
+			continue
+		}
+		for _, arg := range args {
+			p := peelRef(pass.Info, arg)
+			if !p.addrOf && !isRefType(pass.Info.TypeOf(arg)) {
+				continue // passed by value; the callee mutates its own copy
+			}
+			// Unwrap a leading &x so resolveWriteTarget sees the target.
+			target := ast.Unparen(arg)
+			if ue, ok := target.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+				target = ue.X
+			}
+			t := resolveWriteTarget(pass.Info, target, idxParams, guards)
+			if t.root == nil || t.guarded || t.slotIndexed {
+				continue
+			}
+			if t.root.Pos() >= lit.Pos() && t.root.Pos() < lit.End() {
+				continue // the closure's own value; mutating it is its business
+			}
+			if v, ok := t.root.(*types.Var); ok && isPackageLevel(v) {
+				pass.Reportf(arg.Pos(),
+					"worker closure passed to parallel.%s hands package-level %s to %s, which mutates it (%s); workers must be pure apart from their own result slot",
+					pool, packageVarSym(v).display, callee.Name(), paths[0])
+				continue
+			}
+			pass.Reportf(arg.Pos(),
+				"worker closure passed to parallel.%s hands captured %q to %s, which mutates it (%s); index writes by the task index or tag the target `// guarded by <mutex>`",
+				pool, t.root.Name(), callee.Name(), paths[0])
 		}
 	}
 }

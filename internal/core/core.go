@@ -420,13 +420,19 @@ type MatchResult struct {
 }
 
 // Match runs the matching phase of §3.2 on a target source. feedback
-// constraints (§4.3) apply to this source only.
-func (s *System) Match(src *Source, feedback ...constraint.Constraint) (*MatchResult, error) {
+// constraints (§4.3) apply to this source only. ctx cancels the
+// column-collection and matching fan-outs: a cancelled request stops
+// scheduling new per-listing walks and per-instance predictions and
+// returns ctx's error.
+func (s *System) Match(ctx context.Context, src *Source, feedback ...constraint.Constraint) (*MatchResult, error) {
 	if src == nil || src.Schema == nil {
 		return nil, fmt.Errorf("core: nil source")
 	}
 	// Step 1: extract & collect data into per-tag columns.
-	cols := collectColumns(s.mediated, src, s.cfg.MaxListings, s.cfg.Workers)
+	cols, err := collectColumns(ctx, s.mediated, src, s.cfg.MaxListings, s.cfg.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("core: collecting %s: %w", src.Name, err)
+	}
 
 	// Step 2: match each source tag: apply base learners per instance,
 	// combine with the meta-learner, convert per column. The (tag,
@@ -448,8 +454,7 @@ func (s *System) Match(src *Source, feedback ...constraint.Constraint) (*MatchRe
 		}
 		spans[ti] = span{start, len(jobs)}
 	}
-	//lint:ignore ctxflow Match's public API takes no context yet; plumbing request cancellation through System.Match is tracked in ROADMAP
-	combined, err := parallel.Map(context.Background(), s.cfg.Workers, len(jobs),
+	combined, err := parallel.Map(ctx, s.cfg.Workers, len(jobs),
 		func(_ context.Context, i int) (learn.Prediction, error) {
 			base := make([]learn.Prediction, len(s.learners))
 			for j, l := range s.learners {
@@ -498,20 +503,20 @@ func (s *System) Match(src *Source, feedback ...constraint.Constraint) (*MatchRe
 
 // CollectColumns extracts, for each source tag, the column of element
 // instances with that tag across the source's listings (§3.2 step 1).
-func CollectColumns(med *Mediated, src *Source, maxListings int) map[string][]learn.Instance {
-	return collectColumns(med, src, maxListings, 1)
+// The only error is ctx's, when the caller cancels mid-collection.
+func CollectColumns(ctx context.Context, med *Mediated, src *Source, maxListings int) (map[string][]learn.Instance, error) {
+	return collectColumns(ctx, med, src, maxListings, 1)
 }
 
 // collectColumns is CollectColumns over a worker pool: each listing is
 // walked independently and the per-listing columns are merged in
 // listing order, so instance order per tag matches the serial walk.
-func collectColumns(med *Mediated, src *Source, maxListings, workers int) map[string][]learn.Instance {
+func collectColumns(ctx context.Context, med *Mediated, src *Source, maxListings, workers int) (map[string][]learn.Instance, error) {
 	listings := src.Listings
 	if maxListings > 0 && len(listings) > maxListings {
 		listings = listings[:maxListings]
 	}
-	//lint:ignore ctxflow collectColumns has no caller-supplied context yet; match-path cancellation plumbing is tracked in ROADMAP
-	perListing, _ := parallel.Map(context.Background(), workers, len(listings), //lint:ignore errflow without a cancellable context the pool's only error cannot occur, and the walk itself never fails
+	perListing, err := parallel.Map(ctx, workers, len(listings),
 		func(_ context.Context, i int) (map[string][]learn.Instance, error) {
 			m := make(map[string][]learn.Instance)
 			listings[i].Walk(func(n *xmltree.Node, path []string) {
@@ -519,13 +524,16 @@ func collectColumns(med *Mediated, src *Source, maxListings, workers int) map[st
 			})
 			return m, nil
 		})
+	if err != nil {
+		return nil, err
+	}
 	cols := make(map[string][]learn.Instance)
 	for _, m := range perListing {
 		for tag, instances := range m {
 			cols[tag] = append(cols[tag], instances...)
 		}
 	}
-	return cols
+	return cols, nil
 }
 
 // BuildConstraintSource assembles the constraint handler's view of a

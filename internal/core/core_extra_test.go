@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/constraint"
@@ -14,7 +15,7 @@ func TestTrainDeterministic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := sys.Match(greatHomes())
+		res, err := sys.Match(context.Background(), greatHomes())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -38,7 +39,7 @@ func TestSeedChangesCVButStaysCorrect(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := sys.Match(greatHomes())
+		res, err := sys.Match(context.Background(), greatHomes())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -60,7 +61,7 @@ func TestCustomHandlerConfig(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sys.Match(greatHomes())
+	res, err := sys.Match(context.Background(), greatHomes())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestXMLLearnerOnlyConfig(t *testing.T) {
 	if len(sys.LearnerNames()) != 1 || sys.LearnerNames()[0] != "XMLLearner" {
 		t.Errorf("LearnerNames = %v", sys.LearnerNames())
 	}
-	if _, err := sys.Match(greatHomes()); err != nil {
+	if _, err := sys.Match(context.Background(), greatHomes()); err != nil {
 		t.Fatalf("XML-only match: %v", err)
 	}
 }
@@ -145,7 +146,10 @@ func TestNewInstanceSynonyms(t *testing.T) {
 
 func TestBuildConstraintSourceRows(t *testing.T) {
 	src := greatHomes()
-	cols := CollectColumns(nil, src, 0)
+	cols, err := CollectColumns(context.Background(), nil, src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	csrc := BuildConstraintSource(src, cols, 0)
 	if len(csrc.Rows) != len(src.Listings) {
 		t.Fatalf("rows = %d, want %d", len(csrc.Rows), len(src.Listings))

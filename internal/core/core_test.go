@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/constraint"
@@ -115,7 +116,7 @@ func trainTiny(t *testing.T, cfg Config) *System {
 // on realestate.com and homeseekers.com, then match greathomes.com.
 func TestPaperRunningExample(t *testing.T) {
 	sys := trainTiny(t, DefaultConfig())
-	res, err := sys.Match(greatHomes())
+	res, err := sys.Match(context.Background(), greatHomes())
 	if err != nil {
 		t.Fatalf("Match: %v", err)
 	}
@@ -139,7 +140,7 @@ func TestMatchWithoutConstraintHandler(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.UseConstraintHandler = false
 	sys := trainTiny(t, cfg)
-	res, err := sys.Match(greatHomes())
+	res, err := sys.Match(context.Background(), greatHomes())
 	if err != nil {
 		t.Fatalf("Match: %v", err)
 	}
@@ -155,7 +156,7 @@ func TestMatchWithFeedback(t *testing.T) {
 	sys := trainTiny(t, DefaultConfig())
 	// Force an (incorrect) label via feedback and check it sticks: the
 	// constraint handler must respect user equality constraints.
-	res, err := sys.Match(greatHomes(), constraint.MustMatch("area", "DESCRIPTION"))
+	res, err := sys.Match(context.Background(), greatHomes(), constraint.MustMatch("area", "DESCRIPTION"))
 	if err != nil {
 		t.Fatalf("Match with feedback: %v", err)
 	}
@@ -176,7 +177,7 @@ func TestTrainErrors(t *testing.T) {
 
 func TestMatchErrors(t *testing.T) {
 	sys := trainTiny(t, DefaultConfig())
-	if _, err := sys.Match(nil); err == nil {
+	if _, err := sys.Match(context.Background(), nil); err == nil {
 		t.Error("nil source accepted")
 	}
 }
@@ -223,7 +224,10 @@ func TestExtractExamples(t *testing.T) {
 }
 
 func TestCollectColumns(t *testing.T) {
-	cols := CollectColumns(nil, greatHomes(), 0)
+	cols, err := CollectColumns(context.Background(), nil, greatHomes(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(cols["area"]) != 3 {
 		t.Errorf("area column = %d instances, want 3", len(cols["area"]))
 	}
@@ -276,7 +280,7 @@ func TestMatchEmptyColumns(t *testing.T) {
 <!ELEMENT work-phone (#PCDATA)>
 <!ELEMENT location (#PCDATA)>
 `)
-	res, err := sys.Match(src)
+	res, err := sys.Match(context.Background(), src)
 	if err != nil {
 		t.Fatalf("Match: %v", err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/learn"
@@ -105,7 +106,7 @@ func TestMatchPopulatesPartial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sys.Match(greatHomes())
+	res, err := sys.Match(context.Background(), greatHomes())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package datagen
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -114,7 +115,10 @@ func TestTrueMappingSatisfiesHardConstraints(t *testing.T) {
 		cs := d.Constraints()
 		for _, spec := range d.Sources() {
 			src := spec.Generate(40, 5)
-			cols := core.CollectColumns(nil, src, 0)
+			cols, err := core.CollectColumns(context.Background(), nil, src, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
 			csrc := core.BuildConstraintSource(src, cols, 0)
 			m := constraint.Assignment{}
 			for _, tag := range src.Schema.Tags() {

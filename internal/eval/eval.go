@@ -129,7 +129,7 @@ func Run(d *datagen.Domain, cfg core.Config, p Protocol) (float64, error) {
 				if inTrain[i] {
 					continue
 				}
-				res, err := sys.Match(src)
+				res, err := sys.Match(context.Background(), src)
 				if err != nil {
 					return nil, fmt.Errorf("eval: match %s: %w", src.Name, err)
 				}

@@ -108,7 +108,10 @@ func feedbackLoop(sys *core.System, test *core.Source) (int, error) {
 	// Tags in decreasing structure-score order (§6.3: "the greater the
 	// structure below a tag, the greater the probability that the tag
 	// is involved in one or more constraints").
-	cols := core.CollectColumns(nil, test, 0)
+	cols, err := core.CollectColumns(context.Background(), nil, test, 0)
+	if err != nil {
+		return 0, err
+	}
 	csrc := core.BuildConstraintSource(test, cols, 0)
 	tags := append([]string(nil), test.Schema.Tags()...)
 	sort.SliceStable(tags, func(i, j int) bool {
@@ -118,7 +121,7 @@ func feedbackLoop(sys *core.System, test *core.Source) (int, error) {
 	var feedback []constraint.Constraint
 	corrections := 0
 	for iter := 0; iter <= len(tags); iter++ {
-		res, err := sys.Match(test, feedback...)
+		res, err := sys.Match(context.Background(), test, feedback...)
 		if err != nil {
 			return 0, fmt.Errorf("eval: feedback match: %w", err)
 		}

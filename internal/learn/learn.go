@@ -203,7 +203,10 @@ type Learner interface {
 	// instance from an internal cache shared between callers, so a
 	// caller that needs to mutate scores must Clone first. All in-tree
 	// consumers (the stacker, prediction conversion, the match report)
-	// only read.
+	// only read. The sharedread analyzer enforces this contract on
+	// every implementation via the annotation below.
+	//
+	// lint:shared
 	Predict(in Instance) Prediction
 }
 

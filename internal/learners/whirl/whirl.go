@@ -302,7 +302,10 @@ func (c *Classifier) predict(extracted string) learn.Prediction {
 }
 
 // getScratch returns a zeroed []float64 with one slot per stored
-// document.
+// document. The poolescape analyzer tracks values it hands out: every
+// caller must return them via putScratch and must not let them escape.
+//
+// lint:scratch
 func (c *Classifier) getScratch() []float64 {
 	n := len(c.docLabels)
 	if v := c.scratch.Get(); v != nil {

@@ -118,7 +118,7 @@ func matchDirect(t testing.TB, workers int) *core.MatchResult {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sys.Match(&core.Source{Name: "test", Schema: schema, Listings: listings})
+	res, err := sys.Match(context.Background(), &core.Source{Name: "test", Schema: schema, Listings: listings})
 	if err != nil {
 		t.Fatalf("Match: %v", err)
 	}
@@ -490,5 +490,95 @@ func TestLoadDir(t *testing.T) {
 	}
 	if _, err := reg.LoadDir(filepath.Join(dir, "missing"), 1); err == nil {
 		t.Error("LoadDir(missing) succeeded, want error")
+	}
+}
+
+// TestHotReloadServesConsistentSnapshots hammers /v1/match while a
+// writer hot-reloads the same model from its artifact in a loop: every
+// reply must carry the complete, correct mapping — never a snapshot a
+// reload mutated mid-flight. Together with the -race run in CI this is
+// the end-to-end witness for the cowstore contract on the registry:
+// Set/LoadFile build a fresh model table and publish it with one
+// atomic Store, so readers always match against a frozen generation.
+func TestHotReloadServesConsistentSnapshots(t *testing.T) {
+	reg, srv, ts := newTestServer(t)
+	path := filepath.Join(srv.opts.AdminDir, "houses"+ArtifactExt)
+	want := matchDirect(t, 1)
+	wantMapping := fmt.Sprint(map[string]string(want.Mapping))
+	m, _ := reg.Get("houses")
+	wantChecksum := m.Checksum
+
+	stop := make(chan struct{})
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Reload from disk: each iteration decodes a fresh model and
+			// publishes a fresh registry generation, as /admin/load does.
+			if _, err := reg.LoadFile(path, 0); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	const readers = 8
+	const iters = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, readers*iters)
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				raw, _ := json.Marshal(MatchRequest{
+					Model: "houses", DTD: modeltest.SourceDTD, XML: modeltest.SourceXML, OmitPredictions: true,
+				})
+				resp, err := http.Post(ts.URL+"/v1/match", "application/json", bytes.NewReader(raw))
+				if err != nil {
+					errs <- err
+					return
+				}
+				var body bytes.Buffer
+				_, rerr := body.ReadFrom(resp.Body)
+				resp.Body.Close()
+				if rerr != nil {
+					errs <- rerr
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("request %d: status %d: %s", i, resp.StatusCode, body.String())
+					return
+				}
+				var got MatchResponse
+				if err := json.Unmarshal(body.Bytes(), &got); err != nil {
+					errs <- fmt.Errorf("request %d: %v", i, err)
+					return
+				}
+				// The model content never changes across reloads, so any
+				// deviation means a request saw a half-built or mutated
+				// snapshot.
+				if got.Checksum != wantChecksum {
+					errs <- fmt.Errorf("request %d: checksum %q, want %q", i, got.Checksum, wantChecksum)
+					return
+				}
+				if fmt.Sprint(got.Mapping) != wantMapping {
+					errs <- fmt.Errorf("request %d: mapping %v, want %v", i, got.Mapping, wantMapping)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	<-writerDone
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }

@@ -180,7 +180,7 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	resp, status := s.match(&req)
+	resp, status := s.match(r.Context(), &req)
 	if status != http.StatusOK {
 		writeError(w, status, "%s", resp.Error)
 		return
@@ -208,8 +208,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// the undispatched remainder instead of burning the pool on an
 	// answer nobody will read.
 	responses, err := parallel.Map(r.Context(), workers, len(req.Requests),
-		func(_ context.Context, i int) (MatchResponse, error) {
-			resp, status := s.match(&req.Requests[i])
+		func(ctx context.Context, i int) (MatchResponse, error) {
+			resp, status := s.match(ctx, &req.Requests[i])
 			resp.Status = status
 			return resp, nil
 		})
@@ -250,8 +250,10 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 }
 
 // match answers one request against the registry snapshot current at
-// call time. It returns the response and an HTTP status.
-func (s *Server) match(req *MatchRequest) (MatchResponse, int) {
+// call time. It returns the response and an HTTP status. ctx is the
+// HTTP request's context: a disconnected client cancels the match
+// fan-out instead of burning workers on an answer nobody will read.
+func (s *Server) match(ctx context.Context, req *MatchRequest) (MatchResponse, int) {
 	fail := func(status int, format string, args ...any) (MatchResponse, int) {
 		return MatchResponse{Error: fmt.Sprintf(format, args...)}, status
 	}
@@ -280,8 +282,11 @@ func (s *Server) match(req *MatchRequest) (MatchResponse, int) {
 	if workers > s.opts.MaxWorkers {
 		workers = s.opts.MaxWorkers
 	}
-	res, err := m.System().WithWorkers(workers).Match(src)
+	res, err := m.System().WithWorkers(workers).Match(ctx, src)
 	if err != nil {
+		if ctx.Err() != nil {
+			return fail(statusClientClosedRequest, "matching canceled: %v", err)
+		}
 		return fail(http.StatusUnprocessableEntity, "matching: %v", err)
 	}
 	resp := MatchResponse{

@@ -12,7 +12,7 @@
 //	med := &lsd.Mediated{Schema: lsd.MustParseDTD(mediatedDTD),
 //	    Constraints: []lsd.Constraint{lsd.AtMostOne("PRICE")}}
 //	sys, err := lsd.Train(med, trainingSources, lsd.DefaultConfig())
-//	res, err := sys.Match(newSource)
+//	res, err := sys.Match(ctx, newSource)
 //	fmt.Println(res.Mapping) // source tag -> mediated label
 package lsd
 

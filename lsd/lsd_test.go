@@ -1,6 +1,7 @@
 package lsd_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -64,7 +65,7 @@ func TestPublicAPITrainMatch(t *testing.T) {
 			"e": "LISTING", "area": "ADDRESS", "info": "DESCRIPTION",
 		},
 	}
-	res, err := sys.Match(target)
+	res, err := sys.Match(context.Background(), target)
 	if err != nil {
 		t.Fatalf("Match: %v", err)
 	}
@@ -97,7 +98,7 @@ func TestFeedbackViaPublicAPI(t *testing.T) {
 	}
 	test := specs[3].Generate(10, 1)
 	tag := test.Schema.Tags()[1]
-	res, err := sys.Match(test, lsd.MustMatch(tag, lsd.Other))
+	res, err := sys.Match(context.Background(), test, lsd.MustMatch(tag, lsd.Other))
 	if err != nil {
 		t.Fatal(err)
 	}
