@@ -9,8 +9,9 @@
 # lsdschema self-tests, lsdlint findings in the Go tree, lsdschema
 # findings in the domain schemas and constraint sets, a suppression
 # inventory that drifted from the lint/suppressions.txt baseline, a
-# bench-smoke allocation regression, or a broken train → save → serve
-# → match path (the lsdserve smoke at the end).
+# bench-smoke allocation regression, a serve-smoke p99 latency
+# regression, or a broken train → save → serve → match path (the
+# lsdserve smoke at the end).
 set -e
 cd "$(dirname "$0")"
 
@@ -75,6 +76,12 @@ rm -f "$supfile"
 # per-call allocation on the hot paths without requiring a full bench
 # run.
 go run ./cmd/lsdbench -exp micro -smoke bench
+
+# serve-smoke: re-measure the HTTP serving benchmark and fail on a p99
+# latency regression beyond tolerance (>25% plus slack) against the
+# latest committed serving baseline in bench/BENCH_*.json. Catches
+# request-path slowdowns the allocation gate cannot see.
+go run ./cmd/lsdbench -exp serve -smoke bench
 
 # lsdserve smoke: the full model-persistence path, end to end. Generate
 # a tiny domain, train and save a model artifact with cmd/lsd, serve it

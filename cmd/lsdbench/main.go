@@ -45,7 +45,7 @@ func main() {
 	seed := flag.Int64("seed", 7, "experiment seed")
 	workers := flag.Int("workers", 0, "worker goroutines per experiment (0 = one per CPU, 1 = serial)")
 	benchOut := flag.String("bench-out", "", "directory to write a BENCH_<n>.json artifact recording each experiment's duration and allocations (empty = off)")
-	smoke := flag.String("smoke", "", "directory holding the committed BENCH_<n>.json baseline; with -exp micro, exit non-zero on an allocs/op regression beyond tolerance")
+	smoke := flag.String("smoke", "", "directory holding the committed BENCH_<n>.json baseline; with -exp micro, exit non-zero on an allocs/op regression, with -exp serve on a p99 latency regression")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
@@ -115,7 +115,11 @@ func main() {
 	// HTTP request latency against an in-process lsdserve handler, not
 	// matching accuracy.
 	if *exp == "serve" {
-		records = append(records, serveExp(*workers)...)
+		recs := serveExp(*workers)
+		records = append(records, recs...)
+		if *smoke != "" {
+			smokeErr = serveSmoke(recs, *smoke)
+		}
 	}
 
 	if *benchOut != "" && len(records) > 0 {

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -29,8 +30,11 @@ import (
 // enough for stable p99 at the tail without minutes of runtime.
 const serveRequests = 240
 
-// serveConcurrency are the client counts each run sweeps.
-var serveConcurrency = []int{1, 4, 8}
+// serveConcurrency are the client counts each run sweeps. The deep end
+// (16, 32) probes queueing behaviour well past the core count: on a
+// saturated server added clients should stretch latency linearly, not
+// collapse throughput.
+var serveConcurrency = []int{1, 4, 8, 16, 32}
 
 // serveBench trains the matcher, publishes it through the artifact
 // path, and sweeps the concurrency levels.
@@ -91,12 +95,19 @@ func serveBench(workers int) ([]benchRecord, error) {
 
 // hammer fires total match requests from clients concurrent goroutines
 // and reduces the per-request latencies into one benchRecord.
+// Allocations are measured as the process-wide Mallocs delta across the
+// run divided by the request count: the server is in-process, so the
+// figure is the whole request path — handler, matcher, and client
+// harness — which is exactly the trajectory worth tracking run over
+// run.
 func hammer(url string, body []byte, clients, total int) (benchRecord, error) {
 	per := total / clients
 	total = per * clients
 	latencies := make([]int64, total)
 	errs := make(chan error, clients)
 	var wg sync.WaitGroup
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
 	start := time.Now()
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
@@ -121,20 +132,24 @@ func hammer(url string, body []byte, clients, total int) (benchRecord, error) {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
 	close(errs)
 	if err := <-errs; err != nil {
 		return benchRecord{}, err
 	}
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	return benchRecord{
-		Op:      fmt.Sprintf("Serve/c%d", clients),
-		NsPerOp: elapsed.Nanoseconds() / int64(total),
-		Workers: 1,
-		Clients: clients,
-		P50Ns:   percentile(latencies, 50),
-		P95Ns:   percentile(latencies, 95),
-		P99Ns:   percentile(latencies, 99),
-		QPS:     float64(total) / elapsed.Seconds(),
+		Op:          fmt.Sprintf("Serve/c%d", clients),
+		NsPerOp:     elapsed.Nanoseconds() / int64(total),
+		AllocsPerOp: (after.Mallocs - before.Mallocs) / uint64(total),
+		BytesPerOp:  (after.TotalAlloc - before.TotalAlloc) / uint64(total),
+		Workers:     1,
+		Clients:     clients,
+		P50Ns:       percentile(latencies, 50),
+		P95Ns:       percentile(latencies, 95),
+		P99Ns:       percentile(latencies, 99),
+		QPS:         float64(total) / elapsed.Seconds(),
 	}, nil
 }
 
@@ -153,14 +168,80 @@ func serveExp(workers int) []benchRecord {
 		panic(fmt.Sprintf("serve bench: %v", err))
 	}
 	fmt.Println("serving benchmark (POST /v1/match, in-process server):")
-	fmt.Printf("%-10s %8s %12s %12s %12s %10s\n", "op", "clients", "p50", "p95", "p99", "qps")
+	fmt.Printf("%-10s %8s %12s %12s %12s %10s %12s\n", "op", "clients", "p50", "p95", "p99", "qps", "allocs/op")
 	for _, r := range records {
-		fmt.Printf("%-10s %8d %12s %12s %12s %10.1f\n", r.Op, r.Clients,
+		fmt.Printf("%-10s %8d %12s %12s %12s %10.1f %12d\n", r.Op, r.Clients,
 			time.Duration(r.P50Ns).Round(time.Microsecond),
 			time.Duration(r.P95Ns).Round(time.Microsecond),
 			time.Duration(r.P99Ns).Round(time.Microsecond),
-			r.QPS)
+			r.QPS, r.AllocsPerOp)
 	}
 	fmt.Println()
 	return records
+}
+
+// serveSmokeTolerance accepts a p99 up to factor×baseline plus an
+// absolute slack: request-latency tails are noisier than allocation
+// counts, and on a loaded CI machine a few-millisecond wobble on a
+// sub-100ms tail must not fail the gate.
+const (
+	serveSmokeFactor  = 1.25
+	serveSmokeSlackNs = 20 * int64(time.Millisecond)
+)
+
+// serveSmokeOps names the serving ops the p99 gate compares.
+func serveSmokeOps() map[string]bool {
+	ops := make(map[string]bool, len(serveConcurrency))
+	for _, c := range serveConcurrency {
+		ops[fmt.Sprintf("Serve/c%d", c)] = true
+	}
+	return ops
+}
+
+// serveSmoke compares fresh serving records against the latest
+// committed BENCH_<n>.json that carries serve ops and reports p99
+// regressions beyond tolerance. Concurrency levels absent from the
+// baseline (a newly widened sweep) pass by default; a missing baseline
+// skips the gate, mirroring benchSmoke.
+func serveSmoke(records []benchRecord, dir string) error {
+	baseline, path, err := latestBenchArtifact(dir, serveSmokeOps())
+	if err != nil {
+		return err
+	}
+	if baseline == nil {
+		fmt.Printf("serve-smoke: no serving baseline artifact in %s; skipping gate\n", dir)
+		return nil
+	}
+	base := make(map[string]benchRecord, len(baseline))
+	for _, r := range baseline {
+		base[r.Op] = r
+	}
+	ops := serveSmokeOps()
+	var regressions []string
+	for _, r := range records {
+		if !ops[r.Op] {
+			continue
+		}
+		b, ok := base[r.Op]
+		if !ok {
+			continue
+		}
+		limit := int64(float64(b.P99Ns)*serveSmokeFactor) + serveSmokeSlackNs
+		if r.P99Ns > limit {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: p99 %s exceeds limit %s (baseline %s in %s)",
+				r.Op, time.Duration(r.P99Ns).Round(time.Microsecond),
+				time.Duration(limit).Round(time.Microsecond),
+				time.Duration(b.P99Ns).Round(time.Microsecond), path))
+		}
+	}
+	if len(regressions) > 0 {
+		out := "serve-smoke: p99 latency regression beyond tolerance:"
+		for _, s := range regressions {
+			out += "\n  " + s
+		}
+		return fmt.Errorf("%s", out)
+	}
+	fmt.Printf("serve-smoke: p99 within tolerance of %s\n", path)
+	return nil
 }

@@ -13,6 +13,11 @@
 //
 // SIGHUP reloads the model directory without dropping in-flight
 // requests; SIGINT/SIGTERM shut down gracefully.
+//
+// -debug-addr starts a second listener serving net/http/pprof. It is
+// off by default and refuses non-loopback addresses: the profiling
+// endpoints expose heap contents and must never ride on the public
+// listener or an external interface.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -43,11 +49,21 @@ func run(args []string, out *os.File) error {
 	models := fs.String("models", "", "directory of model artifacts (*"+serve.ArtifactExt+") to serve")
 	workers := fs.Int("workers", 0, "max workers per request (0 = one per CPU)")
 	ready := fs.String("ready-fd", "", "write the bound address to this file once listening (for scripts)")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof on this loopback address (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *models == "" {
 		return fmt.Errorf("lsdserve: -models directory is required")
+	}
+	if *debugAddr != "" {
+		host, _, err := net.SplitHostPort(*debugAddr)
+		if err != nil {
+			return fmt.Errorf("lsdserve: -debug-addr: %w", err)
+		}
+		if ip := net.ParseIP(host); host != "localhost" && (ip == nil || !ip.IsLoopback()) {
+			return fmt.Errorf("lsdserve: -debug-addr %q is not a loopback address; the pprof endpoints expose process internals and must stay local", *debugAddr)
+		}
 	}
 
 	reg := serve.NewRegistry()
@@ -77,6 +93,31 @@ func run(args []string, out *os.File) error {
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
+
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			// The main server is already up; close it before reporting.
+			httpSrv.Close()
+			return fmt.Errorf("lsdserve: debug listener: %w", err)
+		}
+		// A dedicated mux, not http.DefaultServeMux: the pprof import
+		// registers itself there, and a dedicated mux guarantees the
+		// debug listener serves profiling endpoints and nothing else.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugSrv := &http.Server{Handler: dmux}
+		debugErrc := make(chan error, 1)
+		go func() { debugErrc <- debugSrv.Serve(dln) }()
+		// The debug server lives and dies with the main server: Close on
+		// every return path, abandoning any in-flight profile dump.
+		defer debugSrv.Close()
+		fmt.Fprintf(out, "debug server listening on %s\n", dln.Addr())
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGHUP, syscall.SIGINT, syscall.SIGTERM)

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
@@ -122,6 +123,95 @@ func TestServeLifecycle(t *testing.T) {
 		}
 	case <-time.After(15 * time.Second):
 		t.Fatal("daemon did not shut down after SIGTERM")
+	}
+}
+
+// TestDebugServerLifecycle boots the daemon with -debug-addr, confirms
+// the pprof index answers on the debug listener, and confirms the
+// debug listener dies with the main server on SIGTERM. Like
+// TestServeLifecycle it signals its own process, so it cannot run in
+// parallel with another daemon test.
+func TestDebugServerLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	modeltest.WriteArtifact(t, dir, "houses")
+
+	outFile, err := os.Create(filepath.Join(t.TempDir(), "out"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer outFile.Close()
+	readyFile := filepath.Join(t.TempDir(), "ready")
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-models", dir,
+			"-ready-fd", readyFile,
+			"-debug-addr", "127.0.0.1:0",
+		}, outFile)
+	}()
+
+	// The debug line is printed after the ready file, so poll the out
+	// file until the bound debug address shows up.
+	var debugBase string
+	deadline := time.Now().Add(10 * time.Second)
+	for debugBase == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("debug server never announced its address")
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("daemon exited before ready: %v", err)
+		default:
+		}
+		logged, err := os.ReadFile(outFile.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(string(logged), "\n") {
+			if addr, ok := strings.CutPrefix(line, "debug server listening on "); ok {
+				debugBase = "http://" + strings.TrimSpace(addr)
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, err := http.Get(debugBase + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("pprof index: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index: status %d, want 200", resp.StatusCode)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited with error: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down after SIGTERM")
+	}
+	// The debug listener must be gone once run returns.
+	if resp, err := http.Get(debugBase + "/debug/pprof/"); err == nil {
+		resp.Body.Close()
+		t.Fatal("debug server still answering after shutdown")
+	}
+}
+
+// TestDebugAddrRejectsNonLoopback asserts the daemon refuses to expose
+// pprof on a non-loopback interface.
+func TestDebugAddrRejectsNonLoopback(t *testing.T) {
+	dir := t.TempDir()
+	for _, addr := range []string{"0.0.0.0:6060", ":6060", "192.0.2.1:6060", "no-port"} {
+		err := run([]string{"-models", dir, "-debug-addr", addr}, os.Stdout)
+		if err == nil {
+			t.Errorf("-debug-addr %q accepted, want rejection", addr)
+		}
 	}
 }
 

@@ -17,6 +17,10 @@ import (
 	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/learn"
+	"repro/internal/learners/contentmatcher"
+	"repro/internal/learners/naivebayes"
+	"repro/internal/learners/namematcher"
 )
 
 // workerSettings are the pool sizes every determinism test compares:
@@ -188,6 +192,125 @@ func TestSaveLoadDeterministic(t *testing.T) {
 				if got := matchFingerprint(restored, res); got != want {
 					t.Errorf("workers=%d: restored matcher differs from original\noriginal:\n%s\nrestored:\n%s",
 						w, want, got)
+				}
+			}
+		})
+	}
+}
+
+// shardedLearners returns fresh, untrained instances of every learner
+// implementing learn.BatchPredictor, with the given prediction-cache
+// shard count where the learner has a cache.
+func shardedLearners(shards int) []learn.Learner {
+	return []learn.Learner{
+		namematcher.NewSharded(shards),
+		contentmatcher.NewSharded(shards),
+		naivebayes.New(),
+	}
+}
+
+// TestBatchPredictDeterministic is the acceptance test of the batched
+// serve path: PredictBatch and per-instance Predict must be
+// bit-identical — at the learner level for every instance of an
+// unseen source, and at the system level for the full Match output —
+// across all four domains, cache shard counts {1, 8}, and worker
+// counts {1, 4, 8}.
+func TestBatchPredictDeterministic(t *testing.T) {
+	for _, d := range datagen.Domains() {
+		t.Run(d.Name, func(t *testing.T) {
+			med := d.Mediated()
+			specs := d.Sources()
+			var train []*core.Source
+			for _, spec := range specs[:len(specs)-1] {
+				train = append(train, spec.Generate(15, 11))
+			}
+			test := specs[len(specs)-1].Generate(15, 11)
+
+			// Learner-level: batch-score every instance of the unseen
+			// source and compare against a fresh copy's per-instance
+			// Predict (fresh, so the reference cannot be served from a
+			// cache the batch pass warmed).
+			labels := med.Labels()
+			examples := core.ExtractExamples(med, train, 0)
+			cols, err := core.CollectColumns(context.Background(), med, test, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tags := make([]string, 0, len(cols))
+			for tag := range cols {
+				tags = append(tags, tag)
+			}
+			sort.Strings(tags)
+			var ins []learn.Instance
+			for _, tag := range tags {
+				ins = append(ins, cols[tag]...)
+			}
+			for _, shards := range []int{1, 8} {
+				refs := shardedLearners(shards)
+				for li, l := range shardedLearners(shards) {
+					if err := l.Train(labels, examples); err != nil {
+						t.Fatalf("shards=%d: training %s: %v", shards, l.Name(), err)
+					}
+					if err := refs[li].Train(labels, examples); err != nil {
+						t.Fatalf("shards=%d: training reference %s: %v", shards, l.Name(), err)
+					}
+					bp, ok := l.(learn.BatchPredictor)
+					if !ok {
+						t.Fatalf("%s does not implement learn.BatchPredictor", l.Name())
+					}
+					batch := bp.PredictBatch(ins)
+					if len(batch) != len(ins) {
+						t.Fatalf("shards=%d %s: %d predictions for %d instances", shards, l.Name(), len(batch), len(ins))
+					}
+					for i, in := range ins {
+						want := refs[li].Predict(in)
+						if len(batch[i]) != len(want) {
+							t.Fatalf("shards=%d %s instance %d: %d labels, want %d",
+								shards, l.Name(), i, len(batch[i]), len(want))
+						}
+						for label, s := range want {
+							if g, ok := batch[i][label]; !ok || g != s {
+								t.Fatalf("shards=%d %s instance %d label %s: batch %.17g, per-instance %.17g",
+									shards, l.Name(), i, label, g, s)
+							}
+						}
+					}
+				}
+			}
+
+			// System-level: one trained system, matched with the batched
+			// path at every worker count against the per-instance
+			// reference path.
+			for _, shards := range []int{1, 8} {
+				shards := shards
+				cfg := core.DefaultConfig()
+				cfg.Workers = 2
+				cfg.BaseLearners = []core.LearnerSpec{
+					{Name: "NameMatcher", Factory: func() learn.Learner { return namematcher.NewSharded(shards) }},
+					{Name: "ContentMatcher", Factory: func() learn.Learner { return contentmatcher.NewSharded(shards) }},
+					{Name: "NaiveBayes", Factory: naivebayes.Factory},
+				}
+				sys, err := core.Train(med, train, cfg)
+				if err != nil {
+					t.Fatalf("shards=%d: Train: %v", shards, err)
+				}
+				refRes, err := sys.WithBatchPredict(false).WithWorkers(1).Match(context.Background(), test)
+				if err != nil {
+					t.Fatalf("shards=%d: reference Match: %v", shards, err)
+				}
+				want := matchFingerprint(sys, refRes)
+				if want == "" {
+					t.Fatal("empty reference match fingerprint")
+				}
+				for _, w := range []int{1, 4, 8} {
+					res, err := sys.WithWorkers(w).Match(context.Background(), test)
+					if err != nil {
+						t.Fatalf("shards=%d workers=%d: Match: %v", shards, w, err)
+					}
+					if got := matchFingerprint(sys, res); got != want {
+						t.Errorf("shards=%d workers=%d: batched match differs from per-instance reference\nreference:\n%s\ngot:\n%s",
+							shards, w, want, got)
+					}
 				}
 			}
 		})

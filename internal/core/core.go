@@ -9,7 +9,6 @@ import (
 	"context"
 	"fmt"
 	"sort"
-	"sync"
 
 	"repro/internal/constraint"
 	"repro/internal/dtd"
@@ -20,6 +19,7 @@ import (
 	"repro/internal/learners/xmllearner"
 	"repro/internal/meta"
 	"repro/internal/parallel"
+	"repro/internal/pool"
 	"repro/internal/xmltree"
 )
 
@@ -112,6 +112,14 @@ type Config struct {
 	Handler *constraint.Handler
 	// Seed drives the cross-validation shuffles.
 	Seed int64
+	// DisableBatchPredict forces Match onto the per-instance Predict
+	// path, bypassing learn.BatchPredictor batching and column-level
+	// deduplication. A verification knob, not a tuning one: the
+	// determinism suite A/Bs it to prove the batched and per-instance
+	// paths produce bit-identical matches.
+	//
+	//lint:ignore statecodec an evaluation-strategy toggle with no effect on results (enforced by determinism tests), not trained state; persisting it would be meaningless
+	DisableBatchPredict bool
 	// Workers bounds the concurrency of training and matching: 0 (or
 	// negative) uses one worker per CPU (runtime.GOMAXPROCS), 1 is the
 	// serial fallback, n > 1 uses n workers. Every parallel stage
@@ -156,6 +164,13 @@ type System struct {
 	interimNames    []string
 	interimLearners []learn.Learner
 	interimStacker  *meta.Stacker
+	// combined memoizes post-stacker predictions by instance key, so a
+	// leaf value the system has scored before — in an earlier request,
+	// another listing, or another tag — skips every learner and the
+	// stacker entirely. A pointer, so WithWorkers/WithBatchPredict views
+	// share it with the system they view. The reference (per-instance)
+	// path never consults it.
+	combined *memo[learn.Prediction]
 }
 
 // Train runs the training phase of §3.1 on the given training sources
@@ -181,7 +196,7 @@ func Train(med *Mediated, sources []*Source, cfg Config) (*System, error) {
 	// learners share the instance set; each extracts its own features.
 	examples := ExtractExamples(med, sources, cfg.MaxListings)
 
-	sys := &System{cfg: cfg, mediated: med, labels: labels}
+	sys := &System{cfg: cfg, mediated: med, labels: labels, combined: new(memo[learn.Prediction])}
 
 	// Step 4: train the base learners.
 	factories := make([]learn.Factory, 0, len(cfg.BaseLearners)+1)
@@ -286,31 +301,34 @@ func trainLabeler(sources []*Source) xmllearner.NodeLabeler {
 
 // ensembleLabeler labels a node with the best combined prediction of a
 // set of trained learners — the "LSD with other base learners" oracle
-// the XML learner consults for sub-element labels.
+// the XML learner consults for sub-element labels. The labeler is
+// fixed once trained, so labels memoize in a bounded cache keyed by
+// the textual instance key (tag, path, content): unlike the old
+// node-pointer key, entries are shared across cross-validation folds,
+// listings, and serve requests (whose freshly parsed nodes always
+// missed a pointer-keyed cache), and the two-generation bound stops
+// the cache from growing with every request the process ever served.
 type ensembleLabeler struct {
 	mediated *Mediated
 	learners []learn.Learner
 	stacker  *meta.Stacker
-	// nodeCache memoizes labels per element node: the labeler is fixed
-	// once trained, so each node needs labelling only once even though
-	// cross-validation folds and the final XML learner all consult it.
-	// mu guards the cache — concurrent CV folds and parallel match
-	// workers share one labeler. A label is a pure function of the
-	// trained ensemble, so racing workers that both miss compute the
-	// same value and determinism is preserved.
-	mu        sync.Mutex
-	nodeCache map[*xmltree.Node]string // guarded by mu
+	cache    memo[string]
 }
 
 // LabelNode implements xmllearner.NodeLabeler.
 func (e *ensembleLabeler) LabelNode(n *xmltree.Node, path []string) string {
-	e.mu.Lock()
-	label, ok := e.nodeCache[n]
-	e.mu.Unlock()
-	if ok {
+	content := n.Content()
+	key := instanceKey(n.Tag, path, content)
+	if label, ok := e.cache.get(key); ok {
 		return label
 	}
-	in := NewInstance(e.mediated, n, path)
+	in := learn.Instance{
+		TagName:  n.Tag,
+		Path:     append([]string(nil), path...),
+		Synonyms: tagSynonyms(e.mediated, n.Tag),
+		Content:  content,
+		Node:     n,
+	}
 	preds := make([]learn.Prediction, len(e.learners))
 	for i, l := range e.learners {
 		preds[i] = l.Predict(in)
@@ -319,27 +337,29 @@ func (e *ensembleLabeler) LabelNode(n *xmltree.Node, path []string) string {
 	if best == "" {
 		best = learn.Other
 	}
-	e.mu.Lock()
-	if e.nodeCache == nil {
-		e.nodeCache = make(map[*xmltree.Node]string)
-	}
-	e.nodeCache[n] = best
-	e.mu.Unlock()
+	e.cache.put(key, best)
 	return best
+}
+
+// tagSynonyms expands a tag's words through the mediated schema's
+// synonym lists — a pure function of the tag name, which is what
+// makes the (tag, path, content) instance key exact for caching.
+func tagSynonyms(med *Mediated, tag string) []string {
+	var syns []string
+	if med != nil {
+		for _, w := range splitTag(tag) {
+			syns = append(syns, med.Synonyms[w]...)
+		}
+	}
+	return syns
 }
 
 // NewInstance builds the learner-facing instance for an element node.
 func NewInstance(med *Mediated, n *xmltree.Node, path []string) learn.Instance {
-	var syns []string
-	if med != nil {
-		for _, w := range splitTag(n.Tag) {
-			syns = append(syns, med.Synonyms[w]...)
-		}
-	}
 	return learn.Instance{
 		TagName:  n.Tag,
 		Path:     append([]string(nil), path...),
-		Synonyms: syns,
+		Synonyms: tagSynonyms(med, n.Tag),
 		Content:  n.Content(),
 		Node:     n,
 	}
@@ -434,40 +454,32 @@ func (s *System) Match(ctx context.Context, src *Source, feedback ...constraint.
 		return nil, fmt.Errorf("core: collecting %s: %w", src.Name, err)
 	}
 
-	// Step 2: match each source tag: apply base learners per instance,
-	// combine with the meta-learner, convert per column. The (tag,
-	// instance) pairs are flattened into one job list in deterministic
-	// tag/instance order and fanned out across the worker pool; results
-	// come back positionally, so the per-tag merge is identical to the
-	// serial loop.
+	// Step 2: match each source tag: score the tag's whole column as
+	// one batch (combineBatch deduplicates repeated values and routes
+	// each learner through PredictBatch where implemented), combine
+	// with the meta-learner, convert per column. Tags fan out across
+	// the worker pool in deterministic order; results come back
+	// positionally, so the merge is identical to the serial loop.
 	tags := src.Schema.Tags()
-	type span struct{ start, end int }
-	var jobs []learn.Instance
-	spans := make([]span, len(tags))
+	batches := make([][]learn.Instance, len(tags))
 	for ti, tag := range tags {
-		start := len(jobs)
 		if instances := cols[tag]; len(instances) > 0 {
-			jobs = append(jobs, instances...)
+			batches[ti] = instances
 		} else {
 			// A tag with no data instances is matched on its name alone.
-			jobs = append(jobs, learn.Instance{TagName: tag, Path: src.Schema.PathFromRoot(tag)})
+			batches[ti] = []learn.Instance{{TagName: tag, Path: src.Schema.PathFromRoot(tag)}}
 		}
-		spans[ti] = span{start, len(jobs)}
 	}
-	combined, err := parallel.Map(ctx, s.cfg.Workers, len(jobs),
-		func(_ context.Context, i int) (learn.Prediction, error) {
-			base := make([]learn.Prediction, len(s.learners))
-			for j, l := range s.learners {
-				base[j] = l.Predict(jobs[i])
-			}
-			return s.stacker.Combine(base), nil
+	perTag, err := parallel.Map(ctx, s.cfg.Workers, len(tags),
+		func(_ context.Context, ti int) ([]learn.Prediction, error) {
+			return s.combineBatch(batches[ti]), nil
 		})
 	if err != nil {
 		return nil, fmt.Errorf("core: matching %s: %w", src.Name, err)
 	}
 	tagPreds := make(map[string]learn.Prediction, len(tags))
 	for ti, tag := range tags {
-		tagPreds[tag] = meta.Convert(s.cfg.Converter, s.labels, combined[spans[ti].start:spans[ti].end])
+		tagPreds[tag] = meta.Convert(s.cfg.Converter, s.labels, perTag[ti])
 	}
 
 	// Step 3: apply the constraint handler.
@@ -499,6 +511,95 @@ func (s *System) Match(ctx context.Context, src *Source, feedback ...constraint.
 	res.Mapping = hres.Mapping
 	res.Handler = hres
 	return res, nil
+}
+
+// predScratch pools the per-batch base-prediction rows the stacker
+// combines, so a match allocates O(1) pooled rows per tag batch
+// instead of one row per instance.
+var predScratch pool.Preds
+
+// combineBatch scores one tag's column of instances: every learner
+// scores the whole batch (through learn.PredictAll, which uses
+// PredictBatch where implemented), then the stacker combines per
+// instance. Duplicate instances — a column's values repeat across
+// listings — are scored and combined once and share the resulting
+// prediction, which is read-only by the Predict contract; values seen
+// in earlier batches or requests come out of the system's combined
+// memo without touching any learner. Leaf and text-only instances key
+// on (tag, path, content), which covers every feature any learner
+// reads (see instanceKey); interior nodes key on their full serialized
+// subtree (see interiorKey).
+func (s *System) combineBatch(batch []learn.Instance) []learn.Prediction {
+	out := make([]learn.Prediction, len(batch))
+	if len(batch) == 0 {
+		return out
+	}
+	if s.cfg.DisableBatchPredict {
+		// Reference path: per-instance Predict, per-instance Combine, in
+		// batch order. The batched path below must match it bit for bit.
+		base := predScratch.Get(len(s.learners))
+		for i, in := range batch {
+			for j, l := range s.learners {
+				base[j] = l.Predict(in)
+			}
+			out[i] = s.stacker.Combine(base)
+		}
+		predScratch.Put(base)
+		return out
+	}
+	pos := make([]int, len(batch))
+	idx := make(map[string]int, len(batch))
+	uniq := make([]learn.Instance, 0, len(batch))
+	keys := make([]string, 0, len(batch))
+	for i, in := range batch {
+		var key string
+		if in.Node != nil && !in.Node.IsLeaf() {
+			key = interiorKey(in.Path, in.Node)
+		} else {
+			key = instanceKey(in.TagName, in.Path, in.Content)
+		}
+		u, ok := idx[key]
+		if !ok {
+			u = len(uniq)
+			idx[key] = u
+			uniq = append(uniq, in)
+			keys = append(keys, key)
+		}
+		pos[i] = u
+	}
+	combined := make([]learn.Prediction, len(uniq))
+	// Cross-request reuse: a unique instance whose combined prediction
+	// is already memoized skips every learner and the stacker. Only the
+	// misses are scored below.
+	missIns := uniq[:0:0]
+	var missSlots []int
+	for u, in := range uniq {
+		if p, ok := s.combined.get(keys[u]); ok {
+			combined[u] = p
+			continue
+		}
+		missIns = append(missIns, in)
+		missSlots = append(missSlots, u)
+	}
+	if len(missIns) > 0 {
+		perLearner := make([][]learn.Prediction, len(s.learners))
+		for j, l := range s.learners {
+			perLearner[j] = learn.PredictAll(l, missIns)
+		}
+		base := predScratch.Get(len(s.learners))
+		for mi, u := range missSlots {
+			for j := range perLearner {
+				base[j] = perLearner[j][mi]
+			}
+			combined[u] = s.stacker.Combine(base)
+			s.combined.put(keys[u], combined[u])
+		}
+		predScratch.Put(base)
+	}
+	for i := range batch {
+		out[i] = combined[pos[i]]
+	}
+	return out
 }
 
 // CollectColumns extracts, for each source tag, the column of element

@@ -15,14 +15,29 @@ import (
 // classifier state and FromState re-attaches it.
 func extract(in learn.Instance) string { return in.Content }
 
+// config is the content matcher's WHIRL configuration. Content
+// vectors are long and noisy; a similarity floor keeps the matcher
+// from issuing confident predictions off incidental token overlap on
+// short values (§3.3 notes it "is not good at short, numeric
+// elements") — below the floor it abstains instead.
+func config() whirl.Config {
+	cfg := whirl.DefaultConfig()
+	cfg.MinSimilarity = 0.15
+	return cfg
+}
+
 // New returns an untrained content matcher.
 func New() learn.Learner {
-	cfg := whirl.DefaultConfig()
-	// Content vectors are long and noisy; a similarity floor keeps the
-	// matcher from issuing confident predictions off incidental token
-	// overlap on short values (§3.3 notes it "is not good at short,
-	// numeric elements") — below the floor it abstains instead.
-	cfg.MinSimilarity = 0.15
+	return whirl.New("ContentMatcher", extract, config())
+}
+
+// NewSharded returns an untrained content matcher whose prediction
+// cache uses the given shard count. Shard count never changes
+// predictions (the determinism suite sweeps it); it only tunes lock
+// contention.
+func NewSharded(shards int) learn.Learner {
+	cfg := config()
+	cfg.CacheShards = shards
 	return whirl.New("ContentMatcher", extract, cfg)
 }
 

@@ -22,6 +22,7 @@ import (
 	"math"
 
 	"repro/internal/learn"
+	"repro/internal/pool"
 	"repro/internal/text"
 )
 
@@ -40,6 +41,10 @@ type Learner struct {
 	// prior[li] = log((docCount(c)+1)/(numDocs+|labels|)).
 	prior   []float64
 	numDocs float64
+	// scratch pools the dense per-batch log-score matrices PredictBatch
+	// sweeps into (unique instances × labels), so batched scoring
+	// allocates nothing beyond the result maps.
+	scratch pool.Floats
 }
 
 // New returns an untrained Naive Bayes learner.
@@ -176,6 +181,86 @@ func (l *Learner) TrainBags(labels []string, bags []text.Bag, bagLabels []string
 // lint:hot
 func (l *Learner) Predict(in learn.Instance) learn.Prediction {
 	return l.PredictBag(text.NewBag(Tokens(in.Content)))
+}
+
+// PredictBatch implements learn.BatchPredictor: the batch is
+// deduplicated by content (a column's values repeat across listings),
+// each distinct content is tokenized and projected to a sparse bag
+// once, and scoring runs as one fused sweep per label over the
+// precomputed log-probability tables instead of one table walk per
+// instance. Every scalar log score sums exactly the terms PredictBag
+// sums, in the same order (prior, ascending-id terms, then the OOV
+// constant), and the softmax/Normalize per instance is unchanged, so
+// each result is bit-identical to Predict's. Duplicate instances
+// share one prediction (read-only by the Predict contract).
+//
+// lint:hot
+func (l *Learner) PredictBatch(ins []learn.Instance) []learn.Prediction {
+	out := make([]learn.Prediction, len(ins))
+	if len(ins) == 0 {
+		return out
+	}
+	if l.numDocs == 0 {
+		// Untrained fallback, shared across the batch: Uniform is a pure
+		// function of the label set.
+		u := learn.Uniform(l.labels)
+		for i := range out {
+			out[i] = u
+		}
+		return out
+	}
+	//lint:ignore hotalloc the per-batch dedup index replaces a tokenize+table-walk per duplicate instance; one map per batch is the cheap side of that trade
+	idx := make(map[string]int, len(ins))
+	pos := make([]int, len(ins))
+	bags := make([]text.SparseBag, 0, len(ins))
+	for i, in := range ins {
+		u, ok := idx[in.Content]
+		if !ok {
+			u = len(bags)
+			idx[in.Content] = u
+			bags = append(bags, l.vocab.SparseBag(text.NewBag(Tokens(in.Content))))
+		}
+		pos[i] = u
+	}
+	k := len(l.labels)
+	nu := len(bags)
+	// Row-major log-score matrix: lps[u*k+li] is instance u's log score
+	// under label li. The label-outer sweep touches each precomputed
+	// table once for the whole batch.
+	lps := l.scratch.Get(nu * k)
+	for li := range l.labels {
+		prior := l.prior[li]
+		table := l.logProb[li]
+		unseen := l.unseenLog[li]
+		for u := range bags {
+			lp := prior
+			for _, tc := range bags[u].Terms {
+				lp += float64(tc.N) * table[tc.ID]
+			}
+			lps[u*k+li] = lp + float64(bags[u].OOV)*unseen
+		}
+	}
+	uniq := make([]learn.Prediction, nu)
+	for u := 0; u < nu; u++ {
+		off := u * k
+		maxLog := math.Inf(-1)
+		for li := 0; li < k; li++ {
+			if lps[off+li] > maxLog {
+				maxLog = lps[off+li]
+			}
+		}
+		//lint:ignore hotalloc the result Prediction is a map by API contract and escapes to the caller; scoring itself runs in the pooled matrix
+		p := make(learn.Prediction, k)
+		for li, c := range l.labels {
+			p[c] = math.Exp(lps[off+li] - maxLog)
+		}
+		uniq[u] = p.Normalize()
+	}
+	l.scratch.Put(lps)
+	for i := range ins {
+		out[i] = uniq[pos[i]]
+	}
+	return out
 }
 
 // PredictBag computes the posterior for an explicit token bag.

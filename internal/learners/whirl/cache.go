@@ -1,0 +1,140 @@
+package whirl
+
+import (
+	"sync"
+
+	"repro/internal/learn"
+)
+
+// defaultCacheShards is the shard count used when Config.CacheShards
+// is zero. Eight shards keep lock hold times short without wasting
+// memory on mostly-empty generations at the default cache bound.
+const defaultCacheShards = 8
+
+// predCache is the sharded two-generation prediction cache. The old
+// single-lock cache serialized every concurrent Predict on one
+// RWMutex; here the key space is split across power-of-two shards by
+// a hash of the extracted text, so concurrent lookups of different
+// texts take different locks. Each shard keeps the two-generation
+// eviction semantics of the original: inserts fill the current
+// generation, a full generation rotates (old is dropped, current
+// becomes old), and an old-generation hit is promoted back into the
+// current one. Shard count never changes which prediction is returned
+// — entries are pure functions of the extracted text and the frozen
+// model — only which lock guards them; a property test pins that.
+type predCache struct {
+	shards []cacheShard
+	mask   uint32
+	// perGen bounds each shard's current generation so that the whole
+	// cache (all shards, both generations) stays within the configured
+	// entry budget.
+	perGen int
+}
+
+// cacheShard is one lock domain of the cache. Cached predictions are
+// immutable by contract (learn.Learner.Predict) and returned without
+// cloning.
+type cacheShard struct {
+	mu sync.Mutex
+	// cur is the current generation, filled by inserts and promotions.
+	cur map[string]learn.Prediction // guarded by mu
+	// old is the previous generation, read-only until dropped by the
+	// next rotation.
+	old map[string]learn.Prediction // guarded by mu
+}
+
+// newPredCache returns a cache of capacity total entries split over
+// shards lock domains, rounded up to a power of two (zero or negative
+// selects defaultCacheShards).
+func newPredCache(shards, capacity int) *predCache {
+	if shards <= 0 {
+		shards = defaultCacheShards
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	perGen := capacity / n / 2
+	if perGen < 1 {
+		perGen = 1
+	}
+	return &predCache{shards: make([]cacheShard, n), mask: uint32(n - 1), perGen: perGen}
+}
+
+// cacheHash is 32-bit FNV-1a, inlined so hashing an extracted text
+// allocates nothing.
+func cacheHash(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// get returns the cached prediction for key, if any.
+func (pc *predCache) get(key string) (learn.Prediction, bool) {
+	return pc.shards[cacheHash(key)&pc.mask].get(key, pc.perGen)
+}
+
+// put records a prediction for key.
+func (pc *predCache) put(key string, p learn.Prediction) {
+	pc.shards[cacheHash(key)&pc.mask].put(key, p, pc.perGen)
+}
+
+// reset drops every entry; Train calls it when the model changes.
+func (pc *predCache) reset() {
+	for i := range pc.shards {
+		pc.shards[i].reset()
+	}
+}
+
+// get looks key up in both generations, promoting an old-generation
+// hit into the current one so hot entries survive rotation. The
+// promotion happens under the same critical section as the lookup.
+func (sh *cacheShard) get(key string, perGen int) (learn.Prediction, bool) {
+	sh.mu.Lock()
+	p, ok := sh.cur[key]
+	if !ok {
+		if p, ok = sh.old[key]; ok {
+			// Promote. The key is absent from cur (both lookups ran under
+			// this lock), so rotation depends only on cur's size.
+			if len(sh.cur) >= perGen {
+				sh.old = sh.cur
+				//lint:ignore hotalloc generation rotation allocates once per perGen inserts, amortized to nothing per prediction
+				sh.cur = make(map[string]learn.Prediction, 64)
+			}
+			if sh.cur == nil {
+				//lint:ignore hotalloc one-time lazy init of the shard's generation map, amortized over every later hit
+				sh.cur = make(map[string]learn.Prediction, 64)
+			}
+			sh.cur[key] = p
+		}
+	}
+	sh.mu.Unlock()
+	return p, ok
+}
+
+// put records p in the current generation, rotating the generations
+// when the current one reaches the per-shard bound.
+func (sh *cacheShard) put(key string, p learn.Prediction, perGen int) {
+	sh.mu.Lock()
+	if sh.cur == nil {
+		//lint:ignore hotalloc one-time lazy init of the shard's generation map, amortized over every later hit
+		sh.cur = make(map[string]learn.Prediction, 64)
+	}
+	if _, exists := sh.cur[key]; !exists && len(sh.cur) >= perGen {
+		sh.old = sh.cur
+		//lint:ignore hotalloc generation rotation allocates once per perGen inserts, amortized to nothing per prediction
+		sh.cur = make(map[string]learn.Prediction, 64)
+	}
+	sh.cur[key] = p
+	sh.mu.Unlock()
+}
+
+// reset drops both generations.
+func (sh *cacheShard) reset() {
+	sh.mu.Lock()
+	sh.cur, sh.old = nil, nil
+	sh.mu.Unlock()
+}

@@ -1,0 +1,175 @@
+package whirl
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/learn"
+)
+
+// trainedLarge returns a classifier with enough distinct stored
+// examples that predictions differ meaningfully across inputs.
+func trainedLarge(t *testing.T, shards int) *Classifier {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.CacheShards = shards
+	c := New("test", nameExtractor, cfg)
+	var exs []learn.Example
+	for i := 0; i < 30; i++ {
+		exs = append(exs,
+			ex(fmt.Sprintf("street addr city-%d", i), "ADDRESS"),
+			ex(fmt.Sprintf("phone ext-%d", i), "AGENT-PHONE"),
+			ex(fmt.Sprintf("lovely description %d", i), "DESCRIPTION"),
+		)
+	}
+	if err := c.Train(labels, exs); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// queryTags returns n deterministic query tag names that mix cache
+// hits, misses, and token overlap with the training data.
+func queryTags(n int) []string {
+	rng := rand.New(rand.NewSource(7))
+	out := make([]string, n)
+	for i := range out {
+		switch rng.Intn(4) {
+		case 0:
+			out[i] = fmt.Sprintf("street addr city-%d", rng.Intn(40))
+		case 1:
+			out[i] = fmt.Sprintf("phone ext-%d", rng.Intn(40))
+		case 2:
+			out[i] = fmt.Sprintf("description %d", rng.Intn(40))
+		default:
+			out[i] = fmt.Sprintf("unrelated-%d", rng.Intn(40))
+		}
+	}
+	return out
+}
+
+// TestShardedCacheConcurrentHammer drives concurrent hits, misses,
+// and generation rotations through the sharded cache (run under
+// -race), and verifies every returned prediction equals the
+// uncached reference.
+func TestShardedCacheConcurrentHammer(t *testing.T) {
+	c := trainedLarge(t, 4)
+	// Shrink the per-shard generation bound so the hammer forces many
+	// rotations, not just inserts.
+	c.cache.perGen = 8
+	ref := trainedLarge(t, 1)
+	tags := queryTags(64)
+	want := make([]learn.Prediction, len(tags))
+	for i, tag := range tags {
+		want[i] = ref.predict(ref.extract(learn.Instance{TagName: tag}))
+	}
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for iter := 0; iter < 400; iter++ {
+				i := rng.Intn(len(tags))
+				got := c.Predict(learn.Instance{TagName: tags[i]})
+				for l, s := range want[i] {
+					if got[l] != s {
+						errs[g] = fmt.Errorf("tag %q label %s: got %g want %g", tags[i], l, got[l], s)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestShardCountInvariant is the property test of the sharding
+// change: the shard count must never change which prediction is
+// returned, bit for bit, on either the per-instance or the batched
+// path.
+func TestShardCountInvariant(t *testing.T) {
+	tags := queryTags(48)
+	ins := make([]learn.Instance, len(tags))
+	for i, tag := range tags {
+		ins[i] = learn.Instance{TagName: tag}
+	}
+	var refSingle, refBatch []learn.Prediction
+	for _, shards := range []int{1, 2, 8, 16} {
+		c := trainedLarge(t, shards)
+		single := make([]learn.Prediction, len(ins))
+		for i, in := range ins {
+			single[i] = c.Predict(in)
+		}
+		batch := c.PredictBatch(ins)
+		if refSingle == nil {
+			refSingle, refBatch = single, batch
+			continue
+		}
+		for i := range ins {
+			assertSamePrediction(t, fmt.Sprintf("shards=%d Predict[%d]", shards, i), single[i], refSingle[i])
+			assertSamePrediction(t, fmt.Sprintf("shards=%d PredictBatch[%d]", shards, i), batch[i], refBatch[i])
+		}
+	}
+}
+
+// TestPredictBatchMatchesPredict pins the batched path to the
+// per-instance path bit for bit, including duplicate instances, cache
+// hits on a second call, and out-of-vocabulary inputs.
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	c := trainedLarge(t, 8)
+	tags := queryTags(48)
+	// Duplicates within the batch exercise the dedup path.
+	tags = append(tags, tags[0], tags[3], tags[3])
+	ins := make([]learn.Instance, len(tags))
+	for i, tag := range tags {
+		ins[i] = learn.Instance{TagName: tag}
+	}
+	fresh := trainedLarge(t, 8)
+	batch := c.PredictBatch(ins)
+	if len(batch) != len(ins) {
+		t.Fatalf("PredictBatch returned %d predictions for %d instances", len(batch), len(ins))
+	}
+	for i, in := range ins {
+		assertSamePrediction(t, fmt.Sprintf("instance %d (%s)", i, tags[i]), batch[i], fresh.Predict(in))
+	}
+	// Second batch is served from the cache and must not drift.
+	again := c.PredictBatch(ins)
+	for i := range ins {
+		assertSamePrediction(t, fmt.Sprintf("cached instance %d", i), again[i], batch[i])
+	}
+}
+
+// TestPredictBatchUntrained matches Predict's untrained fallback.
+func TestPredictBatchUntrained(t *testing.T) {
+	c := New("test", nameExtractor, DefaultConfig())
+	if err := c.Train(labels, nil); err != nil {
+		t.Fatal(err)
+	}
+	ins := []learn.Instance{{TagName: "phone"}, {TagName: "addr"}}
+	batch := c.PredictBatch(ins)
+	for i, in := range ins {
+		assertSamePrediction(t, fmt.Sprintf("untrained instance %d", i), batch[i], c.Predict(in))
+	}
+}
+
+func assertSamePrediction(t *testing.T, ctx string, got, want learn.Prediction) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d labels, want %d", ctx, len(got), len(want))
+	}
+	for l, s := range want {
+		if g, ok := got[l]; !ok || g != s {
+			t.Fatalf("%s: label %s = %v, want %v (bit-identical)", ctx, l, g, s)
+		}
+	}
+}

@@ -19,9 +19,9 @@ package whirl
 import (
 	"fmt"
 	"slices"
-	"sync"
 
 	"repro/internal/learn"
+	"repro/internal/pool"
 	"repro/internal/text"
 )
 
@@ -41,6 +41,14 @@ type Config struct {
 	// Smoothing is added to every label score before normalization so
 	// no label is ever ruled out entirely.
 	Smoothing float64
+	// CacheShards sets the number of prediction-cache lock shards,
+	// rounded up to a power of two; zero selects the default. Purely a
+	// process-local concurrency knob: shard count never changes which
+	// prediction is returned (entries are pure functions of the
+	// extracted text and the frozen model), so like core.Config.Workers
+	// it is deliberately not part of the persisted model state.
+	//lint:ignore statecodec CacheShards is a process-local lock-sharding knob with no effect on predictions; persisting it would pin a host concurrency choice into the artifact
+	CacheShards int
 }
 
 // DefaultConfig matches the behaviour described in the paper: consider
@@ -73,24 +81,18 @@ type Classifier struct {
 	// docLabels maps each stored document to its label's index in
 	// labels.
 	docLabels []int32
-	// scratch pools the dense per-document similarity buffers predicts
-	// accumulate into, so steady-state prediction allocates nothing for
-	// scoring. Buffers are zeroed before they are returned to the pool.
-	scratch sync.Pool
+	// scratch pools the dense similarity buffers predicts accumulate
+	// into — one row per stored document for a single query, one row
+	// per query document for a batch chunk — so steady-state prediction
+	// allocates nothing for scoring.
+	scratch pool.Floats
 	// cache memoizes predictions by extracted text: name-matcher inputs
-	// repeat once per column instance, so hit rates are very high.
-	// Eviction is two-generational: inserts fill cacheNew; when it
-	// reaches half the cache bound the generations rotate and cacheOld
-	// is dropped, so entries hot enough to be re-requested survive by
-	// promotion instead of the whole cache being discarded. Cached
-	// predictions are immutable by contract (learn.Learner.Predict) and
-	// returned without cloning. cacheMu guards both maps: Predict is
-	// called concurrently by the parallel match/CV fan-out, and entries
+	// repeat once per column instance, so hit rates are very high. It
+	// is sharded by key hash so the parallel match/CV fan-out and
+	// concurrent serve requests do not serialize on one lock; entries
 	// are pure functions of the frozen model, so losing a concurrent
 	// insert only costs a recomputation, never determinism.
-	cacheMu  sync.RWMutex
-	cacheNew map[string]learn.Prediction // guarded by cacheMu
-	cacheOld map[string]learn.Prediction // guarded by cacheMu
+	cache *predCache
 }
 
 // maxCacheEntries bounds the prediction cache (both generations
@@ -100,7 +102,12 @@ const maxCacheEntries = 8192
 // New returns an untrained classifier. name identifies it in reports;
 // extract selects the instance text.
 func New(name string, extract Extractor, cfg Config) *Classifier {
-	return &Classifier{name: name, extract: extract, cfg: cfg}
+	return &Classifier{
+		name:    name,
+		extract: extract,
+		cfg:     cfg,
+		cache:   newPredCache(cfg.CacheShards, maxCacheEntries),
+	}
 }
 
 // Name implements learn.Learner.
@@ -146,11 +153,9 @@ func (c *Classifier) Train(labels []string, examples []learn.Example) error {
 	}
 	c.corpus.Freeze()
 	// Train is documented as happening-before any concurrent Predict,
-	// but the cache reset still takes the lock: it is free here and
-	// keeps the guarded-by invariant unconditional.
-	c.cacheMu.Lock()
-	c.cacheNew, c.cacheOld = nil, nil
-	c.cacheMu.Unlock()
+	// but the cache reset still takes the shard locks: it is free here
+	// and keeps the guarded-by invariant unconditional.
+	c.cache.reset()
 	c.docLabels = docLabels
 	c.postings = make([][]posting, c.corpus.Vocab().Len())
 	for i := range texts {
@@ -175,60 +180,147 @@ func (c *Classifier) Train(labels []string, examples []learn.Example) error {
 // lint:hot
 func (c *Classifier) Predict(in learn.Instance) learn.Prediction {
 	extracted := c.extract(in)
-	if p, ok := c.cached(extracted); ok {
+	if p, ok := c.cache.get(extracted); ok {
 		return p
 	}
 	p := c.predict(extracted)
 	if c.corpus != nil {
-		c.insertCache(extracted, p)
+		c.cache.put(extracted, p)
 	}
 	return p
 }
 
-// cached looks extracted up in both cache generations, promoting an
-// old-generation hit into the current one so hot entries survive
-// rotation.
-func (c *Classifier) cached(extracted string) (learn.Prediction, bool) {
-	c.cacheMu.RLock()
-	p, ok := c.cacheNew[extracted]
-	promote := false
-	if !ok {
-		p, ok = c.cacheOld[extracted]
-		promote = ok
+// maxBatchRows bounds the dense chunk matrix PredictBatch scores into
+// (rows × stored documents floats), so a very large batch is scored
+// in bounded-memory chunks.
+const maxBatchRows = 64
+
+// PredictBatch implements learn.BatchPredictor: the whole batch is
+// deduplicated by extracted text, cache misses are scored in chunks
+// by one merged pass over the shared postings table, and duplicate
+// instances share one prediction (read-only by the Predict contract).
+// Per instance the result is bit-identical to Predict: predictChunk
+// accumulates each query row's float terms in exactly the
+// per-instance order, and scoring goes through the same scoreSims.
+//
+// lint:hot
+func (c *Classifier) PredictBatch(ins []learn.Instance) []learn.Prediction {
+	out := make([]learn.Prediction, len(ins))
+	if len(ins) == 0 {
+		return out
 	}
-	c.cacheMu.RUnlock()
-	if promote {
-		c.insertCache(extracted, p)
+	if c.corpus == nil || len(c.docLabels) == 0 {
+		// Untrained fallback: every instance gets the same smoothed
+		// near-uniform prediction; compute it once and share it.
+		p := c.predictUntrained()
+		for i := range out {
+			out[i] = p
+		}
+		return out
 	}
-	return p, ok
+	// Dedup by extracted text and resolve cache hits; only distinct
+	// misses reach the batched scoring pass.
+	//lint:ignore hotalloc the per-batch dedup index replaces a full model walk per duplicate instance; one map per batch is the cheap side of that trade
+	idx := make(map[string]int, len(ins))
+	pos := make([]int, len(ins))
+	uniqPreds := make([]learn.Prediction, 0, len(ins))
+	missTexts := make([]string, 0, len(ins))
+	missSlots := make([]int, 0, len(ins))
+	for i, in := range ins {
+		extracted := c.extract(in)
+		u, ok := idx[extracted]
+		if !ok {
+			u = len(uniqPreds)
+			idx[extracted] = u
+			p, hit := c.cache.get(extracted)
+			uniqPreds = append(uniqPreds, p) // nil placeholder on miss
+			if !hit {
+				missTexts = append(missTexts, extracted)
+				missSlots = append(missSlots, u)
+			}
+		}
+		pos[i] = u
+	}
+	for start := 0; start < len(missTexts); start += maxBatchRows {
+		end := min(start+maxBatchRows, len(missTexts))
+		c.predictChunk(missTexts[start:end], uniqPreds, missSlots[start:end])
+	}
+	for k, txt := range missTexts {
+		c.cache.put(txt, uniqPreds[missSlots[k]])
+	}
+	for i := range ins {
+		out[i] = uniqPreds[pos[i]]
+	}
+	return out
 }
 
-// insertCache records a prediction in the current generation, rotating
-// the generations when the current one reaches half the cache bound.
-func (c *Classifier) insertCache(extracted string, p learn.Prediction) {
-	c.cacheMu.Lock()
-	if c.cacheNew == nil {
-		//lint:ignore hotalloc one-time lazy init of the cache generation map, amortized over every later hit
-		c.cacheNew = make(map[string]learn.Prediction, 256)
+// qterm is one query-term occurrence in a chunk's merged term list:
+// token id, chunk-row index, query TF/IDF weight.
+type qterm struct {
+	id text.ID
+	q  int32
+	w  float64
+}
+
+// predictChunk scores one chunk of extracted texts with a single
+// merged traversal of the postings table, writing the prediction for
+// texts[k] into preds[slots[k]]. All chunk queries' terms are merged
+// and sorted by (token id, row): walking that list visits each needed
+// posting list once per querying row, ids ascending — so each row's
+// accumulation order is exactly the per-instance predict order and
+// the results are bit-identical to Predict's.
+func (c *Classifier) predictChunk(texts []string, preds []learn.Prediction, slots []int) {
+	nd := len(c.docLabels)
+	terms := make([]qterm, 0, 16*len(texts))
+	for qi, txt := range texts {
+		vec := c.corpus.Vectorize(text.NewBag(text.TokenizeStemStop(txt)))
+		// Out-of-vocabulary terms have no postings and contribute only
+		// to the query norm (inside Vectorize), exactly as per-instance.
+		for _, tm := range vec.Terms {
+			terms = append(terms, qterm{id: tm.ID, q: int32(qi), w: tm.W})
+		}
 	}
-	if _, exists := c.cacheNew[extracted]; !exists && len(c.cacheNew) >= maxCacheEntries/2 {
-		c.cacheOld = c.cacheNew
-		//lint:ignore hotalloc generation rotation allocates once per maxCacheEntries/2 inserts, amortized to nothing per prediction
-		c.cacheNew = make(map[string]learn.Prediction, 256)
+	// (id, q) is a total key — Vectorize merges duplicate tokens — so
+	// the unstable sort has no equal elements to reorder.
+	slices.SortFunc(terms, func(a, b qterm) int {
+		if a.id != b.id {
+			if a.id < b.id {
+				return -1
+			}
+			return 1
+		}
+		return int(a.q) - int(b.q)
+	})
+	// Dense row-major similarity matrix: one row of nd document slots
+	// per chunk query, pooled and zeroed like the single-query buffer.
+	sims := c.scratch.Get(len(texts) * nd)
+	for i := 0; i < len(terms); {
+		id := terms[i].id
+		j := i + 1
+		for j < len(terms) && terms[j].id == id {
+			j++
+		}
+		if plist := c.postings[id]; len(plist) > 0 {
+			for k := i; k < j; k++ {
+				off := int(terms[k].q) * nd
+				w := terms[k].w
+				for _, pst := range plist {
+					sims[off+int(pst.doc)] += w * pst.w
+				}
+			}
+		}
+		i = j
 	}
-	c.cacheNew[extracted] = p
-	c.cacheMu.Unlock()
+	for qi := range texts {
+		preds[slots[qi]] = c.scoreSims(sims[qi*nd : (qi+1)*nd])
+	}
+	c.scratch.Put(sims)
 }
 
 // predict computes the normalized prediction for one extracted text.
 func (c *Classifier) predict(extracted string) learn.Prediction {
-	//lint:ignore hotalloc the result Prediction is a map by API contract and is retained by the cache, so it must be freshly allocated per distinct input
-	p := make(learn.Prediction, len(c.labels))
 	if c.corpus == nil || len(c.docLabels) == 0 {
-		for _, l := range c.labels {
-			p[l] = c.cfg.Smoothing
-		}
-		return p.Normalize()
+		return c.predictUntrained()
 	}
 	q := c.corpus.Vectorize(text.NewBag(text.TokenizeStemStop(extracted)))
 
@@ -239,12 +331,36 @@ func (c *Classifier) predict(extracted string) learn.Prediction {
 	// document's similarity sums its terms identically on every run.
 	// Out-of-vocabulary query terms have no postings and contribute
 	// only to the query norm, exactly as in the map representation.
-	sims := c.getScratch()
+	sims := c.scratch.Get(len(c.docLabels))
 	for _, term := range q.Terms {
 		for _, pst := range c.postings[term.ID] {
 			sims[pst.doc] += term.W * pst.w
 		}
 	}
+	p := c.scoreSims(sims)
+	c.scratch.Put(sims)
+	return p
+}
+
+// predictUntrained is the fallback for a classifier with no stored
+// examples: smoothing only, normalized to uniform.
+func (c *Classifier) predictUntrained() learn.Prediction {
+	//lint:ignore hotalloc the result Prediction is a map by API contract and escapes to the caller; this only runs on the untrained fallback path
+	p := make(learn.Prediction, len(c.labels))
+	for _, l := range c.labels {
+		p[l] = c.cfg.Smoothing
+	}
+	return p.Normalize()
+}
+
+// scoreSims turns one dense similarity row (one slot per stored
+// document) into a normalized prediction: threshold, rank, cut to
+// MaxNeighbors, noisy-or per label, smooth, normalize. Both the
+// per-instance and the batched path end here, which is what makes
+// their results structurally bit-identical.
+func (c *Classifier) scoreSims(sims []float64) learn.Prediction {
+	//lint:ignore hotalloc the result Prediction is a map by API contract and is retained by the cache, so it must be freshly allocated per distinct input
+	p := make(learn.Prediction, len(c.labels))
 	type neighbor struct {
 		sim float64
 		li  int32
@@ -262,7 +378,6 @@ func (c *Classifier) predict(extracted string) learn.Prediction {
 			neighbors = append(neighbors, neighbor{sim, c.docLabels[doc], int32(doc)})
 		}
 	}
-	c.putScratch(sims)
 	// Order the neighbours by decreasing similarity for the MaxNeighbors
 	// cut; ties break by label index then doc id so the order — and the
 	// noisy-or product order below — is total and deterministic.
@@ -299,29 +414,6 @@ func (c *Classifier) predict(extracted string) learn.Prediction {
 		p[l] = c.cfg.Smoothing + (1 - oneMinus[li])
 	}
 	return p.Normalize()
-}
-
-// getScratch returns a zeroed []float64 with one slot per stored
-// document. The poolescape analyzer tracks values it hands out: every
-// caller must return them via putScratch and must not let them escape.
-//
-// lint:scratch
-func (c *Classifier) getScratch() []float64 {
-	n := len(c.docLabels)
-	if v := c.scratch.Get(); v != nil {
-		if buf := v.(*[]float64); cap(*buf) >= n {
-			return (*buf)[:n]
-		}
-	}
-	return make([]float64, n)
-}
-
-// putScratch zeroes the buffer and returns it to the pool.
-func (c *Classifier) putScratch(buf []float64) {
-	for i := range buf {
-		buf[i] = 0
-	}
-	c.scratch.Put(&buf)
 }
 
 // NumStored returns how many training examples the classifier holds.

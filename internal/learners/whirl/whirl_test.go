@@ -210,15 +210,26 @@ func TestCacheGenerationsKeepHotEntries(t *testing.T) {
 			c.Predict(hot)
 		}
 	}
-	c.cacheMu.RLock()
-	newN, oldN := len(c.cacheNew), len(c.cacheOld)
-	_, inNew := c.cacheNew[c.extract(hot)]
-	_, inOld := c.cacheOld[c.extract(hot)]
-	c.cacheMu.RUnlock()
+	newN, oldN := 0, 0
+	resident := false
+	key := c.extract(hot)
+	for i := range c.cache.shards {
+		sh := &c.cache.shards[i]
+		sh.mu.Lock()
+		newN += len(sh.cur)
+		oldN += len(sh.old)
+		if _, ok := sh.cur[key]; ok {
+			resident = true
+		}
+		if _, ok := sh.old[key]; ok {
+			resident = true
+		}
+		sh.mu.Unlock()
+	}
 	if newN > maxCacheEntries/2 || newN+oldN > maxCacheEntries {
 		t.Errorf("cache exceeded bound: new=%d old=%d", newN, oldN)
 	}
-	if !inNew && !inOld {
+	if !resident {
 		t.Error("hot entry evicted despite repeated hits")
 	}
 	after := c.Predict(hot)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 
 	"path/filepath"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dtd"
 	"repro/internal/parallel"
+	"repro/internal/pool"
 	"repro/internal/xmltree"
 )
 
@@ -129,13 +131,29 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// respBufs pools the response-encoding buffers: every reply marshals
+// into a pooled buffer (request-scoped, returned before the handler
+// exits) and is written out in one shot with an exact Content-Length,
+// instead of allocating an encoder chain per request.
+var respBufs pool.Buffers
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
+	buf := respBufs.Get()
+	enc := json.NewEncoder(buf)
 	enc.SetEscapeHTML(false)
-	//lint:ignore errflow the status line is already written; an Encode failure means the client is gone and there is no channel left to report on
-	_ = enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		// Nothing has been written to the wire yet, so a marshal
+		// failure can still be reported cleanly.
+		respBufs.Put(buf)
+		http.Error(w, "encoding response: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(status)
+	//lint:ignore errflow the status line is already written; a Write failure means the client is gone and there is no channel left to report on
+	_, _ = w.Write(buf.Bytes())
+	respBufs.Put(buf)
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
